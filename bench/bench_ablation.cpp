@@ -1,0 +1,109 @@
+// Design-choice ablations (DESIGN.md E8+):
+//
+//  A. Pipelining-degree sweep: phase cost vs Q for each ordering at fixed
+//     (e, S) -- shows why the optimum Q differs per ordering and where the
+//     shallow/deep boundary sits.
+//  B. Port-count ablation: how much of each ordering's win survives on
+//     1-port / 2-port / 4-port hardware vs all-port (the paper assumes
+//     all-port; BR is insensitive, degree-4 needs >= 4 ports).
+//  C. Startup-overlap ablation: the paper's model serializes all startups
+//     before any transmission; overlapped hardware shaves a bounded
+//     fraction (reported per ordering).
+//  D. min-alpha vs permuted-BR on small cubes, where both are defined.
+#include <cmath>
+#include <cstdio>
+
+#include "pipe/cost_model.hpp"
+#include "pipe/execution_model.hpp"
+#include "pipe/optimizer.hpp"
+#include "sim/programs.hpp"
+
+int main() {
+  using namespace jmh;
+  using ord::OrderingKind;
+
+  pipe::MachineParams machine;
+  machine.ts = 1000.0;
+  machine.tw = 100.0;
+
+  const int e = 6;
+  const double s = 1 << 16;
+
+  std::printf("A. Phase cost vs pipelining degree Q (e = %d, S = %.0f, all-port)\n", e, s);
+  std::printf("     Q |        BR   permuted-BR    degree-4   min-alpha\n");
+  for (std::uint64_t q : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u, 63u, 64u, 96u,
+                          128u, 256u}) {
+    std::printf("  %4llu |", static_cast<unsigned long long>(q));
+    for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4,
+                      OrderingKind::MinAlpha}) {
+      const auto seq = ord::make_exchange_sequence(kind, e);
+      std::printf(" %11.0f", pipe::phase_cost_pipelined(seq, q, s, machine));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nB. Sweep cost relative to unpipelined BR, by port count (d = 8, m = 2^20)\n");
+  std::printf("  ports |     BR  permuted-BR  degree-4\n");
+  for (int ports : {1, 2, 4, pipe::MachineParams::kAllPort}) {
+    pipe::MachineParams m2 = machine;
+    m2.ports = ports;
+    pipe::ProblemParams prob;
+    prob.d = 8;
+    prob.m = std::ldexp(1.0, 20);
+    const double base = pipe::sweep_cost_unpipelined(prob, m2);
+    if (ports == pipe::MachineParams::kAllPort)
+      std::printf("    all |");
+    else
+      std::printf("  %5d |", ports);
+    for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4}) {
+      std::printf(" %6.3f", pipe::sweep_cost_pipelined(kind, prob, m2).total / base);
+      if (kind == OrderingKind::BR) std::printf("      ");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nC. Startup-overlap ablation: simulated phase time / paper model (e = 5, Q opt)\n");
+  sim::SimConfig strict;
+  strict.machine = machine;
+  sim::SimConfig overlap = strict;
+  overlap.overlap_startup = true;
+  std::printf("  kind          Q*    strict/model  overlapped/model\n");
+  for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4}) {
+    const auto seq = ord::make_exchange_sequence(kind, 5);
+    const auto opt = pipe::find_optimal_q(seq, s, machine, 128);
+    const double model = pipe::phase_cost_pipelined(seq, opt.q, s, machine);
+    const double t_strict = sim::simulate_pipelined_phase(seq, opt.q, s, 5, strict);
+    const double t_overlap = sim::simulate_pipelined_phase(seq, opt.q, s, 5, overlap);
+    std::printf("  %-12s %3llu      %.4f          %.4f\n", ord::to_string(kind).c_str(),
+                static_cast<unsigned long long>(opt.q), t_strict / model, t_overlap / model);
+  }
+
+  std::printf("\nE. End-to-end sweep speedup vs d (m = 2^18, t_flop = 0.2: comm-bound regime)\n");
+  std::printf("   d |      BR  permuted-BR  degree-4   (ideal = 2^d)\n");
+  for (int d = 4; d <= 10; d += 2) {
+    pipe::ExecutionParams exec;
+    exec.machine = machine;
+    exec.t_flop = 0.2;
+    pipe::ProblemParams prob;
+    prob.d = d;
+    prob.m = std::ldexp(1.0, 18);
+    std::printf("  %2d |", d);
+    for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4}) {
+      std::printf(" %7.1f", pipe::sweep_speedup(kind, prob, exec));
+      if (kind != OrderingKind::Degree4) std::printf("     ");
+    }
+    std::printf("   %6.0f\n", std::ldexp(1.0, d));
+  }
+
+  std::printf("\nD. min-alpha vs permuted-BR, small phases (deep pipelining, Q = 4K)\n");
+  std::printf("  e |  alpha(min-a)  alpha(pBR)   cost(min-a)   cost(pBR)\n");
+  for (int ee : {4, 5, 6}) {
+    const auto ma = ord::make_exchange_sequence(OrderingKind::MinAlpha, ee);
+    const auto pb = ord::make_exchange_sequence(OrderingKind::PermutedBR, ee);
+    const std::uint64_t q = 4 * ma.size();
+    std::printf("  %d | %13d %11d %13.0f %11.0f\n", ee, ma.alpha(), pb.alpha(),
+                pipe::phase_cost_pipelined(ma, q, s, machine),
+                pipe::phase_cost_pipelined(pb, q, s, machine));
+  }
+  return 0;
+}

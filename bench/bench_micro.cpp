@@ -1,0 +1,181 @@
+// E10: google-benchmark microbenchmarks of the library's kernels -- the
+// components whose throughput determines experiment wall-clock time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "la/rotation.hpp"
+#include "la/sym_gen.hpp"
+#include "ord/bounds.hpp"
+#include "ord/br.hpp"
+#include "ord/degree4.hpp"
+#include "ord/min_alpha.hpp"
+#include "ord/permuted_br.hpp"
+#include "ord/schedule.hpp"
+#include "pipe/cost_model.hpp"
+#include "pipe/optimizer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/programs.hpp"
+#include "solve/parallel_jacobi.hpp"
+#include "solve/pipelined_executor.hpp"
+
+namespace {
+
+void BM_RotationKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(1);
+  std::vector<double> x(n), y(n), vx(n), vy(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    jmh::la::pair_columns(x, y, vx, vy, 1e-300);  // force the rotation
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(4 * n * 8));
+}
+BENCHMARK(BM_RotationKernel)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BrGeneration(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(jmh::ord::br_sequence(e));
+}
+BENCHMARK(BM_BrGeneration)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_PermutedBrGeneration(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(jmh::ord::permuted_br_sequence(e));
+}
+BENCHMARK(BM_PermutedBrGeneration)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Degree4Generation(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(jmh::ord::degree4_sequence(e));
+}
+BENCHMARK(BM_Degree4Generation)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_WindowStats(benchmark::State& state) {
+  const auto seq = jmh::ord::permuted_br_sequence(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(seq.window_stats(seq.e()));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_WindowStats)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_HamiltonianValidation(benchmark::State& state) {
+  const auto seq = jmh::ord::degree4_sequence(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(seq.is_valid());
+}
+BENCHMARK(BM_HamiltonianValidation)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_MinAlphaSearch(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  const int bound = static_cast<int>(jmh::ord::alpha_lower_bound(e));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::ord::find_sequence_with_alpha(e, bound));
+}
+BENCHMARK(BM_MinAlphaSearch)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_SweepVerification(benchmark::State& state) {
+  const jmh::ord::JacobiOrdering ordering(jmh::ord::OrderingKind::PermutedBR,
+                                          static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::ord::verify_sweeps(ordering, 1));
+}
+BENCHMARK(BM_SweepVerification)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_OptimalQ(benchmark::State& state) {
+  const auto seq = jmh::ord::permuted_br_sequence(static_cast<int>(state.range(0)));
+  jmh::pipe::MachineParams machine;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::pipe::find_optimal_q(seq, 1e6, machine, 1 << 20));
+}
+BENCHMARK(BM_OptimalQ)->Arg(8)->Arg(12)->Arg(15);
+
+void BM_SweepCostModel(benchmark::State& state) {
+  jmh::pipe::ProblemParams prob;
+  prob.d = static_cast<int>(state.range(0));
+  prob.m = 1 << 23;
+  jmh::pipe::MachineParams machine;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        jmh::pipe::sweep_cost_pipelined(jmh::ord::OrderingKind::PermutedBR, prob, machine));
+}
+BENCHMARK(BM_SweepCostModel)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    jmh::sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) q.schedule(static_cast<double>(i % 97), [&] { ++fired; });
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1024)->Arg(16384);
+
+void BM_SimulatedPhase(benchmark::State& state) {
+  const auto seq = jmh::ord::degree4_sequence(static_cast<int>(state.range(0)));
+  jmh::sim::SimConfig cfg;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::sim::simulate_pipelined_phase(seq, 8, 4096.0, seq.e(), cfg));
+}
+BENCHMARK(BM_SimulatedPhase)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_InlineSolve(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const jmh::ord::JacobiOrdering ordering(jmh::ord::OrderingKind::Degree4, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::solve::solve_inline(a, ordering));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InlineSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_MpiSolve(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const jmh::ord::JacobiOrdering ordering(jmh::ord::OrderingKind::Degree4, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::solve::solve_mpi(a, ordering));
+}
+BENCHMARK(BM_MpiSolve)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_MpiSolvePipelined(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const jmh::ord::JacobiOrdering ordering(jmh::ord::OrderingKind::Degree4, 2);
+  jmh::solve::PipelinedSolveOptions opts;
+  opts.q = 4;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::solve::solve_mpi_pipelined(a, ordering, opts));
+}
+BENCHMARK(BM_MpiSolvePipelined)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BlockSerializeRoundtrip(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const jmh::solve::BlockLayout layout(m, 2);
+  const jmh::solve::ColumnBlock blk = jmh::solve::extract_block(a, layout, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::solve::ColumnBlock::deserialize(blk.serialize()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blk.serialize().size() * 8));
+}
+BENCHMARK(BM_BlockSerializeRoundtrip)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SequentialCyclicSolve(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::la::onesided_jacobi_cyclic(a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialCyclicSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace

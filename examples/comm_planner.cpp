@@ -1,0 +1,79 @@
+// Communication planner: given a machine (d, Ts, Tw, ports) and a matrix
+// size m, recommend the Jacobi ordering and per-phase pipelining degree
+// that minimize the sweep communication cost -- the decision procedure a
+// user of the paper's results would actually run.
+//
+//   $ ./comm_planner [d] [log2_m] [Ts] [Tw]      (defaults: 6 18 1000 100)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipe/cost_model.hpp"
+#include "pipe/execution_model.hpp"
+#include "pipe/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jmh::pipe;
+  using jmh::ord::OrderingKind;
+
+  ProblemParams prob;
+  prob.d = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int log2_m = argc > 2 ? std::atoi(argv[2]) : 18;
+  prob.m = std::ldexp(1.0, log2_m);
+  MachineParams machine;
+  machine.ts = argc > 3 ? std::atof(argv[3]) : 1000.0;
+  machine.tw = argc > 4 ? std::atof(argv[4]) : 100.0;
+
+  if (prob.d < 1 || prob.d > 16 || prob.columns_per_block() < 1.0) {
+    std::fprintf(stderr, "infeasible configuration: need m >= 2^(d+1) columns\n");
+    return 2;
+  }
+
+  std::printf("machine : %d-cube (%d nodes), Ts = %.0f, Tw = %.0f, all-port\n", prob.d,
+              1 << prob.d, machine.ts, machine.tw);
+  std::printf("problem : m = 2^%d columns, %.0f columns/block, S = %.3g elements/transition\n\n",
+              log2_m, prob.columns_per_block(), prob.step_message_elems());
+
+  const double base = sweep_cost_unpipelined(prob, machine);
+  std::printf("baseline (unpipelined BR CC-cube): %.4g time units per sweep\n\n", base);
+
+  OrderingKind best_kind = OrderingKind::BR;
+  double best_cost = base;
+  SweepCost best;
+  std::printf("ordering      sweep-cost   relative   per-phase Q (e = d..1)\n");
+  for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4,
+                    OrderingKind::MinAlpha}) {
+    const SweepCost c = sweep_cost_pipelined(kind, prob, machine);
+    std::printf("%-12s %12.4g   %8.3f   ", jmh::ord::to_string(kind).c_str(), c.total,
+                c.total / base);
+    for (std::size_t i = 0; i < c.q.size(); ++i)
+      std::printf("%llu%s ", static_cast<unsigned long long>(c.q[i]),
+                  c.deep[i] ? "(deep)" : "");
+    std::printf("\n");
+    if (c.total < best_cost) {
+      best_cost = c.total;
+      best_kind = kind;
+      best = c;
+    }
+  }
+  const SweepCost lb = sweep_cost_lower_bound(prob, machine);
+  std::printf("%-12s %12.4g   %8.3f\n\n", "lower-bound", lb.total, lb.total / base);
+
+  std::printf("RECOMMENDATION: use the %s ordering (%.1f%% of the unpipelined cost,\n",
+              jmh::ord::to_string(best_kind).c_str(), 100.0 * best_cost / base);
+  std::printf("%.2fx away from the idealized lower bound).\n\n", best_cost / lb.total);
+
+  std::printf("%s\n", render_sweep_breakdown(best_kind, prob, machine).c_str());
+
+  // End-to-end view: how much of a sweep's execution time is communication,
+  // for a representative flop rate.
+  ExecutionParams exec;
+  exec.machine = machine;
+  exec.t_flop = 1.0;
+  const ExecutionReport er = sweep_execution(best_kind, prob, exec);
+  std::printf("with t_flop = %.1f: compute %.4g + comm %.4g = %.4g per sweep (%.0f%% comm),\n",
+              exec.t_flop, er.compute, er.comm, er.total, 100.0 * er.comm_fraction);
+  std::printf("parallel speedup %.1fx on %d nodes\n",
+              sweep_speedup(best_kind, prob, exec), 1 << prob.d);
+  return 0;
+}

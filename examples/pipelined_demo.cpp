@@ -1,0 +1,55 @@
+// Pipelined execution demo: run the distributed eigensolver with the
+// exchange phases packetized at several pipelining degrees and show that
+// (a) the answer is identical, (b) message counts grow with Q while column
+// volume stays fixed -- the communication structure the paper's cost model
+// prices, executing for real on mpi_lite threads.
+//
+//   $ ./pipelined_demo [m] [d]     (defaults: 32 2)
+#include <cstdio>
+#include <cstdlib>
+
+#include "la/eigen_check.hpp"
+#include "la/sym_gen.hpp"
+#include "solve/pipelined_executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jmh;
+
+  const std::size_t m = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 32;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 2;
+  if (d < 1 || d > 5 || m < (std::size_t{4} << d)) {
+    std::fprintf(stderr, "need 1 <= d <= 5 and m >= 2^(d+2)\n");
+    return 2;
+  }
+
+  Xoshiro256 rng(7);
+  const la::Matrix a = la::random_uniform_symmetric(m, rng);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::Degree4, d);
+
+  std::printf("m = %zu, %d-cube (%d threads), degree-4 ordering\n\n", m, d, 1 << d);
+  std::printf("   Q | sweeps  messages  elements   residual   spectrum-vs-Q1\n");
+
+  std::vector<double> reference;
+  for (std::uint64_t q : {1u, 2u, 4u, 8u}) {
+    solve::PipelinedSolveOptions opts;
+    opts.q = q;
+    const auto r = solve::solve_mpi_pipelined(a, ordering, opts);
+    if (!r.converged) {
+      std::printf("Q=%llu did not converge\n", static_cast<unsigned long long>(q));
+      return 1;
+    }
+    if (reference.empty()) reference = r.eigenvalues;
+    std::printf(" %3llu | %6d  %8llu  %8llu   %.2e   %.2e\n",
+                static_cast<unsigned long long>(q), r.sweeps,
+                static_cast<unsigned long long>(r.comm.messages),
+                static_cast<unsigned long long>(r.comm.elements),
+                la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors),
+                la::spectrum_distance(r.eigenvalues, reference));
+  }
+
+  std::printf(
+      "\nPacketizing multiplies message count (more startups) but keeps column\n"
+      "volume constant; on a multi-port machine the packets of one block ride\n"
+      "different links concurrently, which is what Figure 2 prices out.\n");
+  return 0;
+}

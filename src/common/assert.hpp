@@ -1,0 +1,47 @@
+// Lightweight contract checking for the jmh library.
+//
+// JMH_REQUIRE(cond, msg)  -- precondition; always checked, throws std::invalid_argument.
+// JMH_CHECK(cond, msg)    -- internal invariant; always checked, throws std::logic_error.
+//
+// Both are kept enabled in release builds: the library is a research
+// reproduction where silent corruption of a schedule or sequence would
+// invalidate results, and the checks are never on a hot inner loop.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace jmh {
+
+namespace detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace jmh
+
+#define JMH_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::jmh::detail::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define JMH_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) ::jmh::detail::throw_check(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

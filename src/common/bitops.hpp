@@ -1,0 +1,45 @@
+// Bit manipulation helpers used throughout the hypercube machinery.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace jmh {
+
+/// True iff @p x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)). Precondition: x > 0.
+constexpr int ilog2(std::uint64_t x) {
+  JMH_REQUIRE(x > 0, "ilog2 of zero");
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)). Precondition: x > 0.
+constexpr int ilog2_ceil(std::uint64_t x) {
+  JMH_REQUIRE(x > 0, "ilog2_ceil of zero");
+  return is_pow2(x) ? ilog2(x) : ilog2(x) + 1;
+}
+
+/// Number of set bits.
+constexpr int popcount(std::uint64_t x) noexcept { return std::popcount(x); }
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  JMH_REQUIRE(b > 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+/// i-th binary-reflected Gray code.
+constexpr std::uint64_t gray_code(std::uint64_t i) noexcept { return i ^ (i >> 1); }
+
+/// Inverse of gray_code: index of a Gray code word.
+constexpr std::uint64_t gray_rank(std::uint64_t g) noexcept {
+  std::uint64_t n = 0;
+  for (; g != 0; g >>= 1) n ^= g;
+  return n;
+}
+
+}  // namespace jmh

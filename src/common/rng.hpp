@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments (Table 2 convergence averages) must be reproducible run to run,
+// so all randomness in the library flows through this xoshiro256** generator
+// seeded explicitly; std::random_device is never used.
+#pragma once
+
+#include <cstdint>
+
+namespace jmh {
+
+/// splitmix64 -- used only to expand a single seed into xoshiro state.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace jmh

@@ -1,0 +1,33 @@
+// Small statistics helpers for experiment drivers (means, stddevs, extrema).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace jmh {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+}  // namespace jmh

@@ -1,0 +1,34 @@
+#include "cube/embedding.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace jmh::cube {
+
+Node ring_to_cube(int d, std::uint64_t pos) {
+  JMH_REQUIRE(d >= 1 && d <= Hypercube::kMaxDimension, "dimension out of range");
+  const std::uint64_t n = std::uint64_t{1} << d;
+  return static_cast<Node>(gray_code(pos % n));
+}
+
+std::uint64_t cube_to_ring(int d, Node n) {
+  JMH_REQUIRE(d >= 1 && d <= Hypercube::kMaxDimension, "dimension out of range");
+  JMH_REQUIRE(n < (Node{1} << d), "node out of range");
+  return gray_rank(n);
+}
+
+Link ring_step_link(int d, std::uint64_t pos) {
+  const Hypercube cube(d);
+  const Node a = ring_to_cube(d, pos);
+  const Node b = ring_to_cube(d, pos + 1);
+  const Link l = cube.link_between(a, b);
+  JMH_CHECK(l >= 0, "Gray embedding must map ring steps to cube links");
+  return l;
+}
+
+std::vector<Node> ring_embedding(int d) {
+  JMH_REQUIRE(d >= 1 && d <= Hypercube::kMaxDimension, "dimension out of range");
+  return Hypercube(d).gray_path();
+}
+
+}  // namespace jmh::cube

@@ -1,0 +1,28 @@
+// Topology embeddings into the hypercube.
+//
+// The binary-reflected Gray code embeds a 2^d-node ring into a d-cube with
+// dilation 1 (ring neighbors are cube neighbors); this is how ring/array
+// orderings from the literature (e.g. Brent-Luk, paper ref. [4]) are
+// hosted on hypercube machines for comparison.
+#pragma once
+
+#include <vector>
+
+#include "cube/hypercube.hpp"
+
+namespace jmh::cube {
+
+/// Cube node hosting ring position @p pos of a 2^d ring (Gray embedding).
+Node ring_to_cube(int d, std::uint64_t pos);
+
+/// Inverse: ring position hosted on cube node @p n.
+std::uint64_t cube_to_ring(int d, Node n);
+
+/// The cube link connecting consecutive ring positions pos and pos+1
+/// (indices mod 2^d).
+Link ring_step_link(int d, std::uint64_t pos);
+
+/// Entire ring as cube nodes, positions 0..2^d-1.
+std::vector<Node> ring_embedding(int d);
+
+}  // namespace jmh::cube

@@ -1,0 +1,43 @@
+#include "cube/hypercube.hpp"
+
+namespace jmh::cube {
+
+Hypercube::Hypercube(int dimension) : d_(dimension) {
+  JMH_REQUIRE(dimension >= 0 && dimension <= kMaxDimension, "hypercube dimension out of range");
+}
+
+Link Hypercube::link_between(Node a, Node b) const {
+  JMH_REQUIRE(contains(a) && contains(b), "node out of range");
+  const Node diff = a ^ b;
+  if (diff == 0 || !is_pow2(diff)) return -1;
+  return ilog2(diff);
+}
+
+std::vector<Node> Hypercube::neighbors(Node n) const {
+  JMH_REQUIRE(contains(n), "node out of range");
+  std::vector<Node> out;
+  out.reserve(static_cast<std::size_t>(d_));
+  for (Link l = 0; l < d_; ++l) out.push_back(n ^ (Node{1} << l));
+  return out;
+}
+
+std::vector<Node> Hypercube::subcube_members(Node n, int sub_dim) const {
+  JMH_REQUIRE(contains(n), "node out of range");
+  JMH_REQUIRE(sub_dim >= 0 && sub_dim <= d_, "subcube dimension out of range");
+  const Node mask = static_cast<Node>((std::uint64_t{1} << sub_dim) - 1);
+  const Node base = n & ~mask;
+  std::vector<Node> out;
+  out.reserve(std::size_t{1} << sub_dim);
+  for (Node i = 0; i < (Node{1} << sub_dim); ++i) out.push_back(base | i);
+  return out;
+}
+
+std::vector<Node> Hypercube::gray_path() const {
+  std::vector<Node> out;
+  out.reserve(num_nodes());
+  for (std::uint64_t i = 0; i < num_nodes(); ++i)
+    out.push_back(static_cast<Node>(gray_code(i)));
+  return out;
+}
+
+}  // namespace jmh::cube

@@ -1,0 +1,66 @@
+// Hypercube interconnection topology.
+//
+// A d-cube has 2^d nodes labelled 0..2^d-1; nodes whose labels differ in
+// exactly bit i are neighbors connected by "link i" (also called dimension
+// i). See paper section 2.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace jmh::cube {
+
+using Node = std::uint32_t;
+using Link = int;  // dimension index, 0..d-1
+
+/// Static topology of a d-dimensional hypercube.
+class Hypercube {
+ public:
+  /// Maximum supported dimension. 2^26 nodes is far beyond anything the
+  /// experiments need but keeps node ids comfortably inside 32 bits.
+  static constexpr int kMaxDimension = 26;
+
+  explicit Hypercube(int dimension);
+
+  int dimension() const noexcept { return d_; }
+  std::uint64_t num_nodes() const noexcept { return std::uint64_t{1} << d_; }
+  std::uint64_t num_links() const noexcept { return (num_nodes() / 2) * d_; }
+
+  bool contains(Node n) const noexcept { return n < num_nodes(); }
+  bool valid_link(Link l) const noexcept { return l >= 0 && l < d_; }
+
+  /// Neighbor of @p n across dimension @p l.
+  Node neighbor(Node n, Link l) const {
+    JMH_REQUIRE(contains(n), "node out of range");
+    JMH_REQUIRE(valid_link(l), "link out of range");
+    return n ^ (Node{1} << l);
+  }
+
+  /// Link connecting two nodes, or -1 if they are not neighbors.
+  Link link_between(Node a, Node b) const;
+
+  /// Hamming distance (minimal routing distance) between two nodes.
+  int distance(Node a, Node b) const {
+    JMH_REQUIRE(contains(a) && contains(b), "node out of range");
+    return popcount(a ^ b);
+  }
+
+  /// All d neighbors of @p n, ordered by dimension.
+  std::vector<Node> neighbors(Node n) const;
+
+  /// Nodes of the subcube spanned by dimensions [0, sub_dim) containing @p n,
+  /// in increasing label order.
+  std::vector<Node> subcube_members(Node n, int sub_dim) const;
+
+  /// Gray-code Hamiltonian path over the whole cube starting at node 0:
+  /// the sequence of nodes visited. Useful as a known-good path in tests.
+  std::vector<Node> gray_path() const;
+
+ private:
+  int d_;
+};
+
+}  // namespace jmh::cube

@@ -1,0 +1,53 @@
+#include "cube/path.hpp"
+
+namespace jmh::cube {
+
+std::vector<Node> walk(const Hypercube& cube, Node start, const std::vector<Link>& links) {
+  JMH_REQUIRE(cube.contains(start), "start node out of range");
+  std::vector<Node> nodes;
+  nodes.reserve(links.size() + 1);
+  Node cur = start;
+  nodes.push_back(cur);
+  for (Link l : links) {
+    cur = cube.neighbor(cur, l);
+    nodes.push_back(cur);
+  }
+  return nodes;
+}
+
+Node walk_end(const Hypercube& cube, Node start, const std::vector<Link>& links) {
+  JMH_REQUIRE(cube.contains(start), "start node out of range");
+  Node cur = start;
+  for (Link l : links) cur = cube.neighbor(cur, l);
+  return cur;
+}
+
+bool is_hamiltonian_path(const Hypercube& cube, Node start, const std::vector<Link>& links,
+                         int sub_dim) {
+  JMH_REQUIRE(sub_dim >= 0 && sub_dim <= cube.dimension(), "subcube dimension out of range");
+  const std::uint64_t sub_size = std::uint64_t{1} << sub_dim;
+  if (links.size() != sub_size - 1) return false;
+  for (Link l : links)
+    if (l < 0 || l >= sub_dim) return false;
+
+  // Walk within the subcube, tracking visited nodes by their low sub_dim bits.
+  std::vector<bool> visited(sub_size, false);
+  const Node mask = static_cast<Node>(sub_size - 1);
+  Node cur = start;
+  visited[cur & mask] = true;
+  for (Link l : links) {
+    cur = cube.neighbor(cur, l);
+    const Node key = cur & mask;
+    if (visited[key]) return false;
+    visited[key] = true;
+  }
+  return true;  // sub_size-1 moves, all distinct, plus start => all visited
+}
+
+bool is_e_sequence(const std::vector<Link>& links, int e) {
+  JMH_REQUIRE(e >= 0 && e <= Hypercube::kMaxDimension, "e out of range");
+  const Hypercube cube(e);
+  return is_hamiltonian_path(cube, 0, links, e);
+}
+
+}  // namespace jmh::cube

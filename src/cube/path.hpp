@@ -1,0 +1,34 @@
+// Link-sequence walks and Hamiltonian-path checking.
+//
+// The paper identifies an exchange-phase link sequence D_e with a
+// Hamiltonian path of the e-cube (section 3.1): starting at any node and
+// following the links of D_e in order visits every node of the e-cube
+// exactly once. A sequence with that property is called an "e-sequence"
+// (Definition 1).
+#pragma once
+
+#include <vector>
+
+#include "cube/hypercube.hpp"
+
+namespace jmh::cube {
+
+/// Nodes visited when starting at @p start and crossing the given links in
+/// order. Result has links.size()+1 entries; result.front() == start.
+std::vector<Node> walk(const Hypercube& cube, Node start, const std::vector<Link>& links);
+
+/// End node of the walk without materializing the node list.
+Node walk_end(const Hypercube& cube, Node start, const std::vector<Link>& links);
+
+/// True iff following @p links from @p start visits every node of the
+/// sub_dim-subcube containing @p start exactly once. Requires
+/// links.size() == 2^sub_dim - 1 and every link in [0, sub_dim).
+bool is_hamiltonian_path(const Hypercube& cube, Node start, const std::vector<Link>& links,
+                         int sub_dim);
+
+/// True iff @p links is an e-sequence (paper Definition 1): a Hamiltonian
+/// path of the e-cube. By vertex-transitivity of the hypercube the starting
+/// node is irrelevant; we check from node 0.
+bool is_e_sequence(const std::vector<Link>& links, int e);
+
+}  // namespace jmh::cube

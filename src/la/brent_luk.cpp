@@ -1,0 +1,40 @@
+#include "la/brent_luk.hpp"
+
+#include "common/assert.hpp"
+
+namespace jmh::la {
+
+SweepPattern brent_luk_round(std::size_t m, std::size_t round) {
+  JMH_REQUIRE(m >= 2 && m % 2 == 0, "Brent-Luk tournament needs even m");
+  JMH_REQUIRE(round < m - 1, "round out of range");
+  // Positions 0..m-1 around the tournament table; position 0 is fixed,
+  // positions 1..m-1 hold column 1 + (col - 1 + round) mod (m-1) rotated.
+  // Pair position i with position m-1-i.
+  SweepPattern pairs;
+  pairs.reserve(m / 2);
+  auto occupant = [&](std::size_t pos) -> std::size_t {
+    if (pos == 0) return 0;
+    // Column at rotating position pos after `round` rotations.
+    return 1 + (pos - 1 + round) % (m - 1);
+  };
+  for (std::size_t i = 0; i < m / 2; ++i) {
+    pairs.emplace_back(occupant(i), occupant(m - 1 - i));
+  }
+  return pairs;
+}
+
+SweepPattern brent_luk_sweep(std::size_t m) {
+  SweepPattern sweep;
+  sweep.reserve(m * (m - 1) / 2);
+  for (std::size_t round = 0; round + 1 < m; ++round) {
+    const SweepPattern r = brent_luk_round(m, round);
+    sweep.insert(sweep.end(), r.begin(), r.end());
+  }
+  return sweep;
+}
+
+std::function<SweepPattern(int)> brent_luk_provider(std::size_t m) {
+  return [pattern = brent_luk_sweep(m)](int) { return pattern; };
+}
+
+}  // namespace jmh::la

@@ -1,0 +1,26 @@
+// The Brent-Luk round-robin parallel Jacobi ordering (reference [4] of the
+// paper; SIAM J. Sci. Statist. Comput. 6, 1985).
+//
+// The classical tournament schedule: m players (columns), m-1 rounds of
+// m/2 disjoint pairings; player 0 stays put while the others rotate one
+// position per round. It is the standard parallel ordering for linear
+// arrays / rings and serves here as the literature baseline the hypercube
+// orderings are compared against in convergence tests.
+#pragma once
+
+#include "la/onesided_jacobi.hpp"
+
+namespace jmh::la {
+
+/// Pairings of round @p round (0-based, < m-1) of the Brent-Luk tournament
+/// on m columns. m must be even; each round has m/2 disjoint pairs.
+SweepPattern brent_luk_round(std::size_t m, std::size_t round);
+
+/// The full sweep: all m-1 rounds concatenated (covers every unordered
+/// pair exactly once).
+SweepPattern brent_luk_sweep(std::size_t m);
+
+/// Pattern provider for onesided_jacobi (same pattern every sweep).
+std::function<SweepPattern(int)> brent_luk_provider(std::size_t m);
+
+}  // namespace jmh::la

@@ -1,0 +1,55 @@
+#include "la/eigen_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace jmh::la {
+
+double frobenius(const Matrix& a) {
+  double s = 0.0;
+  for (double x : a.data()) s += x * x;
+  return std::sqrt(s);
+}
+
+double eigenpair_residual(const Matrix& a, const std::vector<double>& eigenvalues,
+                          const Matrix& eigenvectors) {
+  JMH_REQUIRE(a.is_square(), "square matrix required");
+  JMH_REQUIRE(eigenvalues.size() == a.cols(), "one eigenvalue per column required");
+  JMH_REQUIRE(eigenvectors.rows() == a.rows() && eigenvectors.cols() == a.cols(),
+              "eigenvector matrix shape mismatch");
+  const double scale = std::max(frobenius(a), 1e-300);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.cols(); ++k) {
+    const auto vk = eigenvectors.col(k);
+    const std::vector<double> av = matvec(a, vk);
+    double r2 = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const double diff = av[r] - eigenvalues[k] * vk[r];
+      r2 += diff * diff;
+    }
+    worst = std::max(worst, std::sqrt(r2) / scale);
+  }
+  return worst;
+}
+
+double orthogonality_defect(const Matrix& v) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < v.cols(); ++i) {
+    for (std::size_t j = i; j < v.cols(); ++j) {
+      const double d = dot(v.col(i), v.col(j)) - (i == j ? 1.0 : 0.0);
+      worst = std::max(worst, std::abs(d));
+    }
+  }
+  return worst;
+}
+
+double spectrum_distance(const std::vector<double>& x, const std::vector<double>& y) {
+  JMH_REQUIRE(x.size() == y.size(), "spectra have different sizes");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) worst = std::max(worst, std::abs(x[i] - y[i]));
+  return worst;
+}
+
+}  // namespace jmh::la

@@ -1,0 +1,23 @@
+// Verification helpers for eigensolver results.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace jmh::la {
+
+/// max_k ||A v_k - lambda_k v_k||_2 / ||A||_F -- relative eigenpair residual.
+double eigenpair_residual(const Matrix& a, const std::vector<double>& eigenvalues,
+                          const Matrix& eigenvectors);
+
+/// ||V^T V - I||_max -- orthonormality defect of the eigenvector matrix.
+double orthogonality_defect(const Matrix& v);
+
+/// max_k |x_k - y_k| between two ascending spectra.
+double spectrum_distance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Frobenius norm of a matrix.
+double frobenius(const Matrix& a);
+
+}  // namespace jmh::la

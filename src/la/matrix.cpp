@@ -1,0 +1,51 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jmh::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  JMH_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  return worst;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  JMH_REQUIRE(x.size() == a.cols(), "matvec size mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const auto col = a.col(c);
+    const double xc = x[c];
+    for (std::size_t r = 0; r < a.rows(); ++r) y[r] += col[r] * xc;
+  }
+  return y;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  JMH_REQUIRE(x.size() == y.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double offdiag_frobenius(const Matrix& a) {
+  JMH_REQUIRE(a.is_square(), "off-diagonal norm needs a square matrix");
+  double s = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c)
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      if (r != c) s += a(r, c) * a(r, c);
+  return std::sqrt(s);
+}
+
+}  // namespace jmh::la

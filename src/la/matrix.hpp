@@ -1,0 +1,69 @@
+// Column-major dense matrix.
+//
+// The one-sided Jacobi method operates exclusively on whole columns (dot
+// products and plane rotations of column pairs), so storage is column-major
+// and the column view is the primary access path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace jmh::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    JMH_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    JMH_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+
+  std::span<double> col(std::size_t c) {
+    JMH_REQUIRE(c < cols_, "column index out of range");
+    return {data_.data() + c * rows_, rows_};
+  }
+  std::span<const double> col(std::size_t c) const {
+    JMH_REQUIRE(c < cols_, "column index out of range");
+    return {data_.data() + c * rows_, rows_};
+  }
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  bool is_square() const noexcept { return rows_ == cols_; }
+
+  /// Max |a_ij - b_ij|.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y := A * x (dense mat-vec).
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// Dot product of two equal-length spans.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// Frobenius norm of the off-diagonal part of a square matrix.
+double offdiag_frobenius(const Matrix& a);
+
+}  // namespace jmh::la

@@ -1,0 +1,88 @@
+#include "la/onesided_jacobi.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "la/shift.hpp"
+
+namespace jmh::la {
+
+SweepPattern cyclic_pattern(std::size_t n) {
+  SweepPattern p;
+  p.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) p.emplace_back(i, j);
+  return p;
+}
+
+bool is_complete_pattern(const SweepPattern& pattern, std::size_t n) {
+  if (pattern.size() != n * (n - 1) / 2) return false;
+  std::vector<char> seen(n * n, 0);
+  for (auto [i, j] : pattern) {
+    if (i >= n || j >= n || i == j) return false;
+    const std::size_t lo = std::min(i, j), hi = std::max(i, j);
+    if (seen[lo * n + hi]) return false;
+    seen[lo * n + hi] = 1;
+  }
+  return true;
+}
+
+JacobiResult onesided_jacobi(const Matrix& a,
+                             const std::function<SweepPattern(int)>& pattern_provider,
+                             const JacobiOptions& opts) {
+  JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
+  if (opts.gershgorin_shift) {
+    const double sigma = gershgorin_radius(a);
+    JacobiOptions inner = opts;
+    inner.gershgorin_shift = false;
+    JacobiResult r = onesided_jacobi(add_diagonal_shift(a, sigma), pattern_provider, inner);
+    for (double& ev : r.eigenvalues) ev -= sigma;
+    return r;
+  }
+  const std::size_t n = a.rows();
+
+  Matrix b = a;
+  Matrix v = Matrix::identity(n);
+
+  JacobiResult result;
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    const SweepPattern pattern = pattern_provider(sweep);
+    JMH_REQUIRE(is_complete_pattern(pattern, n), "sweep pattern must cover all pairs once");
+    std::size_t rotated = 0;
+    for (auto [i, j] : pattern)
+      if (pair_columns(b, v, i, j, opts.threshold)) ++rotated;
+    result.rotations += rotated;
+    if (rotated == 0) {
+      result.converged = true;
+      break;
+    }
+    ++result.sweeps;
+  }
+
+  // Extract eigenpairs: lambda_k = v_k . b_k (Rayleigh quotient with
+  // ||v_k|| = 1), sorted ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> lambda(n);
+  for (std::size_t k = 0; k < n; ++k) lambda[k] = dot(v.col(k), b.col(k));
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return lambda[x] < lambda[y]; });
+
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.eigenvalues[k] = lambda[order[k]];
+    const auto src = v.col(order[k]);
+    auto dst = result.eigenvectors.col(k);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return result;
+}
+
+JacobiResult onesided_jacobi_cyclic(const Matrix& a, const JacobiOptions& opts) {
+  const SweepPattern pattern = cyclic_pattern(a.rows());
+  return onesided_jacobi(a, [&pattern](int) { return pattern; }, opts);
+}
+
+}  // namespace jmh::la

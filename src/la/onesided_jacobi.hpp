@@ -1,0 +1,55 @@
+// Sequential one-sided Jacobi symmetric eigensolver (reference
+// implementation; paper section 2.2).
+//
+// Serves two roles: (a) the ground truth the distributed solver is checked
+// against, and (b) the single-node convergence-rate baseline. The pair
+// visiting order is pluggable so the sequential solver can also replay a
+// parallel Jacobi ordering's rotation sequence exactly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/rotation.hpp"
+
+namespace jmh::la {
+
+struct JacobiOptions {
+  double threshold = kDefaultThreshold;  ///< relative rotation threshold
+  int max_sweeps = 60;                   ///< safety cap
+  /// Solve A + sigma*I (sigma = Gershgorin radius) and shift back: removes
+  /// the +/-lambda tie ambiguity of the one-sided method (see la/shift.hpp).
+  bool gershgorin_shift = false;
+};
+
+struct JacobiResult {
+  std::vector<double> eigenvalues;  ///< ascending
+  Matrix eigenvectors;              ///< column k pairs with eigenvalues[k]
+  int sweeps = 0;                   ///< sweeps that performed >= 1 rotation
+  bool converged = false;           ///< a full sweep performed no rotation
+  std::size_t rotations = 0;        ///< total rotations applied
+};
+
+/// A sweep pattern: the list of column pairs visited in one sweep, in order.
+/// Must contain every unordered pair exactly once.
+using SweepPattern = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Row-cyclic pattern (0,1), (0,2), ..., (n-2, n-1).
+SweepPattern cyclic_pattern(std::size_t n);
+
+/// Checks that a pattern covers all n(n-1)/2 pairs exactly once.
+bool is_complete_pattern(const SweepPattern& pattern, std::size_t n);
+
+/// Solves the symmetric eigenproblem with the given per-sweep pair order.
+/// The pattern may differ sweep to sweep via the provider (sweep number ->
+/// pattern); pass the same pattern for the classic cyclic method.
+JacobiResult onesided_jacobi(const Matrix& a,
+                             const std::function<SweepPattern(int)>& pattern_provider,
+                             const JacobiOptions& opts = {});
+
+/// Convenience overload: row-cyclic ordering.
+JacobiResult onesided_jacobi_cyclic(const Matrix& a, const JacobiOptions& opts = {});
+
+}  // namespace jmh::la

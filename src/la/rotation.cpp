@@ -1,0 +1,54 @@
+#include "la/rotation.hpp"
+
+#include <cmath>
+
+namespace jmh::la {
+
+RotationDecision compute_rotation(double bii, double bjj, double bij, double threshold) {
+  RotationDecision d;
+  if (std::abs(bij) <= threshold * std::sqrt(bii * bjj)) return d;
+
+  const double tau = (bjj - bii) / (2.0 * bij);
+  // Smaller-magnitude root of t^2 + 2 tau t - 1 = 0 for numerical stability.
+  const double t = (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  d.rotate = true;
+  d.c = 1.0 / std::sqrt(1.0 + t * t);
+  d.s = t * d.c;
+  return d;
+}
+
+void apply_rotation(std::span<double> x, std::span<double> y, double c, double s) {
+  JMH_REQUIRE(x.size() == y.size(), "rotation column size mismatch");
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    const double xr = x[r];
+    const double yr = y[r];
+    x[r] = c * xr - s * yr;
+    y[r] = s * xr + c * yr;
+  }
+}
+
+PairOutcome pair_columns_stats(std::span<double> bi, std::span<double> bj,
+                               std::span<double> vi, std::span<double> vj, double threshold) {
+  PairOutcome out;
+  out.bii = dot(bi, bi);
+  out.bjj = dot(bj, bj);
+  out.bij = dot(bi, bj);
+  const RotationDecision d = compute_rotation(out.bii, out.bjj, out.bij, threshold);
+  if (!d.rotate) return out;
+  apply_rotation(bi, bj, d.c, d.s);
+  apply_rotation(vi, vj, d.c, d.s);
+  out.rotated = true;
+  return out;
+}
+
+bool pair_columns(std::span<double> bi, std::span<double> bj, std::span<double> vi,
+                  std::span<double> vj, double threshold) {
+  return pair_columns_stats(bi, bj, vi, vj, threshold).rotated;
+}
+
+bool pair_columns(Matrix& b, Matrix& v, std::size_t i, std::size_t j, double threshold) {
+  JMH_REQUIRE(i != j, "cannot pair a column with itself");
+  return pair_columns(b.col(i), b.col(j), v.col(i), v.col(j), threshold);
+}
+
+}  // namespace jmh::la

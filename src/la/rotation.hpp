@@ -1,0 +1,66 @@
+// One-sided Jacobi plane rotation (paper section 2.2; Eberlein 1987 [5]).
+//
+// The one-sided method keeps B = A*V (B initialized to A, V to I). The
+// "pairing of columns i and j" computes a rotation R in the (i,j) plane
+// from the three dot products b_i.b_i, b_j.b_j, b_i.b_j and applies it to
+// the columns of both B and V, zeroing the dot product b_i.b_j. At
+// convergence the columns of B are mutually orthogonal, B = A*V with V
+// orthogonal, so b_i = lambda_i v_i: the Rayleigh quotients v_i.b_i are the
+// eigenvalues and the columns of V the eigenvectors.
+//
+// Crucially, the rotation only needs columns i and j of B and V -- this is
+// what makes the method distributable with column blocks.
+#pragma once
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace jmh::la {
+
+/// Rotation parameters (c, s) or the decision to skip a negligible pair.
+struct RotationDecision {
+  bool rotate = false;
+  double c = 1.0;
+  double s = 0.0;
+};
+
+/// Default relative threshold: a pair is rotated iff
+/// |b_i.b_j| > threshold * sqrt((b_i.b_i)(b_j.b_j)).
+inline constexpr double kDefaultThreshold = 1e-12;
+
+/// Computes the rotation zeroing the (i,j) dot product, from the three dot
+/// products. Uses the standard stable formulas (Rutishauser): the smaller
+/// root of t^2 + 2*tau*t - 1 = 0.
+RotationDecision compute_rotation(double bii, double bjj, double bij,
+                                  double threshold = kDefaultThreshold);
+
+/// Applies [x, y] <- [c*x - s*y, s*x + c*y] elementwise.
+void apply_rotation(std::span<double> x, std::span<double> y, double c, double s);
+
+/// Outcome of one column pairing, including the pre-rotation dot products
+/// (used by off-diagonal-norm convergence tests: bij is exactly the (i,j)
+/// entry of V^T A V before this rotation).
+struct PairOutcome {
+  bool rotated = false;
+  double bii = 0.0;
+  double bjj = 0.0;
+  double bij = 0.0;
+};
+
+/// Full pairing of columns i and j of (B, V): compute dots, decide, rotate.
+/// Returns true iff a rotation was applied.
+bool pair_columns(Matrix& b, Matrix& v, std::size_t i, std::size_t j,
+                  double threshold = kDefaultThreshold);
+
+/// Same, operating on raw column spans (the distributed solver owns its
+/// column storage). bi/bj are columns of B; vi/vj the matching columns of V.
+bool pair_columns(std::span<double> bi, std::span<double> bj, std::span<double> vi,
+                  std::span<double> vj, double threshold = kDefaultThreshold);
+
+/// Span variant reporting the pre-rotation dot products.
+PairOutcome pair_columns_stats(std::span<double> bi, std::span<double> bj,
+                               std::span<double> vi, std::span<double> vj,
+                               double threshold = kDefaultThreshold);
+
+}  // namespace jmh::la

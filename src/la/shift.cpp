@@ -1,0 +1,28 @@
+#include "la/shift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace jmh::la {
+
+double gershgorin_radius(const Matrix& a) {
+  JMH_REQUIRE(a.is_square(), "Gershgorin bound needs a square matrix");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) row_sum += std::abs(a(i, j));
+    worst = std::max(worst, row_sum);
+  }
+  return worst;
+}
+
+Matrix add_diagonal_shift(const Matrix& a, double sigma) {
+  JMH_REQUIRE(a.is_square(), "diagonal shift needs a square matrix");
+  Matrix out = a;
+  for (std::size_t i = 0; i < a.rows(); ++i) out(i, i) += sigma;
+  return out;
+}
+
+}  // namespace jmh::la

@@ -1,0 +1,24 @@
+// Spectral shifting for one-sided Jacobi.
+//
+// The one-sided method converges to the SVD, so eigenvalues lambda and
+// -lambda of an indefinite matrix share a singular subspace and cannot be
+// separated. Shifting A -> A + sigma*I with sigma >= rho(A) makes the
+// matrix positive semidefinite: eigenvalues and singular values coincide,
+// magnitude ties can only be genuine eigenvalue ties (harmless -- any
+// orthonormal basis of the eigenspace is correct), and eigenvalues can be
+// recovered as column norms, enabling an eigenvalues-only solver that
+// never touches V.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace jmh::la {
+
+/// Gershgorin bound on the spectral radius: max_i sum_j |a_ij|.
+/// Every eigenvalue of the symmetric matrix lies in [-bound, bound].
+double gershgorin_radius(const Matrix& a);
+
+/// Returns A + sigma*I.
+Matrix add_diagonal_shift(const Matrix& a, double sigma);
+
+}  // namespace jmh::la

@@ -1,0 +1,84 @@
+#include "la/sym_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace jmh::la {
+
+Matrix random_uniform_symmetric(std::size_t n, Xoshiro256& rng) {
+  Matrix a(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r <= c; ++r) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  return a;
+}
+
+Matrix diagonal(const std::vector<double>& d) {
+  Matrix a(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) a(i, i) = d[i];
+  return a;
+}
+
+Matrix tridiag_toeplitz(std::size_t n, double diag, double offdiag) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = diag;
+    if (i + 1 < n) {
+      a(i, i + 1) = offdiag;
+      a(i + 1, i) = offdiag;
+    }
+  }
+  return a;
+}
+
+std::vector<double> tridiag_toeplitz_eigenvalues(std::size_t n, double diag, double offdiag) {
+  std::vector<double> ev(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    ev[k - 1] = diag + 2.0 * offdiag *
+                           std::cos(static_cast<double>(k) * std::numbers::pi /
+                                    (static_cast<double>(n) + 1.0));
+  }
+  std::sort(ev.begin(), ev.end());
+  return ev;
+}
+
+Matrix symmetric_with_spectrum(const std::vector<double>& eigenvalues, Xoshiro256& rng) {
+  const std::size_t n = eigenvalues.size();
+  Matrix a = diagonal(eigenvalues);
+
+  // Apply n random Householder similarity transformations: A <- H A H with
+  // H = I - 2 v v^T, which preserves symmetry and spectrum.
+  std::vector<double> v(n);
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(n, 2); ++rep) {
+    double nrm2 = 0.0;
+    for (auto& x : v) {
+      x = rng.uniform(-1.0, 1.0);
+      nrm2 += x * x;
+    }
+    if (nrm2 == 0.0) continue;
+    const double inv = 1.0 / std::sqrt(nrm2);
+    for (auto& x : v) x *= inv;
+
+    // w = A v; K = v^T A v.
+    std::vector<double> w(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto col = a.col(c);
+      for (std::size_t r = 0; r < n; ++r) w[r] += col[r] * v[c];
+    }
+    const double k = dot(v, w);
+    // H A H = A - 2 v w^T - 2 w v^T + 4 k v v^T.
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t r = 0; r < n; ++r) {
+        a(r, c) += -2.0 * v[r] * w[c] - 2.0 * w[r] * v[c] + 4.0 * k * v[r] * v[c];
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace jmh::la

@@ -1,0 +1,34 @@
+// Symmetric test-matrix generators.
+//
+// random_uniform_symmetric matches the paper's convergence experiment
+// (section 3.4): entries uniform on [-1, 1]. The structured generators have
+// closed-form spectra and are used to validate the eigensolvers.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace jmh::la {
+
+/// Symmetric matrix with entries drawn uniformly from [-1, 1] (the paper's
+/// Table 2 workload).
+Matrix random_uniform_symmetric(std::size_t n, Xoshiro256& rng);
+
+/// Diagonal matrix with the given entries.
+Matrix diagonal(const std::vector<double>& d);
+
+/// Symmetric tridiagonal Toeplitz matrix with diagonal b and off-diagonal a.
+/// Eigenvalues are b + 2a*cos(k*pi/(n+1)), k = 1..n.
+Matrix tridiag_toeplitz(std::size_t n, double diag, double offdiag);
+
+/// Closed-form eigenvalues of tridiag_toeplitz, ascending.
+std::vector<double> tridiag_toeplitz_eigenvalues(std::size_t n, double diag, double offdiag);
+
+/// A = Q D Q^T for a random orthogonal Q (built from random Householder
+/// reflections) and prescribed eigenvalues; validates solvers on matrices
+/// with known spectrum and controllable conditioning.
+Matrix symmetric_with_spectrum(const std::vector<double>& eigenvalues, Xoshiro256& rng);
+
+}  // namespace jmh::la

@@ -1,0 +1,31 @@
+// Collective operations over a Universe's ranks.
+//
+// allreduce/allgather use the recursive-doubling (hypercube butterfly)
+// algorithm when the rank count is a power of two -- the natural pattern on
+// the paper's target topology -- and fall back to a root-relay otherwise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/universe.hpp"
+
+namespace jmh::net {
+
+/// Sum of @p value over all ranks, returned on every rank.
+double allreduce_sum(Comm& comm, double value);
+
+/// Max of @p value over all ranks, returned on every rank.
+double allreduce_max(Comm& comm, double value);
+
+/// Logical AND across ranks (encoded as 0.0/1.0 doubles internally).
+bool allreduce_and(Comm& comm, bool value);
+
+/// Concatenation of every rank's vector in rank order, returned on every
+/// rank. All ranks may contribute different lengths.
+std::vector<double> allgatherv(Comm& comm, std::span<const double> local);
+
+/// Broadcast @p data from @p root to all ranks (returned everywhere).
+std::vector<double> broadcast(Comm& comm, int root, std::span<const double> data);
+
+}  // namespace jmh::net

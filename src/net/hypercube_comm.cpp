@@ -1,0 +1,41 @@
+#include "net/hypercube_comm.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace jmh::net {
+
+namespace {
+
+int require_pow2_dimension(int size) {
+  JMH_REQUIRE(size >= 1 && is_pow2(static_cast<std::uint64_t>(size)),
+              "hypercube overlay requires a power-of-two rank count");
+  return ilog2(static_cast<std::uint64_t>(size));
+}
+
+// Tags are namespaced per dimension so exchanges on different links in
+// flight simultaneously (pipelined schedules) cannot be confused.
+constexpr int kTagBase = 1 << 24;
+int link_tag(cube::Link link, int tag) { return kTagBase + (tag << 6) + link; }
+
+}  // namespace
+
+HypercubeComm::HypercubeComm(Comm& comm)
+    : comm_(&comm), d_(require_pow2_dimension(comm.size())), topo_(d_) {}
+
+Payload HypercubeComm::exchange(cube::Link link, std::span<const double> data, int tag) {
+  JMH_REQUIRE(topo_.valid_link(link), "link out of range");
+  return comm_->sendrecv(static_cast<int>(neighbor(link)), link_tag(link, tag), data);
+}
+
+void HypercubeComm::send(cube::Link link, std::span<const double> data, int tag) {
+  JMH_REQUIRE(topo_.valid_link(link), "link out of range");
+  comm_->send(static_cast<int>(neighbor(link)), link_tag(link, tag), data);
+}
+
+Payload HypercubeComm::recv(cube::Link link, int tag) {
+  JMH_REQUIRE(topo_.valid_link(link), "link out of range");
+  return comm_->recv(static_cast<int>(neighbor(link)), link_tag(link, tag));
+}
+
+}  // namespace jmh::net

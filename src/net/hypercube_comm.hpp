@@ -1,0 +1,40 @@
+// Hypercube overlay on mpi_lite: rank = node label, neighbor exchange along
+// a dimension. This is the communication interface the distributed Jacobi
+// solver is written against -- exactly the operations a multi-port
+// hypercube multicomputer offers (paper section 2.1).
+#pragma once
+
+#include <span>
+
+#include "cube/hypercube.hpp"
+#include "net/universe.hpp"
+
+namespace jmh::net {
+
+class HypercubeComm {
+ public:
+  /// Wraps a Comm whose universe has 2^d ranks.
+  explicit HypercubeComm(Comm& comm);
+
+  int dimension() const noexcept { return d_; }
+  cube::Node node() const noexcept { return static_cast<cube::Node>(comm_->rank()); }
+  Comm& raw() noexcept { return *comm_; }
+
+  /// Neighbor across dimension @p link.
+  cube::Node neighbor(cube::Link link) const { return topo_.neighbor(node(), link); }
+
+  /// Simultaneous exchange with the neighbor across @p link; both sides
+  /// call this with their outgoing data and receive the peer's.
+  Payload exchange(cube::Link link, std::span<const double> data, int tag = 0);
+
+  /// Send to / receive from the neighbor across @p link (one direction).
+  void send(cube::Link link, std::span<const double> data, int tag = 0);
+  Payload recv(cube::Link link, int tag = 0);
+
+ private:
+  Comm* comm_;
+  int d_;
+  cube::Hypercube topo_;
+};
+
+}  // namespace jmh::net

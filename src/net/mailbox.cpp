@@ -1,0 +1,51 @@
+#include "net/mailbox.hpp"
+
+#include <algorithm>
+
+namespace jmh::net {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.source == source && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    const auto poison = std::find_if(queue_.begin(), queue_.end(), [](const Message& m) {
+      return m.source == kPoisonSource;
+    });
+    if (poison != queue_.end()) return *poison;  // copy: left queued for other receivers
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.source == source && m.tag == tag;
+  });
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace jmh::net

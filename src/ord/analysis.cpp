@@ -1,0 +1,79 @@
+#include "ord/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "ord/bounds.hpp"
+
+namespace jmh::ord {
+
+SequenceReport analyze(const LinkSequence& seq) {
+  SequenceReport r;
+  r.e = seq.e();
+  r.length = seq.size();
+  r.alpha = seq.alpha();
+  r.lower_bound = alpha_lower_bound(seq.e());
+  r.alpha_ratio = static_cast<double>(r.alpha) / static_cast<double>(r.lower_bound);
+  r.degree = seq.degree();
+  r.histogram = seq.histogram();
+  const auto [mn, mx] = std::minmax_element(r.histogram.begin(), r.histogram.end());
+  r.balance = *mx == 0 ? 0.0 : static_cast<double>(*mn) / static_cast<double>(*mx);
+  const std::size_t max_q = std::min<std::size_t>(static_cast<std::size_t>(seq.e()), seq.size());
+  r.distinct_fraction.reserve(max_q);
+  for (std::size_t q = 1; q <= max_q; ++q)
+    r.distinct_fraction.push_back(seq.distinct_window_fraction(q));
+  r.valid = seq.is_valid();
+  return r;
+}
+
+std::vector<int> window_max_mult_profile(const LinkSequence& seq, std::size_t max_q) {
+  JMH_REQUIRE(max_q >= 1 && max_q <= seq.size(), "profile window range invalid");
+  std::vector<int> profile;
+  profile.reserve(max_q);
+  for (std::size_t q = 1; q <= max_q; ++q) {
+    int worst = 0;
+    for (const auto& w : seq.window_stats(q)) worst = std::max(worst, w.max_mult);
+    profile.push_back(worst);
+  }
+  return profile;
+}
+
+double mean_distinct_links(const LinkSequence& seq, std::size_t q) {
+  const auto stats = seq.window_stats(q);
+  double total = 0.0;
+  for (const auto& w : stats) total += w.distinct;
+  return total / static_cast<double>(stats.size());
+}
+
+std::string render_report(const SequenceReport& r, const std::string& title) {
+  std::ostringstream os;
+  os << title << " (e = " << r.e << ", K = " << r.length << ")\n";
+  os << "  alpha          : " << r.alpha << "  (lower bound " << r.lower_bound << ", ratio "
+     << r.alpha_ratio << ")\n";
+  os << "  degree         : " << r.degree << "\n";
+  os << "  histogram      :";
+  for (int h : r.histogram) os << ' ' << h;
+  os << "\n  balance        : " << r.balance << "\n";
+  os << "  distinct-window:";
+  for (double f : r.distinct_fraction) os << ' ' << f;
+  os << "\n  valid e-seq    : " << (r.valid ? "yes" : "NO") << "\n";
+  return os.str();
+}
+
+std::string compare_orderings(int e) {
+  std::ostringstream os;
+  os << "phase e = " << e << "\n";
+  os << "ordering      alpha  ratio  degree  balance\n";
+  for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4,
+                    OrderingKind::MinAlpha}) {
+    if (kind == OrderingKind::Degree4 && e < 4) continue;
+    const SequenceReport r = analyze(make_exchange_sequence(kind, e));
+    os << "  " << to_string(kind);
+    for (std::size_t pad = to_string(kind).size(); pad < 12; ++pad) os << ' ';
+    os << r.alpha << "  " << r.alpha_ratio << "  " << r.degree << "  " << r.balance << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jmh::ord

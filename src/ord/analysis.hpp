@@ -1,0 +1,47 @@
+// Quantitative analysis of exchange-phase sequences.
+//
+// Gathers in one report the figures of merit the paper reasons with --
+// alpha (deep-pipelining cost driver, section 3.1), degree and
+// distinct-window fractions (shallow-pipelining cost drivers, Definition
+// 2), histogram balance (the objective of the permuted-BR transformations)
+// -- plus windowed profiles used by the ablation benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ord/ordering.hpp"
+
+namespace jmh::ord {
+
+struct SequenceReport {
+  int e = 0;
+  std::size_t length = 0;
+  int alpha = 0;
+  std::uint64_t lower_bound = 0;
+  double alpha_ratio = 0.0;  ///< alpha / lower_bound
+  int degree = 0;
+  std::vector<int> histogram;          ///< per-link multiplicity
+  double balance = 0.0;                ///< min/max histogram entry (1 = perfectly even)
+  std::vector<double> distinct_fraction;  ///< index q-1: fraction of distinct length-q windows, q = 1..e
+  bool valid = false;                  ///< e-sequence (Hamiltonian path) check
+};
+
+/// Full report for one sequence.
+SequenceReport analyze(const LinkSequence& seq);
+
+/// Worst max-multiplicity over all length-q windows, for q = 1..max_q.
+/// Lower is better; an ideal sequence has ceil(q/e).
+std::vector<int> window_max_mult_profile(const LinkSequence& seq, std::size_t max_q);
+
+/// Mean number of distinct links per length-q window: the expected
+/// communication parallelism at shallow pipelining degree q.
+double mean_distinct_links(const LinkSequence& seq, std::size_t q);
+
+/// Renders a report as an aligned text block (used by examples/tools).
+std::string render_report(const SequenceReport& report, const std::string& title);
+
+/// Side-by-side comparison of the four orderings' sequences for phase e.
+std::string compare_orderings(int e);
+
+}  // namespace jmh::ord

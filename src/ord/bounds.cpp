@@ -1,0 +1,30 @@
+#include "ord/bounds.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace jmh::ord {
+
+std::uint64_t alpha_lower_bound(int e) {
+  JMH_REQUIRE(e >= 1 && e <= 62, "e out of range");
+  return ceil_div((std::uint64_t{1} << e) - 1, static_cast<std::uint64_t>(e));
+}
+
+std::uint64_t br_alpha(int e) {
+  JMH_REQUIRE(e >= 1 && e <= 62, "e out of range");
+  return std::uint64_t{1} << (e - 1);
+}
+
+double permuted_br_alpha_bound(int e) {
+  JMH_REQUIRE(e >= 2, "bound defined for e >= 2");
+  const double p2e = std::ldexp(1.0, e);        // 2^e
+  const double p2e2 = std::ldexp(1.0, e - 2);   // 2^{e-2}
+  const double em1 = static_cast<double>(e - 1);
+  return p2e / em1 + p2e2 / em1 - p2e / (em1 * em1);
+}
+
+double permuted_br_asymptotic_ratio() { return 1.25; }
+
+}  // namespace jmh::ord

@@ -1,0 +1,25 @@
+// Lower bounds and the permuted-BR analytic alpha bound (paper 3.1 + appendix).
+#pragma once
+
+#include <cstdint>
+
+namespace jmh::ord {
+
+/// Minimum possible alpha of any e-sequence: ceil((2^e - 1) / e).
+/// Every link in [0, e) must appear at least once in a Hamiltonian path's
+/// link sequence (otherwise the path would stay inside a proper subcube),
+/// and the 2^e - 1 elements are spread over e links (paper section 3.1).
+std::uint64_t alpha_lower_bound(int e);
+
+/// alpha of D_e^BR: link 0 appears in every other position, 2^{e-1} times.
+std::uint64_t br_alpha(int e);
+
+/// Appendix Theorem 2 upper bound on alpha(D_e^p-BR), exact when e-1 is a
+/// power of two:
+///     alpha <= 2^e/(e-1) + 2^{e-2}/(e-1) - 2^e/(e-1)^2
+double permuted_br_alpha_bound(int e);
+
+/// Appendix Theorem 3: the ratio bound/lower-bound tends to 1.25 as e grows.
+double permuted_br_asymptotic_ratio();
+
+}  // namespace jmh::ord

@@ -1,0 +1,23 @@
+#include "ord/br.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace jmh::ord {
+
+LinkSequence br_sequence(int e) {
+  JMH_REQUIRE(e >= 1 && e <= cube::Hypercube::kMaxDimension, "e out of range");
+  const std::uint64_t n = (std::uint64_t{1} << e) - 1;
+  std::vector<Link> links;
+  links.reserve(n);
+  for (std::uint64_t t = 1; t <= n; ++t) links.push_back(br_link_at(t));
+  return LinkSequence(std::move(links), e);
+}
+
+Link br_link_at(std::uint64_t t) {
+  JMH_REQUIRE(t >= 1, "transition index is 1-based");
+  return std::countr_zero(t);
+}
+
+}  // namespace jmh::ord

@@ -1,0 +1,25 @@
+// The Block-Recursive (BR) ordering's exchange-phase sequences (paper 2.3.1).
+//
+//   D_1^BR = <0>
+//   D_i^BR = <D_{i-1}^BR, i-1, D_{i-1}^BR>        for 1 < i <= e
+//
+// e.g. D_4^BR = <010201030102010>. D_e^BR is exactly the binary-reflected
+// Gray-code link order (link used at step t is the number of trailing ones
+// of t-1... equivalently ctz(t) for t = 1..2^e-1), and is an e-sequence.
+//
+// Its alpha is 2^{e-1} (link 0 appears in every other position), which is
+// why communication pipelining can speed BR up by at most 2x (section 2.4).
+#pragma once
+
+#include "ord/sequence.hpp"
+
+namespace jmh::ord {
+
+/// Generates D_e^BR. Precondition: 1 <= e <= Hypercube::kMaxDimension.
+LinkSequence br_sequence(int e);
+
+/// Link used by the t-th BR transition (t in [1, 2^e - 1]) without
+/// materializing the sequence: the number of trailing zeros of t.
+Link br_link_at(std::uint64_t t);
+
+}  // namespace jmh::ord

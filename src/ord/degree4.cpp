@@ -1,0 +1,33 @@
+#include "ord/degree4.hpp"
+
+#include "common/assert.hpp"
+
+namespace jmh::ord {
+
+std::vector<Link> degree4_building_block(int i) {
+  JMH_REQUIRE(i >= 3 && i < cube::Hypercube::kMaxDimension, "E_i defined for i >= 3");
+  std::vector<Link> cur = {0, 1, 2, 3, 0, 1, 2};  // E_3
+  for (int level = 4; level <= i; ++level) {
+    std::vector<Link> next;
+    next.reserve(cur.size() * 2 + 1);
+    next.insert(next.end(), cur.begin(), cur.end());
+    next.push_back(level);
+    next.insert(next.end(), cur.begin(), cur.end());
+    cur = std::move(next);
+  }
+  JMH_CHECK(cur.size() == (std::size_t{1} << i) - 1, "E_i length mismatch");
+  return cur;
+}
+
+LinkSequence degree4_sequence(int e) {
+  JMH_REQUIRE(e >= 4 && e <= cube::Hypercube::kMaxDimension, "degree-4 ordering needs e >= 4");
+  const std::vector<Link> block = degree4_building_block(e - 1);
+  std::vector<Link> links;
+  links.reserve(block.size() * 2 + 1);
+  links.insert(links.end(), block.begin(), block.end());
+  links.push_back(1);
+  links.insert(links.end(), block.begin(), block.end());
+  return LinkSequence(std::move(links), e);
+}
+
+}  // namespace jmh::ord

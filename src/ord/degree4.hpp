@@ -1,0 +1,25 @@
+// The degree-4 ordering's sequences D_e^D4 (paper section 3.3).
+//
+//   E_3 = <0123012>
+//   E_i = <E_{i-1}, i, E_{i-1}>         for 4 <= i < e
+//   D_e^D4 = <E_{e-1}, 1, E_{e-1}>      for e >= 4
+//
+// e.g. D_5^D4 = <0123012401230121012301240123012>. Almost every length-4
+// window of D_e^D4 consists of four distinct links (only the four windows
+// straddling the central "1" repeat one), so shallow communication
+// pipelining achieves close to a 4x reduction of the bandwidth term.
+// Theorem 1 of the paper shows D_e^D4 is an e-sequence.
+#pragma once
+
+#include "ord/sequence.hpp"
+
+namespace jmh::ord {
+
+/// Generates E_i (i >= 3), the building block of D_e^D4. Length 2^i - 1,
+/// links in [0, i].
+std::vector<Link> degree4_building_block(int i);
+
+/// Generates D_e^D4. Precondition: 4 <= e <= Hypercube::kMaxDimension.
+LinkSequence degree4_sequence(int e);
+
+}  // namespace jmh::ord

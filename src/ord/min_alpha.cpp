@@ -1,0 +1,101 @@
+#include "ord/min_alpha.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+#include "ord/bounds.hpp"
+
+namespace jmh::ord {
+
+LinkSequence paper_min_alpha_sequence(int e) {
+  // Verbatim from paper section 3.1.
+  switch (e) {
+    case 2:
+      return sequence_from_string("010", 2);
+    case 3:
+      return sequence_from_string("0102101", 3);
+    case 4:
+      return sequence_from_string("010203212303121", 4);
+    case 5:
+      return sequence_from_string("0102010301021412321230323414323", 5);
+    case 6:
+      return sequence_from_string(
+          "010201030102010401021312521312432313234350542453542414345254345", 6);
+    default:
+      JMH_REQUIRE(false, "paper min-alpha sequences exist only for e in [2,6]");
+  }
+  // unreachable
+  return LinkSequence({0}, 1);
+}
+
+namespace {
+
+struct SearchState {
+  int e;
+  int bound;
+  std::uint64_t node_budget;  // 0 = unlimited
+  std::uint64_t nodes = 0;
+  bool budget_hit = false;
+  std::uint64_t visited = 0;  // bitmask over 2^e nodes (e <= 6 fits in u64)
+  std::vector<int> used;      // per-link multiplicity so far
+  std::vector<cube::Link> seq;
+  int capacity_slack = 0;     // e*bound - (2^e - 1) minus overuse consumed
+
+  bool dfs(cube::Node cur, std::size_t remaining) {
+    if (remaining == 0) return true;
+    if (node_budget != 0 && nodes >= node_budget) {
+      budget_hit = true;
+      return false;
+    }
+    ++nodes;
+    for (cube::Link l = 0; l < e; ++l) {
+      if (used[static_cast<std::size_t>(l)] >= bound) continue;
+      const cube::Node next = cur ^ (cube::Node{1} << l);
+      const std::uint64_t bit = std::uint64_t{1} << next;
+      if (visited & bit) continue;
+      visited |= bit;
+      ++used[static_cast<std::size_t>(l)];
+      seq.push_back(l);
+      if (dfs(next, remaining - 1)) return true;
+      seq.pop_back();
+      --used[static_cast<std::size_t>(l)];
+      visited &= ~bit;
+      if (budget_hit) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+MinAlphaSearchResult find_sequence_with_alpha(int e, int bound, std::uint64_t node_budget) {
+  JMH_REQUIRE(e >= 1 && e <= 6, "search supports e <= 6 (visited set is a 64-bit mask)");
+  JMH_REQUIRE(bound >= 1, "bound must be positive");
+
+  SearchState st;
+  st.e = e;
+  st.bound = bound;
+  st.node_budget = node_budget;
+  st.used.assign(static_cast<std::size_t>(e), 0);
+  const std::size_t steps = (std::size_t{1} << e) - 1;
+  st.seq.reserve(steps);
+  st.visited = 1;  // start at node 0 (vertex-transitive, WLOG)
+
+  MinAlphaSearchResult result;
+  const bool found = st.dfs(0, steps);
+  result.nodes_expanded = st.nodes;
+  result.exhausted = !st.budget_hit;
+  if (found) result.sequence = LinkSequence(st.seq, e);
+  return result;
+}
+
+std::optional<LinkSequence> search_min_alpha(int e, std::uint64_t node_budget) {
+  const int lb = static_cast<int>(alpha_lower_bound(e));
+  for (int bound = lb; bound <= static_cast<int>((std::uint64_t{1} << e) - 1); ++bound) {
+    const auto r = find_sequence_with_alpha(e, bound, node_budget);
+    if (r.sequence) return r.sequence;
+    if (!r.exhausted) return std::nullopt;  // ran out of budget: no proof
+  }
+  return std::nullopt;
+}
+
+}  // namespace jmh::ord

@@ -1,0 +1,47 @@
+// The minimum-alpha ordering (paper section 3.1).
+//
+// Minimizing the deep-pipelining kernel cost e*Ts + alpha*S*Tw means finding
+// a Hamiltonian path of the e-cube whose link sequence has minimum alpha
+// (maximum per-link multiplicity). Any e-sequence of length 2^e - 1 using e
+// link identifiers has alpha >= ceil((2^e - 1) / e); finding a path that
+// attains the minimum is NP-hard, so the paper solved it only for e < 7.
+//
+// This module provides (a) the paper's published min-alpha sequences for
+// e = 2..6 and (b) a branch-and-bound search that reconstructs optimal
+// sequences for small e, exploiting the very tight slack
+// e*ceil((2^e-1)/e) - (2^e-1) for pruning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ord/sequence.hpp"
+
+namespace jmh::ord {
+
+/// The min-alpha sequences published in the paper (e in [2, 6]).
+LinkSequence paper_min_alpha_sequence(int e);
+
+/// Largest e for which paper_min_alpha_sequence is available.
+constexpr int kMaxPaperMinAlphaE = 6;
+
+/// Result of a bounded search for a Hamiltonian path with per-link
+/// multiplicity <= bound.
+struct MinAlphaSearchResult {
+  std::optional<LinkSequence> sequence;  ///< found sequence, if any
+  bool exhausted = false;   ///< true if the search space was fully explored
+  std::uint64_t nodes_expanded = 0;
+};
+
+/// Branch-and-bound: find an e-sequence with alpha <= @p bound, expanding at
+/// most @p node_budget search nodes (0 = unlimited). If `exhausted` is true
+/// and no sequence was found, no such sequence exists.
+MinAlphaSearchResult find_sequence_with_alpha(int e, int bound,
+                                              std::uint64_t node_budget = 0);
+
+/// Searches for a provably minimum-alpha e-sequence by trying increasing
+/// bounds starting at the lower bound ceil((2^e-1)/e). Returns nullopt if
+/// the node budget is exhausted before a proof is complete.
+std::optional<LinkSequence> search_min_alpha(int e, std::uint64_t node_budget = 50'000'000);
+
+}  // namespace jmh::ord

@@ -1,0 +1,122 @@
+#include "ord/ordering.hpp"
+
+#include "common/assert.hpp"
+#include "ord/br.hpp"
+#include "ord/degree4.hpp"
+#include "ord/min_alpha.hpp"
+#include "ord/permuted_br.hpp"
+
+namespace jmh::ord {
+
+std::string to_string(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::BR: return "BR";
+    case OrderingKind::PermutedBR: return "permuted-BR";
+    case OrderingKind::Degree4: return "degree-4";
+    case OrderingKind::MinAlpha: return "min-alpha";
+    case OrderingKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+LinkSequence make_exchange_sequence(OrderingKind kind, int e) {
+  JMH_REQUIRE(e >= 1, "exchange phase index must be >= 1");
+  JMH_REQUIRE(kind != OrderingKind::Custom,
+              "custom orderings supply their own sequences");
+  switch (kind) {
+    case OrderingKind::BR:
+      return br_sequence(e);
+    case OrderingKind::PermutedBR:
+      return e >= 2 ? permuted_br_sequence(e) : br_sequence(e);
+    case OrderingKind::Degree4:
+      // D_e^D4 needs e >= 4; the small phases are the cheapest part of the
+      // sweep, so BR there has negligible cost impact (paper makes the same
+      // simplification for permuted-BR's small phases, section 4 footnote).
+      return e >= 4 ? degree4_sequence(e) : br_sequence(e);
+    case OrderingKind::MinAlpha:
+      return e >= 2 && e <= kMaxPaperMinAlphaE ? paper_min_alpha_sequence(e)
+             : e >= 2                          ? permuted_br_sequence(e)
+                                               : br_sequence(e);
+  }
+  JMH_REQUIRE(false, "unknown ordering kind");
+  return br_sequence(e);
+}
+
+JacobiOrdering::JacobiOrdering(OrderingKind kind, int d) : kind_(kind), d_(d) {
+  JMH_REQUIRE(d >= 1 && d <= cube::Hypercube::kMaxDimension, "cube dimension out of range");
+  JMH_REQUIRE(kind != OrderingKind::Custom,
+              "use the sequence constructor for custom orderings");
+
+  sequences_.reserve(static_cast<std::size_t>(d));
+  for (int e = 1; e <= d; ++e) sequences_.push_back(make_exchange_sequence(kind, e));
+  build_sweep_skeleton();
+}
+
+JacobiOrdering::JacobiOrdering(std::vector<LinkSequence> sequences)
+    : kind_(OrderingKind::Custom),
+      d_(static_cast<int>(sequences.size())),
+      sequences_(std::move(sequences)) {
+  JMH_REQUIRE(d_ >= 1 && d_ <= cube::Hypercube::kMaxDimension,
+              "need one sequence per phase e = 1..d");
+  for (int e = 1; e <= d_; ++e) {
+    const LinkSequence& seq = sequences_[static_cast<std::size_t>(e - 1)];
+    JMH_REQUIRE(seq.e() == e, "sequences must be ordered by phase: sequences[e-1] is D_e");
+    JMH_REQUIRE(seq.is_valid(), "custom sequence is not a Hamiltonian path of its e-cube");
+  }
+  build_sweep_skeleton();
+}
+
+void JacobiOrdering::build_sweep_skeleton() {
+  const int d = d_;
+  // Build the base (sweep 0) transition list and phase table.
+  base_transitions_.reserve(steps_per_sweep());
+  for (int e = d; e >= 1; --e) {
+    const LinkSequence& seq = exchange_sequence(e);
+    PhaseInfo ex;
+    ex.type = PhaseInfo::Type::Exchange;
+    ex.e = e;
+    ex.first_step = base_transitions_.size();
+    ex.num_steps = seq.size();
+    phases_.push_back(ex);
+    for (Link l : seq.links()) base_transitions_.push_back({l, /*division=*/false});
+
+    PhaseInfo div;
+    div.type = PhaseInfo::Type::Division;
+    div.first_step = base_transitions_.size();
+    div.num_steps = 1;
+    phases_.push_back(div);
+    base_transitions_.push_back({e - 1, /*division=*/true});
+  }
+  PhaseInfo last;
+  last.type = PhaseInfo::Type::LastTransition;
+  last.first_step = base_transitions_.size();
+  last.num_steps = 1;
+  phases_.push_back(last);
+  base_transitions_.push_back({d - 1, /*division=*/false});
+
+  JMH_CHECK(base_transitions_.size() == steps_per_sweep(),
+            "sweep must have 2^{d+1}-1 transitions");
+}
+
+const LinkSequence& JacobiOrdering::exchange_sequence(int e) const {
+  JMH_REQUIRE(e >= 1 && e <= d_, "phase index out of range");
+  return sequences_[static_cast<std::size_t>(e - 1)];
+}
+
+Link JacobiOrdering::sweep_link_map(int sweep, Link logical) const {
+  JMH_REQUIRE(sweep >= 0, "sweep must be non-negative");
+  JMH_REQUIRE(logical >= 0 && logical < d_, "link out of range");
+  // sigma_s(i) = (i - s) mod d, by unrolling sigma_s(i) = sigma_{s-1}(i) - 1 mod d.
+  const int s = sweep % d_;
+  return (logical - s % d_ + d_) % d_;
+}
+
+std::vector<Transition> JacobiOrdering::sweep_transitions(int sweep) const {
+  std::vector<Transition> out = base_transitions_;
+  if (sweep % d_ != 0) {
+    for (auto& t : out) t.link = sweep_link_map(sweep, t.link);
+  }
+  return out;
+}
+
+}  // namespace jmh::ord

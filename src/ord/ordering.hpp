@@ -1,0 +1,111 @@
+// Full-sweep Jacobi orderings for a d-cube (paper sections 2.3.1 and 3).
+//
+// The m columns of A and U are grouped into 2^{d+1} blocks, two per node
+// (one FIXED, one MOBILE). A sweep consists of 2^{d+1} - 1 steps; in each
+// step every node pairs the columns of its two resident blocks, then
+// performs one transition. The transition structure (reconstructed from the
+// paper's description of the Block-Recursive scheme; see DESIGN.md note 1):
+//
+//   for e = d down to 1:
+//     exchange phase e: the 2^e - 1 transitions of sequence D_e; each is a
+//       MOBILE <-> MOBILE exchange with the neighbor across the given link,
+//       so the mobile block walks a Hamiltonian path of its e-subcube and
+//       meets every fixed block of that subcube;
+//     division transition across link e-1: ASYMMETRIC -- the node with
+//       bit e-1 == 0 sends its mobile block and receives the neighbor's
+//       fixed block; the neighbor sends its fixed block and receives the
+//       mobile. Former-fixed blocks gather on the 0 side, former-mobiles on
+//       the 1 side, and in both cases the received block becomes the new
+//       mobile. This splits the all-pairs problem into two independent
+//       half-size instances that recurse in the two (e-1)-subcubes.
+//   last transition across link d-1 (mobile exchange; repositions blocks
+//     for the next sweep).
+//
+// Orderings differ only in the family of exchange sequences {D_e}:
+//   BR          -> D_e^BR
+//   PermutedBR  -> D_e^p-BR
+//   Degree4     -> D_e^D4 (e >= 4), falling back to D_e^BR for e <= 3
+//   MinAlpha    -> paper's D_e^min-alpha (e <= 6), falling back to D_e^p-BR
+//
+// Between sweeps the link identifiers are rotated (paper 2.3.1):
+// sigma_0 = id, sigma_s(i) = (sigma_{s-1}(i) - 1) mod d.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ord/sequence.hpp"
+
+namespace jmh::ord {
+
+enum class OrderingKind {
+  BR,
+  PermutedBR,
+  Degree4,
+  MinAlpha,
+  Custom,  ///< user-supplied sequences (JacobiOrdering sequence constructor)
+};
+
+std::string to_string(OrderingKind kind);
+
+/// One transition of the sweep schedule.
+struct Transition {
+  Link link = 0;          ///< physical dimension crossed
+  bool division = false;  ///< asymmetric division semantics (see above)
+};
+
+/// Phase descriptor, used by the cost models (pipelining applies to
+/// exchange phases only).
+struct PhaseInfo {
+  enum class Type { Exchange, Division, LastTransition };
+  Type type = Type::Exchange;
+  int e = 0;                   ///< phase index for exchange phases; 0 otherwise
+  std::size_t first_step = 0;  ///< index of the first step of this phase
+  std::size_t num_steps = 0;   ///< steps (== transitions) in this phase
+};
+
+class JacobiOrdering {
+ public:
+  /// Ordering for a d-cube, d >= 1.
+  JacobiOrdering(OrderingKind kind, int d);
+
+  /// Custom ordering from user-supplied exchange sequences, one per phase
+  /// e = 1..d in that order (sequences[e-1] must be an e-sequence; every
+  /// sequence is validated as a Hamiltonian path of its e-cube). Any
+  /// family accepted here yields a correct sweep -- the division/last-
+  /// transition skeleton does not depend on the D_e choice.
+  explicit JacobiOrdering(std::vector<LinkSequence> sequences);
+
+  OrderingKind kind() const noexcept { return kind_; }
+  int dimension() const noexcept { return d_; }
+  std::size_t num_blocks() const noexcept { return std::size_t{2} << d_; }
+  std::size_t steps_per_sweep() const noexcept { return (std::size_t{2} << d_) - 1; }
+
+  /// Exchange sequence used in phase e (1 <= e <= d), before the inter-sweep
+  /// link rotation.
+  const LinkSequence& exchange_sequence(int e) const;
+
+  /// Phase decomposition of one sweep (independent of the sweep number).
+  const std::vector<PhaseInfo>& phases() const noexcept { return phases_; }
+
+  /// Full transition list for sweep @p sweep (0-based), with sigma_sweep
+  /// applied to all link identifiers. Size == steps_per_sweep().
+  std::vector<Transition> sweep_transitions(int sweep) const;
+
+  /// sigma_s(i): physical link for logical link i during sweep s.
+  Link sweep_link_map(int sweep, Link logical) const;
+
+ private:
+  void build_sweep_skeleton();
+
+  OrderingKind kind_;
+  int d_;
+  std::vector<LinkSequence> sequences_;  // index e-1 -> D_e
+  std::vector<Transition> base_transitions_;
+  std::vector<PhaseInfo> phases_;
+};
+
+/// Chooses the D_e family for a kind (exposed for tests and cost models).
+LinkSequence make_exchange_sequence(OrderingKind kind, int e);
+
+}  // namespace jmh::ord

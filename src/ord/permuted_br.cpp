@@ -1,0 +1,127 @@
+#include "ord/permuted_br.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+#include "ord/br.hpp"
+
+namespace jmh::ord {
+
+LinkPermutation::LinkPermutation(int e) : map_(static_cast<std::size_t>(e)) {
+  JMH_REQUIRE(e >= 1, "permutation size must be positive");
+  std::iota(map_.begin(), map_.end(), 0);
+}
+
+LinkPermutation LinkPermutation::base_transposition(int e, int k) {
+  JMH_REQUIRE(e >= 2, "base transposition needs e >= 2");
+  JMH_REQUIRE(k >= 0, "transformation level must be non-negative");
+  LinkPermutation p(e);
+  const int L = (e - 1) >> k;
+  JMH_REQUIRE(L >= 1, "transformation level too deep for this e");
+  for (int i = 0; i < L; ++i) p.map_[static_cast<std::size_t>(i)] = L - 1 - i;
+  return p;
+}
+
+Link LinkPermutation::operator()(Link l) const {
+  JMH_REQUIRE(l >= 0 && l < size(), "link out of permutation domain");
+  return map_[static_cast<std::size_t>(l)];
+}
+
+LinkPermutation operator*(const LinkPermutation& a, const LinkPermutation& b) {
+  JMH_REQUIRE(a.size() == b.size(), "permutation size mismatch");
+  LinkPermutation out(a.size());
+  for (int x = 0; x < b.size(); ++x)
+    out.map_[static_cast<std::size_t>(x)] = a(b(x));
+  return out;
+}
+
+LinkPermutation LinkPermutation::inverse() const {
+  LinkPermutation out(size());
+  for (int x = 0; x < size(); ++x)
+    out.map_[static_cast<std::size_t>(map_[static_cast<std::size_t>(x)])] = x;
+  return out;
+}
+
+LinkPermutation LinkPermutation::conjugated_by(const LinkPermutation& phi) const {
+  return phi * (*this) * phi.inverse();
+}
+
+bool LinkPermutation::is_identity() const {
+  for (int x = 0; x < size(); ++x)
+    if (map_[static_cast<std::size_t>(x)] != x) return false;
+  return true;
+}
+
+int permuted_br_num_transformations(int e) {
+  JMH_REQUIRE(e >= 2, "permuted-BR needs e >= 2");
+  return ilog2(static_cast<std::uint64_t>(e - 1));
+}
+
+namespace {
+
+// Shared construction: returns the final sequence links and (optionally
+// observed) per-subsequence permutations. Subsequence j at level k occupies
+// positions [j*B, j*B + B - 2], B = 2^(e-k-1); positions j*B - 1 hold the
+// separator links, which no transformation touches.
+struct PbrConstruction {
+  std::vector<Link> links;
+  // applied[k][j] = permutation applied at level k to subsequence j
+  // (identity for even j).
+  std::vector<std::vector<LinkPermutation>> applied;
+};
+
+PbrConstruction build_pbr(int e) {
+  JMH_REQUIRE(e >= 2 && e <= cube::Hypercube::kMaxDimension, "e out of range for permuted-BR");
+  PbrConstruction out{br_sequence(e).links(), {}};
+  const int S = permuted_br_num_transformations(e);
+
+  // phi[j]: composition (application order) of permutations applied so far
+  // to enclosing subsequences of the current-level subsequence j.
+  std::vector<LinkPermutation> phi(1, LinkPermutation(e));
+
+  for (int k = 0; k < S; ++k) {
+    // Refine granularity: each level-(k-1) subsequence splits in two.
+    std::vector<LinkPermutation> next_phi;
+    next_phi.reserve(phi.size() * 2);
+    for (const auto& p : phi) {
+      next_phi.push_back(p);
+      next_phi.push_back(p);
+    }
+    phi = std::move(next_phi);
+
+    const LinkPermutation base = LinkPermutation::base_transposition(e, k);
+    const std::size_t block = std::size_t{1} << (e - k - 1);
+    const std::size_t count = phi.size();  // == 2^{k+1}
+    JMH_CHECK(count * block - 1 == out.links.size(), "subsequence partition mismatch");
+
+    std::vector<LinkPermutation> level_applied(count, LinkPermutation(e));
+    for (std::size_t j = 1; j < count; j += 2) {
+      const LinkPermutation sigma = base.conjugated_by(phi[j]);
+      const std::size_t begin = j * block;
+      const std::size_t end = begin + block - 1;  // exclusive; skips separator
+      for (std::size_t p = begin; p < end; ++p)
+        out.links[p] = sigma(out.links[p]);
+      phi[j] = sigma * phi[j];
+      level_applied[j] = sigma;
+    }
+    out.applied.push_back(std::move(level_applied));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinkSequence permuted_br_sequence(int e) {
+  return LinkSequence(build_pbr(e).links, e);
+}
+
+LinkPermutation permuted_br_subsequence_permutation(int e, int k, int j) {
+  const auto c = build_pbr(e);
+  JMH_REQUIRE(k >= 0 && k < static_cast<int>(c.applied.size()), "level out of range");
+  const auto& level = c.applied[static_cast<std::size_t>(k)];
+  JMH_REQUIRE(j >= 0 && j < static_cast<int>(level.size()), "subsequence index out of range");
+  return level[static_cast<std::size_t>(j)];
+}
+
+}  // namespace jmh::ord

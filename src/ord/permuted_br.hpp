@@ -1,0 +1,68 @@
+// The permuted-BR ordering's sequences D_e^p-BR (paper section 3.2).
+//
+// D_e^p-BR is obtained from D_e^BR by floor(log2(e-1)) link-permutation
+// transformations. Transformation k (k = 0..floor(log2(e-1))-1) applies a
+// permutation to every other (e-k-1)-subsequence of the current sequence,
+// starting at the second one. The base permutation for the second
+// (e-k-1)-subsequence is the set of transpositions
+//
+//     i  <->  L - 1 - i     for i in [0, L-1],  L = floor((e-1) / 2^k)
+//
+// (it pairs the most frequent link with the least frequent one, the second
+// most frequent with the second least, and so on). The permutation for any
+// later odd subsequence is obtained by *compounding* with the permutations
+// previously applied to its enclosing subsequences, which works out to the
+// conjugation sigma_j = Phi_j . base_k . Phi_j^{-1}, where Phi_j is the
+// composition (in application order) of every permutation applied to a
+// subsequence that contains subsequence j.
+//
+// By Property 1 each transformation preserves e-sequence-ness, so D_e^p-BR
+// is always a valid exchange-phase sequence; the transformations only
+// rebalance the link-multiplicity histogram, driving alpha towards the
+// lower bound ceil((2^e-1)/e) (asymptotically 1.25x it, appendix Thm 2/3).
+#pragma once
+
+#include "ord/sequence.hpp"
+
+namespace jmh::ord {
+
+/// A permutation of link identifiers [0, e).
+class LinkPermutation {
+ public:
+  /// Identity permutation on e links.
+  explicit LinkPermutation(int e);
+
+  /// The transformation-k base permutation: i <-> L-1-i, L = floor((e-1)/2^k).
+  static LinkPermutation base_transposition(int e, int k);
+
+  int size() const noexcept { return static_cast<int>(map_.size()); }
+  Link operator()(Link l) const;
+
+  /// Composition: (a * b)(x) = a(b(x)).
+  friend LinkPermutation operator*(const LinkPermutation& a, const LinkPermutation& b);
+
+  LinkPermutation inverse() const;
+
+  /// Conjugation phi . *this . phi^{-1}.
+  LinkPermutation conjugated_by(const LinkPermutation& phi) const;
+
+  bool is_identity() const;
+
+ private:
+  std::vector<Link> map_;
+};
+
+/// Generates D_e^p-BR. Precondition: 2 <= e <= Hypercube::kMaxDimension.
+/// For e = 2 no transformation applies (floor(log2(1)) = 0) and the result
+/// equals D_2^BR.
+LinkSequence permuted_br_sequence(int e);
+
+/// Number of transformations applied for phase e: floor(log2(e-1)).
+int permuted_br_num_transformations(int e);
+
+/// The permutation applied to subsequence @p j (odd) at level @p k during
+/// the construction of D_e^p-BR, exposed for tests/analysis. Enclosure
+/// bookkeeping matches permuted_br_sequence exactly.
+LinkPermutation permuted_br_subsequence_permutation(int e, int k, int j);
+
+}  // namespace jmh::ord

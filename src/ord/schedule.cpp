@@ -1,0 +1,125 @@
+#include "ord/schedule.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace jmh::ord {
+
+BlockTracker::BlockTracker(int d) : d_(d) {
+  JMH_REQUIRE(d >= 0 && d <= 20, "block tracker dimension out of range");
+  const std::uint64_t n = num_nodes();
+  fixed_.resize(n);
+  mobile_.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    fixed_[i] = static_cast<BlockId>(2 * i);
+    mobile_[i] = static_cast<BlockId>(2 * i + 1);
+  }
+}
+
+BlockId BlockTracker::fixed_block(Node n) const {
+  JMH_REQUIRE(n < num_nodes(), "node out of range");
+  return fixed_[n];
+}
+
+BlockId BlockTracker::mobile_block(Node n) const {
+  JMH_REQUIRE(n < num_nodes(), "node out of range");
+  return mobile_[n];
+}
+
+Node BlockTracker::locate(BlockId b) const {
+  JMH_REQUIRE(b < num_blocks(), "block out of range");
+  for (Node n = 0; n < num_nodes(); ++n)
+    if (fixed_[n] == b || mobile_[n] == b) return n;
+  JMH_CHECK(false, "block not found -- tracker state corrupted");
+  return 0;
+}
+
+void BlockTracker::apply(const Transition& t) {
+  JMH_REQUIRE(t.link >= 0 && t.link < d_, "transition link out of range");
+  const Node bit = Node{1} << t.link;
+  for (Node a = 0; a < num_nodes(); ++a) {
+    if (a & bit) continue;  // handle each neighbor pair once, from the 0 side
+    const Node b = a | bit;
+    if (!t.division) {
+      std::swap(mobile_[a], mobile_[b]);
+    } else {
+      const BlockId a_mobile = mobile_[a];
+      const BlockId b_fixed = fixed_[b];
+      const BlockId b_mobile = mobile_[b];
+      // a keeps its fixed, receives b's fixed as new mobile.
+      mobile_[a] = b_fixed;
+      // b keeps its mobile (as new fixed), receives a's mobile as new mobile.
+      fixed_[b] = b_mobile;
+      mobile_[b] = a_mobile;
+    }
+  }
+}
+
+std::vector<std::vector<Meeting>> run_sweep(const JacobiOrdering& ordering, int sweep,
+                                            BlockTracker& tracker) {
+  JMH_REQUIRE(tracker.dimension() == ordering.dimension(), "tracker/ordering dimension mismatch");
+  const auto transitions = ordering.sweep_transitions(sweep);
+  std::vector<std::vector<Meeting>> steps;
+  steps.reserve(transitions.size());
+  for (const Transition& t : transitions) {
+    std::vector<Meeting> step;
+    step.reserve(tracker.num_nodes());
+    for (Node n = 0; n < tracker.num_nodes(); ++n)
+      step.push_back({n, tracker.fixed_block(n), tracker.mobile_block(n)});
+    steps.push_back(std::move(step));
+    tracker.apply(t);
+  }
+  return steps;
+}
+
+SweepVerification verify_all_pairs_once(const JacobiOrdering& ordering, int sweep,
+                                        BlockTracker tracker) {
+  const std::uint64_t nblocks = tracker.num_blocks();
+  std::vector<int> met(nblocks * nblocks, 0);
+  const auto steps = run_sweep(ordering, sweep, tracker);
+
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    for (const Meeting& m : steps[s]) {
+      const BlockId lo = std::min(m.fixed, m.mobile);
+      const BlockId hi = std::max(m.fixed, m.mobile);
+      if (lo == hi) {
+        std::ostringstream os;
+        os << "sweep " << sweep << " step " << s << ": node " << m.node
+           << " holds block " << lo << " in both slots";
+        return {false, os.str()};
+      }
+      int& count = met[lo * nblocks + hi];
+      if (++count > 1) {
+        std::ostringstream os;
+        os << "sweep " << sweep << " step " << s << ": blocks (" << lo << ',' << hi
+           << ") meet more than once";
+        return {false, os.str()};
+      }
+    }
+  }
+  for (BlockId i = 0; i < nblocks; ++i) {
+    for (BlockId j = i + 1; j < nblocks; ++j) {
+      if (met[i * nblocks + j] != 1) {
+        std::ostringstream os;
+        os << "sweep " << sweep << ": blocks (" << i << ',' << j << ") never meet";
+        return {false, os.str()};
+      }
+    }
+  }
+  return {true, {}};
+}
+
+SweepVerification verify_sweeps(const JacobiOrdering& ordering, int num_sweeps) {
+  BlockTracker tracker(ordering.dimension());
+  for (int s = 0; s < num_sweeps; ++s) {
+    auto result = verify_all_pairs_once(ordering, s, tracker);
+    if (!result.ok) return result;
+    // Advance the live tracker through the sweep so the next one starts from
+    // the real end-of-sweep placement.
+    run_sweep(ordering, s, tracker);
+  }
+  return {true, {}};
+}
+
+}  // namespace jmh::ord

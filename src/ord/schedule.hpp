@@ -1,0 +1,82 @@
+// Executable block schedule for a sweep, and its correctness verification.
+//
+// Tracks which block each node holds in its FIXED and MOBILE slots as the
+// transitions of a JacobiOrdering are applied, and verifies the paper's
+// correctness criterion: over one sweep, every unordered pair of the
+// 2^{d+1} blocks is co-resident on some node during exactly one step.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cube/hypercube.hpp"
+#include "ord/ordering.hpp"
+
+namespace jmh::ord {
+
+using cube::Node;
+
+using BlockId = std::uint32_t;
+
+/// Live block placement: two slots per node.
+class BlockTracker {
+ public:
+  /// Initial placement on a d-cube: node n holds blocks 2n (fixed) and
+  /// 2n+1 (mobile).
+  explicit BlockTracker(int d);
+
+  int dimension() const noexcept { return d_; }
+  std::uint64_t num_nodes() const noexcept { return std::uint64_t{1} << d_; }
+  std::uint64_t num_blocks() const noexcept { return std::uint64_t{2} << d_; }
+
+  BlockId fixed_block(Node n) const;
+  BlockId mobile_block(Node n) const;
+
+  /// Node currently holding block @p b (in either slot).
+  Node locate(BlockId b) const;
+
+  /// Applies one transition simultaneously at every node.
+  ///
+  /// Exchange across link l: each node swaps mobile blocks with its
+  /// neighbor. Division across link l: the bit-l==0 node sends its mobile
+  /// and receives the neighbor's fixed; the bit-l==1 node sends its fixed
+  /// and receives the neighbor's mobile; on both sides the received block
+  /// becomes the new mobile and the kept block the new fixed.
+  void apply(const Transition& t);
+
+ private:
+  int d_;
+  std::vector<BlockId> fixed_;
+  std::vector<BlockId> mobile_;
+};
+
+/// One step's meeting at one node.
+struct Meeting {
+  Node node;
+  BlockId fixed;
+  BlockId mobile;
+};
+
+/// All meetings of sweep @p sweep of @p ordering, step by step, starting
+/// from the placement @p tracker (which is advanced through the sweep).
+std::vector<std::vector<Meeting>> run_sweep(const JacobiOrdering& ordering, int sweep,
+                                            BlockTracker& tracker);
+
+/// Verification outcome for verify_all_pairs_once.
+struct SweepVerification {
+  bool ok = false;
+  std::string error;  ///< human-readable description of the first violation
+};
+
+/// Checks that during sweep @p sweep (starting from @p tracker's placement)
+/// every unordered pair of blocks meets exactly once.
+SweepVerification verify_all_pairs_once(const JacobiOrdering& ordering, int sweep,
+                                        BlockTracker tracker);
+
+/// Convenience: verifies sweeps [0, num_sweeps) chained from the initial
+/// placement, i.e. including the inter-sweep link rotation sigma_s.
+SweepVerification verify_sweeps(const JacobiOrdering& ordering, int num_sweeps);
+
+}  // namespace jmh::ord

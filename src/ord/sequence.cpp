@@ -1,0 +1,118 @@
+#include "ord/sequence.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace jmh::ord {
+
+LinkSequence::LinkSequence(std::vector<Link> links, int e) : links_(std::move(links)), e_(e) {
+  JMH_REQUIRE(e >= 1 && e <= cube::Hypercube::kMaxDimension, "phase index e out of range");
+  JMH_REQUIRE(links_.size() == (std::size_t{1} << e) - 1,
+              "sequence length must be 2^e - 1");
+  for (Link l : links_)
+    JMH_REQUIRE(l >= 0 && l < e, "link id outside [0, e)");
+}
+
+int LinkSequence::alpha() const {
+  const auto h = histogram();
+  return *std::max_element(h.begin(), h.end());
+}
+
+std::vector<int> LinkSequence::histogram() const {
+  std::vector<int> h(static_cast<std::size_t>(e_), 0);
+  for (Link l : links_) ++h[static_cast<std::size_t>(l)];
+  return h;
+}
+
+bool LinkSequence::is_valid() const { return cube::is_e_sequence(links_, e_); }
+
+std::vector<WindowStats> LinkSequence::window_stats(std::size_t q) const {
+  JMH_REQUIRE(q >= 1 && q <= links_.size(), "window length out of range");
+  std::vector<WindowStats> out;
+  out.reserve(links_.size() - q + 1);
+
+  std::vector<int> count(static_cast<std::size_t>(e_), 0);
+  int distinct = 0;
+  // Multiplicity histogram-of-histogram: mult_count[m] = #links with
+  // multiplicity m in the current window; lets us maintain max_mult in O(1)
+  // amortized on slide.
+  std::vector<int> mult_count(q + 1, 0);
+  int max_mult = 0;
+
+  auto add = [&](Link l) {
+    auto& c = count[static_cast<std::size_t>(l)];
+    if (c == 0) ++distinct;
+    if (c > 0) --mult_count[static_cast<std::size_t>(c)];
+    ++c;
+    ++mult_count[static_cast<std::size_t>(c)];
+    max_mult = std::max(max_mult, c);
+  };
+  auto remove = [&](Link l) {
+    auto& c = count[static_cast<std::size_t>(l)];
+    --mult_count[static_cast<std::size_t>(c)];
+    --c;
+    if (c == 0) --distinct;
+    if (c > 0) ++mult_count[static_cast<std::size_t>(c)];
+    while (max_mult > 0 && mult_count[static_cast<std::size_t>(max_mult)] == 0) --max_mult;
+  };
+
+  for (std::size_t i = 0; i < q; ++i) add(links_[i]);
+  out.push_back({distinct, max_mult});
+  for (std::size_t i = q; i < links_.size(); ++i) {
+    remove(links_[i - q]);
+    add(links_[i]);
+    out.push_back({distinct, max_mult});
+  }
+  return out;
+}
+
+double LinkSequence::distinct_window_fraction(std::size_t q) const {
+  const auto stats = window_stats(q);
+  std::size_t distinct_windows = 0;
+  for (const auto& w : stats)
+    if (w.max_mult == 1) ++distinct_windows;
+  return static_cast<double>(distinct_windows) / static_cast<double>(stats.size());
+}
+
+int LinkSequence::degree() const {
+  // Largest n with a strict-majority of pairwise-distinct length-n windows.
+  // Any window longer than e must repeat a link, so n <= e.
+  int deg = 0;
+  const std::size_t max_n = std::min<std::size_t>(static_cast<std::size_t>(e_), links_.size());
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    if (distinct_window_fraction(n) > 0.5)
+      deg = static_cast<int>(n);
+    else
+      break;
+  }
+  return deg;
+}
+
+std::string LinkSequence::to_string() const {
+  std::string s;
+  s.reserve(links_.size());
+  for (Link l : links_) {
+    if (l < 10) {
+      s.push_back(static_cast<char>('0' + l));
+    } else {
+      s.push_back('[');
+      s += std::to_string(l);
+      s.push_back(']');
+    }
+  }
+  return s;
+}
+
+LinkSequence sequence_from_string(const std::string& digits, int e) {
+  std::vector<Link> links;
+  links.reserve(digits.size());
+  for (char c : digits) {
+    JMH_REQUIRE(c >= '0' && c <= '9', "sequence string must be decimal digits");
+    links.push_back(c - '0');
+  }
+  return LinkSequence(std::move(links), e);
+}
+
+}  // namespace jmh::ord

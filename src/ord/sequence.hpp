@@ -1,0 +1,81 @@
+// LinkSequence: an exchange-phase link sequence D_e and its figures of merit.
+//
+// An exchange phase e of a BR-style sweep performs 2^e - 1 transitions; the
+// sequence of link (dimension) identifiers used is D_e. The paper
+// characterizes sequences by:
+//
+//  * alpha (section 3.1): the maximum number of repetitions of any one link
+//    in the sequence. Under deep communication pipelining every kernel stage
+//    costs e*Ts + alpha*S*Tw, so alpha alone determines the bandwidth term.
+//
+//  * degree (Definition 2): n such that the majority of length-n windows
+//    consist of pairwise-distinct links but the majority of length-(n+1)
+//    windows do not. Under shallow pipelining with degree Q, each stage uses
+//    a length-Q window of D_e, so the degree bounds the usable communication
+//    parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/path.hpp"
+
+namespace jmh::ord {
+
+using cube::Link;
+
+/// Multiplicity statistics of one sliding window of a sequence.
+struct WindowStats {
+  int distinct = 0;  ///< number of distinct links in the window
+  int max_mult = 0;  ///< maximum multiplicity of any link in the window
+};
+
+class LinkSequence {
+ public:
+  LinkSequence() = default;
+
+  /// Wraps a raw link sequence for exchange phase @p e. Validates that all
+  /// links lie in [0, e) and that the length is 2^e - 1.
+  LinkSequence(std::vector<Link> links, int e);
+
+  int e() const noexcept { return e_; }
+  std::size_t size() const noexcept { return links_.size(); }
+  const std::vector<Link>& links() const noexcept { return links_; }
+  Link operator[](std::size_t i) const { return links_[i]; }
+
+  /// Maximum number of repetitions of any single link (paper's alpha).
+  int alpha() const;
+
+  /// Per-link multiplicity histogram, indexed by link id (size e).
+  std::vector<int> histogram() const;
+
+  /// True iff the sequence is an e-sequence (Hamiltonian path of the e-cube).
+  bool is_valid() const;
+
+  /// Stats for every length-q sliding window, computed incrementally in
+  /// O(size) total. Result has size() - q + 1 entries. Precondition:
+  /// 1 <= q <= size().
+  std::vector<WindowStats> window_stats(std::size_t q) const;
+
+  /// Fraction of length-q windows whose elements are pairwise distinct.
+  double distinct_window_fraction(std::size_t q) const;
+
+  /// Paper Definition 2: largest n such that the majority (>1/2) of length-n
+  /// windows have pairwise-distinct elements. D_e^BR has degree 2; D_e^D4 has
+  /// degree 4 (for e > 3).
+  int degree() const;
+
+  /// Render as a compact digit/letter string like the paper ("0102010");
+  /// links >= 10 are printed in brackets, e.g. "[12]".
+  std::string to_string() const;
+
+ private:
+  std::vector<Link> links_;
+  int e_ = 0;
+};
+
+/// Parses a compact digit string ("0102010") into a sequence for phase e.
+LinkSequence sequence_from_string(const std::string& digits, int e);
+
+}  // namespace jmh::ord

@@ -1,0 +1,145 @@
+#include "pipe/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+#include "pipe/optimizer.hpp"
+
+namespace jmh::pipe {
+
+std::uint64_t ProblemParams::q_max() const {
+  const double c = columns_per_block();
+  JMH_REQUIRE(c >= 1.0, "matrix too small for this cube: fewer than 1 column per block");
+  return static_cast<std::uint64_t>(c);
+}
+
+double phase_cost_unpipelined(std::uint64_t k, double step_elems, const MachineParams& machine) {
+  return static_cast<double>(k) * transition_cost(machine, step_elems);
+}
+
+double phase_cost_pipelined(const ord::LinkSequence& seq, std::uint64_t q, double step_elems,
+                            const MachineParams& machine) {
+  JMH_REQUIRE(q >= 1, "pipelining degree must be >= 1");
+  const std::uint64_t k = seq.size();
+  const double packet = step_elems / static_cast<double>(q);
+
+  if (q <= k) {
+    const PipelineSchedule sched(seq, q);
+    double total = 0.0;
+    for (const auto& s : sched.stages())
+      total += comm_op_cost(machine, s.distinct, s.max_mult, s.window_len, packet);
+    return total;
+  }
+
+  // Deep mode, closed form over prologue/epilogue prefixes/suffixes plus the
+  // aggregated kernel. The prologue/epilogue have K-1 stages regardless of Q.
+  const auto& links = seq.links();
+  const int e = seq.e();
+  double total = 0.0;
+  {
+    std::vector<int> count(static_cast<std::size_t>(e), 0);
+    int distinct = 0, max_mult = 0;
+    for (std::uint64_t j = 1; j < k; ++j) {  // prefix of length j
+      int& c = count[static_cast<std::size_t>(links[j - 1])];
+      if (c == 0) ++distinct;
+      ++c;
+      max_mult = std::max(max_mult, c);
+      total += comm_op_cost(machine, distinct, max_mult, static_cast<int>(j), packet);
+    }
+  }
+  {
+    std::vector<int> count(static_cast<std::size_t>(e), 0);
+    int distinct = 0, max_mult = 0;
+    for (std::uint64_t j = 1; j < k; ++j) {  // suffix of length j
+      int& c = count[static_cast<std::size_t>(links[k - j])];
+      if (c == 0) ++distinct;
+      ++c;
+      max_mult = std::max(max_mult, c);
+      total += comm_op_cost(machine, distinct, max_mult, static_cast<int>(j), packet);
+    }
+  }
+  {
+    std::vector<int> count(static_cast<std::size_t>(e), 0);
+    int distinct = 0;
+    for (ord::Link l : links) {
+      if (count[static_cast<std::size_t>(l)]++ == 0) ++distinct;
+    }
+    const int alpha = seq.alpha();
+    const double kernel_stages = static_cast<double>(q - k + 1);
+    total += kernel_stages *
+             comm_op_cost(machine, distinct, alpha, static_cast<int>(k), packet);
+  }
+  return total;
+}
+
+double phase_cost_ideal(int e, std::uint64_t q, double step_elems, const MachineParams& machine) {
+  JMH_REQUIRE(e >= 1, "phase index must be >= 1");
+  JMH_REQUIRE(q >= 1, "pipelining degree must be >= 1");
+  const std::uint64_t k = (std::uint64_t{1} << e) - 1;
+  const double packet = step_elems / static_cast<double>(q);
+
+  auto window_cost = [&](std::uint64_t w) {
+    const int distinct = static_cast<int>(std::min<std::uint64_t>(w, static_cast<std::uint64_t>(e)));
+    const int mult = static_cast<int>(ceil_div(w, static_cast<std::uint64_t>(e)));
+    return comm_op_cost(machine, distinct, mult, static_cast<int>(w), packet);
+  };
+
+  const std::uint64_t window = std::min(q, k);
+  double total = 0.0;
+  for (std::uint64_t j = 1; j < window; ++j) total += 2.0 * window_cost(j);  // prologue+epilogue
+  if (q <= k) {
+    total += static_cast<double>(k - q + 1) * window_cost(q);
+  } else {
+    total += static_cast<double>(q - k + 1) * window_cost(k);
+  }
+  return total;
+}
+
+double sweep_cost_unpipelined(const ProblemParams& prob, const MachineParams& machine) {
+  const std::uint64_t steps = (std::uint64_t{2} << prob.d) - 1;
+  return static_cast<double>(steps) * transition_cost(machine, prob.step_message_elems());
+}
+
+namespace {
+
+// Shared sweep accumulator: per exchange phase pick optimal Q; divisions and
+// the last transition are plain full-size transitions.
+template <typename PhaseOpt>
+SweepCost accumulate_sweep(const ProblemParams& prob, const MachineParams& machine,
+                           PhaseOpt&& phase_opt) {
+  SweepCost out;
+  const double s = prob.step_message_elems();
+  const std::uint64_t q_max = prob.q_max();
+  for (int e = prob.d; e >= 1; --e) {
+    const OptimalQ best = phase_opt(e, s, q_max);
+    out.total += best.cost;
+    out.q.push_back(best.q);
+    out.deep.push_back(best.deep);
+    out.phase_cost.push_back(best.cost);
+  }
+  // d division transitions + 1 last transition.
+  out.overhead = static_cast<double>(prob.d + 1) * transition_cost(machine, s);
+  out.total += out.overhead;
+  return out;
+}
+
+}  // namespace
+
+SweepCost sweep_cost_pipelined(ord::OrderingKind kind, const ProblemParams& prob,
+                               const MachineParams& machine) {
+  return accumulate_sweep(prob, machine,
+                          [&](int e, double s, std::uint64_t q_max) {
+                            const ord::LinkSequence seq = ord::make_exchange_sequence(kind, e);
+                            return find_optimal_q(seq, s, machine, q_max);
+                          });
+}
+
+SweepCost sweep_cost_lower_bound(const ProblemParams& prob, const MachineParams& machine) {
+  return accumulate_sweep(prob, machine,
+                          [&](int e, double s, std::uint64_t q_max) {
+                            return find_optimal_q_ideal(e, s, machine, q_max);
+                          });
+}
+
+}  // namespace jmh::pipe

@@ -1,0 +1,73 @@
+// Analytical communication-cost model for full sweeps (paper section 4).
+//
+// Reproduces the evaluation methodology behind Figure 2: communication cost
+// of one sweep of the one-sided Jacobi CC-cube algorithm on a d-cube with
+// m x m matrices, for a given ordering, with and without communication
+// pipelining, plus a lower bound.
+//
+// Message size: a transition exchanges one block of A and the matching
+// block of U, i.e. S = 2 * m * (m / 2^{d+1}) = m^2 / 2^d elements
+// (DESIGN.md note 6). The pipelining degree Q is bounded by the number of
+// packets a step's computation can be split into, i.e. the columns per
+// block: Qmax = m / 2^{d+1}.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "ord/ordering.hpp"
+#include "pipe/machine.hpp"
+#include "pipe/pipelining.hpp"
+
+namespace jmh::pipe {
+
+/// Problem-instance geometry shared by the cost functions.
+struct ProblemParams {
+  int d = 3;          ///< hypercube dimension
+  double m = 1024.0;  ///< matrix order (double: fig. 2 uses m up to 2^32)
+
+  double columns_per_block() const { return m / std::ldexp(1.0, d + 1); }
+  /// Elements exchanged per transition (block of A + block of U).
+  double step_message_elems() const { return 2.0 * m * columns_per_block(); }
+  /// Maximum pipelining degree (packets = columns).
+  std::uint64_t q_max() const;
+};
+
+/// Communication cost of one exchange phase executed without pipelining:
+/// K transitions of a full-size message.
+double phase_cost_unpipelined(std::uint64_t k, double step_elems, const MachineParams& machine);
+
+/// Communication cost of one exchange phase pipelined with degree @p q.
+/// Uses the explicit stage schedule in shallow mode and a closed form in
+/// deep mode (prologue/epilogue enumerated, kernel aggregated), so it is
+/// safe for arbitrarily large q.
+double phase_cost_pipelined(const ord::LinkSequence& seq, std::uint64_t q, double step_elems,
+                            const MachineParams& machine);
+
+/// Idealized per-phase lower bound: a hypothetical sequence whose every
+/// length-w window has min(w, e) distinct links and ceil(w / e) maximum
+/// multiplicity (perfectly balanced link usage).
+double phase_cost_ideal(int e, std::uint64_t q, double step_elems, const MachineParams& machine);
+
+/// Result of a sweep-level cost evaluation.
+struct SweepCost {
+  double total = 0.0;            ///< communication cost of one sweep
+  std::vector<std::uint64_t> q;  ///< chosen Q per exchange phase e = d..1
+  std::vector<bool> deep;        ///< whether phase e = d..1 ran in deep mode
+  std::vector<double> phase_cost;  ///< cost per exchange phase e = d..1
+  double overhead = 0.0;           ///< divisions + last transition
+};
+
+/// Sweep cost without pipelining (the baseline "BR Algorithm" curve of
+/// fig. 2 -- identical for every ordering since all transitions are
+/// full-size nearest-neighbor messages).
+double sweep_cost_unpipelined(const ProblemParams& prob, const MachineParams& machine);
+
+/// Sweep cost for @p kind with per-phase optimal pipelining degree.
+SweepCost sweep_cost_pipelined(ord::OrderingKind kind, const ProblemParams& prob,
+                               const MachineParams& machine);
+
+/// Sweep-level lower bound (idealized sequences, optimal Q per phase).
+SweepCost sweep_cost_lower_bound(const ProblemParams& prob, const MachineParams& machine);
+
+}  // namespace jmh::pipe

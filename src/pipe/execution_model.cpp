@@ -1,0 +1,41 @@
+#include "pipe/execution_model.hpp"
+
+namespace jmh::pipe {
+
+double sweep_compute_time(const ProblemParams& prob, const ExecutionParams& exec) {
+  // m(m-1)/2 pairings per sweep, spread over 2^d nodes; each pairing costs
+  // ops_per_element_pair * m flops.
+  const double pairings_per_node = prob.m * (prob.m - 1.0) / 2.0 / std::ldexp(1.0, prob.d);
+  return pairings_per_node * exec.ops_per_element_pair * prob.m * exec.t_flop;
+}
+
+double sequential_sweep_time(double m, const ExecutionParams& exec) {
+  return m * (m - 1.0) / 2.0 * exec.ops_per_element_pair * m * exec.t_flop;
+}
+
+ExecutionReport sweep_execution(ord::OrderingKind kind, const ProblemParams& prob,
+                                const ExecutionParams& exec) {
+  ExecutionReport r;
+  r.compute = sweep_compute_time(prob, exec);
+  r.comm = sweep_cost_pipelined(kind, prob, exec.machine).total;
+  r.total = r.compute + r.comm;
+  r.comm_fraction = r.comm / r.total;
+  return r;
+}
+
+ExecutionReport sweep_execution_unpipelined(const ProblemParams& prob,
+                                            const ExecutionParams& exec) {
+  ExecutionReport r;
+  r.compute = sweep_compute_time(prob, exec);
+  r.comm = sweep_cost_unpipelined(prob, exec.machine);
+  r.total = r.compute + r.comm;
+  r.comm_fraction = r.comm / r.total;
+  return r;
+}
+
+double sweep_speedup(ord::OrderingKind kind, const ProblemParams& prob,
+                     const ExecutionParams& exec) {
+  return sequential_sweep_time(prob.m, exec) / sweep_execution(kind, prob, exec).total;
+}
+
+}  // namespace jmh::pipe

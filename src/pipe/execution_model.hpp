@@ -1,0 +1,58 @@
+// Whole-algorithm execution-time model: computation + communication.
+//
+// Figure 2 of the paper plots communication cost alone; the companion
+// paper [9] chooses the pipelining degree to minimize *execution* time.
+// Computation is invariant under pipelining (the same rotations happen,
+// only packetized), so the communication-optimal Q is also
+// execution-optimal under this model, and the interesting derived numbers
+// are end-to-end speedups: how much of the eigensolver's runtime the
+// ordering choice actually moves for a given flop rate.
+//
+// Work accounting: pairing columns (i, j) costs three m-element dot
+// products plus two m-element plane rotations on B and on V -- about
+// kOpsPerElementPair ~ 14 flops per row element. One sweep performs
+// m(m-1)/2 pairings evenly spread over the 2^d nodes.
+#pragma once
+
+#include "pipe/cost_model.hpp"
+
+namespace jmh::pipe {
+
+struct ExecutionParams {
+  MachineParams machine;
+  /// Time per floating-point operation, in the same unit as ts/tw. The
+  /// paper's fig. 2 uses Ts = 1000, Tw = 100 "time units"; t_flop ~ 1-10
+  /// spans 1990s-realistic flop:word-transfer ratios.
+  double t_flop = 1.0;
+  double ops_per_element_pair = 14.0;
+};
+
+struct ExecutionReport {
+  double compute = 0.0;
+  double comm = 0.0;
+  double total = 0.0;
+  double comm_fraction = 0.0;
+};
+
+/// Per-sweep computation time of one node (the critical path: all nodes do
+/// the same work per step).
+double sweep_compute_time(const ProblemParams& prob, const ExecutionParams& exec);
+
+/// One sweep of the distributed algorithm with ordering @p kind:
+/// computation plus optimally-pipelined communication.
+ExecutionReport sweep_execution(ord::OrderingKind kind, const ProblemParams& prob,
+                                const ExecutionParams& exec);
+
+/// One sweep with unpipelined communication (any BR-style ordering).
+ExecutionReport sweep_execution_unpipelined(const ProblemParams& prob,
+                                            const ExecutionParams& exec);
+
+/// Sequential single-node sweep time (no communication): baseline for
+/// parallel speedup.
+double sequential_sweep_time(double m, const ExecutionParams& exec);
+
+/// End-to-end parallel speedup of one sweep vs the sequential baseline.
+double sweep_speedup(ord::OrderingKind kind, const ProblemParams& prob,
+                     const ExecutionParams& exec);
+
+}  // namespace jmh::pipe

@@ -1,0 +1,30 @@
+#include "pipe/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jmh::pipe {
+
+double comm_op_cost(const MachineParams& machine, int distinct, int max_mult, int total_mult,
+                    double packet_elems) {
+  JMH_REQUIRE(distinct >= 0 && max_mult >= 0 && total_mult >= max_mult, "bad multiplicities");
+  JMH_REQUIRE(packet_elems >= 0.0, "negative packet size");
+  if (distinct == 0) return 0.0;
+  double serial_mult;
+  if (machine.all_port()) {
+    serial_mult = static_cast<double>(max_mult);
+  } else if (machine.ports == 1) {
+    serial_mult = static_cast<double>(total_mult);
+  } else {
+    JMH_REQUIRE(machine.ports > 0, "port count must be positive or kAllPort");
+    serial_mult = std::max(static_cast<double>(max_mult),
+                           std::ceil(static_cast<double>(total_mult) / machine.ports));
+  }
+  return distinct * machine.ts + serial_mult * packet_elems * machine.tw;
+}
+
+double transition_cost(const MachineParams& machine, double elems) {
+  return comm_op_cost(machine, 1, 1, 1, elems);
+}
+
+}  // namespace jmh::pipe

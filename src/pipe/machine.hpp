@@ -1,0 +1,42 @@
+// Machine model for the communication cost analysis (paper sections 2.1, 3.1
+// and ref. [9]).
+//
+// A node sending messages through n distinct links in one communication
+// operation pays:
+//   * n * ts       -- startups are issued by the node processor and
+//                     serialize even on an all-port architecture (this is
+//                     the "e*Ts" term of the paper's kernel-stage cost);
+//   * transmission -- messages travelling on different links proceed in
+//                     parallel up to the port count; messages sharing a link
+//                     are packed into one message (paper footnote 2) and
+//                     serialize, giving the "alpha*S*Tw" term.
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace jmh::pipe {
+
+struct MachineParams {
+  double ts = 1000.0;  ///< startup time per message (paper's Ts; fig. 2 uses 1000)
+  double tw = 100.0;   ///< transfer time per matrix element (paper's Tw; fig. 2 uses 100)
+  int ports = kAllPort;
+
+  static constexpr int kAllPort = -1;  ///< every link usable simultaneously
+
+  bool all_port() const noexcept { return ports == kAllPort; }
+};
+
+/// Cost of one communication operation in which a node sends, for each link
+/// i of a set of @p distinct links, a packed message of @p mult_i packets of
+/// @p packet_elems elements. Only the two aggregate statistics matter:
+///   all-port:  distinct*ts + max_mult*packet_elems*tw
+///   one-port:  distinct*ts + total_mult*packet_elems*tw
+///   k-port:    distinct*ts + max(max_mult, ceil(total/k))*packet_elems*tw
+double comm_op_cost(const MachineParams& machine, int distinct, int max_mult, int total_mult,
+                    double packet_elems);
+
+/// Cost of a plain (unpipelined) transition: one message of @p elems
+/// elements through one link.
+double transition_cost(const MachineParams& machine, double elems);
+
+}  // namespace jmh::pipe

@@ -1,0 +1,143 @@
+#include "pipe/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+#include "pipe/cost_model.hpp"
+
+namespace jmh::pipe {
+
+namespace {
+
+// Candidate shallow pipelining degrees: exhaustive for small Q where the
+// cost landscape is jagged, then progressively sparser (powers of two,
+// multiples of e, K itself). The window statistics of the generated
+// sequences are near-periodic in the link count, so these candidates track
+// every local optimum that matters.
+std::set<std::uint64_t> shallow_candidates(std::uint64_t k, int e, std::uint64_t q_max) {
+  std::set<std::uint64_t> qs;
+  const std::uint64_t cap = std::min(k, q_max);
+  for (std::uint64_t q = 1; q <= std::min<std::uint64_t>(cap, 4 * static_cast<std::uint64_t>(e) + 8); ++q)
+    qs.insert(q);
+  for (std::uint64_t q = 1; q <= cap; q *= 2) {
+    qs.insert(q);
+    if (q + 1 <= cap) qs.insert(q + 1);
+    if (q > 1) qs.insert(q - 1);
+  }
+  for (std::uint64_t mult = 1; mult * static_cast<std::uint64_t>(e) <= cap; mult *= 2) {
+    qs.insert(mult * static_cast<std::uint64_t>(e));
+  }
+  qs.insert(cap);
+  return qs;
+}
+
+}  // namespace
+
+OptimalQ find_optimal_q(const ord::LinkSequence& seq, double step_elems,
+                        const MachineParams& machine, std::uint64_t q_max) {
+  JMH_REQUIRE(q_max >= 1, "q_max must be >= 1");
+  const std::uint64_t k = seq.size();
+
+  OptimalQ best;
+  best.q = 1;
+  best.cost = phase_cost_pipelined(seq, 1, step_elems, machine);
+  best.deep = false;
+
+  auto consider = [&](std::uint64_t q) {
+    if (q < 1 || q > q_max) return;
+    const double c = phase_cost_pipelined(seq, q, step_elems, machine);
+    if (c < best.cost) {
+      best.q = q;
+      best.cost = c;
+      best.deep = q > k;
+    }
+  };
+
+  for (std::uint64_t q : shallow_candidates(k, seq.e(), q_max)) consider(q);
+
+  if (q_max > k) {
+    // Deep mode closed form: cost(Q) = A + B*Q + C/Q with
+    //   B = kernel stage startup slope = distinct * ts
+    //   C = (prologue+epilogue multiplicity sum + alpha*(K-1)) * S * tw-ish.
+    // Rather than re-deriving the constants, evaluate two probe points and
+    // solve for B and C (A is irrelevant for the argmin Q* = sqrt(C/B)).
+    const std::uint64_t qa = k + 1;
+    const std::uint64_t qb = std::min<std::uint64_t>(q_max, 4 * k + 7);
+    consider(qa);
+    consider(qb);
+    if (qb > qa + 1) {
+      const double fa = phase_cost_pipelined(seq, qa, step_elems, machine);
+      const double fb = phase_cost_pipelined(seq, qb, step_elems, machine);
+      const double a = static_cast<double>(qa), b = static_cast<double>(qb);
+      // Solve fa = A + B a + C/a, fb = A + B b + C/b for B, C using a third
+      // probe to eliminate A.
+      const std::uint64_t qc = (qa + qb) / 2;
+      const double fc = phase_cost_pipelined(seq, qc, step_elems, machine);
+      const double c0 = static_cast<double>(qc);
+      // Linear system in (A, B, C):
+      const double m1[3] = {1.0, a, 1.0 / a};
+      const double m2[3] = {1.0, b, 1.0 / b};
+      const double m3[3] = {1.0, c0, 1.0 / c0};
+      // Eliminate A: r1 = m2-m1, r2 = m3-m1.
+      const double r1b = m2[1] - m1[1], r1c = m2[2] - m1[2], r1f = fb - fa;
+      const double r2b = m3[1] - m1[1], r2c = m3[2] - m1[2], r2f = fc - fa;
+      const double det = r1b * r2c - r2b * r1c;
+      if (std::abs(det) > 1e-12) {
+        const double bcoef = (r1f * r2c - r2f * r1c) / det;
+        const double ccoef = (r1b * r2f - r2b * r1f) / det;
+        if (bcoef > 0.0 && ccoef > 0.0) {
+          const double qstar = std::sqrt(ccoef / bcoef);
+          const auto qlo = static_cast<std::uint64_t>(std::floor(qstar));
+          for (std::uint64_t q : {qlo, qlo + 1, qlo + 2}) {
+            if (q > k) consider(std::min(q, q_max));
+          }
+        }
+      }
+    }
+    consider(q_max);
+  }
+  return best;
+}
+
+OptimalQ find_optimal_q_ideal(int e, double step_elems, const MachineParams& machine,
+                              std::uint64_t q_max) {
+  JMH_REQUIRE(q_max >= 1, "q_max must be >= 1");
+  const std::uint64_t k = (std::uint64_t{1} << e) - 1;
+
+  OptimalQ best;
+  best.q = 1;
+  best.cost = phase_cost_ideal(e, 1, step_elems, machine);
+  best.deep = false;
+
+  auto consider = [&](std::uint64_t q) {
+    if (q < 1 || q > q_max) return;
+    const double c = phase_cost_ideal(e, q, step_elems, machine);
+    if (c < best.cost) {
+      best.q = q;
+      best.cost = c;
+      best.deep = q > k;
+    }
+  };
+
+  for (std::uint64_t q : shallow_candidates(k, e, q_max)) consider(q);
+  if (q_max > k) {
+    // The ideal deep cost is cost(Q) = A + (e*ts)*Q + (ceil(K/e)*S*tw*(K-1))*(1/Q)
+    // up to prologue/epilogue constants; probe around the analytic optimum.
+    const double bcoef = static_cast<double>(e) * machine.ts;
+    const double ccoef = static_cast<double>(ceil_div(k, static_cast<std::uint64_t>(e))) *
+                         step_elems * machine.tw * static_cast<double>(k - 1) /
+                         static_cast<double>(k);
+    const double qstar = std::sqrt(std::max(1.0, ccoef / bcoef));
+    const auto qlo = static_cast<std::uint64_t>(std::floor(qstar));
+    for (std::uint64_t q : {qlo, qlo + 1, qlo + 2})
+      if (q > k) consider(std::min(q, q_max));
+    consider(k + 1);
+    consider(q_max);
+  }
+  return best;
+}
+
+}  // namespace jmh::pipe

@@ -1,0 +1,62 @@
+// Communication pipelining of a CC-cube exchange phase (paper section 2.4,
+// after Diaz de Cerio, Gonzalez & Valero-Garcia, PPL 1996 [9]).
+//
+// The original exchange phase iterates K = 2^e - 1 times: compute, then send
+// one message through link D_e[t]. Pipelining splits each iteration's
+// computation into Q packets and overlaps iterations so that each *stage*
+// sends several packets at once through different links:
+//
+//   shallow mode (Q <= K): stage windows slide over D_e --
+//     prologue  stage j (j = 1..Q-1): links D_e[0 .. j-1]
+//     kernel    stage i (i = 0..K-Q): links D_e[i .. i+Q-1]
+//     epilogue  stage j (j = Q-1..1): links D_e[K-j .. K-1]
+//
+//   deep mode (Q > K): prologue/epilogue have K-1 stages (prefixes/suffixes
+//     of D_e) and the kernel has Q-K+1 stages, each using all K links of
+//     D_e (distinct links = e, max multiplicity = alpha).
+//
+// Every stage sends one packet (of the step message split Q ways) per
+// window element; packets sharing a link travel as one packed message.
+// Total packets moved per phase is exactly K*Q, which we assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ord/sequence.hpp"
+
+namespace jmh::pipe {
+
+/// One pipelined stage's communication, summarized by the window stats the
+/// cost model needs.
+struct Stage {
+  enum class Part { Prologue, Kernel, Epilogue };
+  Part part = Part::Kernel;
+  int window_len = 0;  ///< packets sent in this stage
+  int distinct = 0;    ///< distinct links used
+  int max_mult = 0;    ///< max packets sharing one link
+};
+
+/// A fully-constructed pipelined schedule for one exchange phase.
+class PipelineSchedule {
+ public:
+  /// Builds the schedule for sequence @p seq with pipelining degree @p q.
+  /// q in [1, ...]; q <= K gives shallow mode, q > K deep mode. q == 1
+  /// degenerates to the unpipelined phase (K stages of one packet).
+  PipelineSchedule(const ord::LinkSequence& seq, std::uint64_t q);
+
+  std::uint64_t q() const noexcept { return q_; }
+  std::uint64_t k() const noexcept { return k_; }
+  bool deep() const noexcept { return q_ > k_; }
+  const std::vector<Stage>& stages() const noexcept { return stages_; }
+
+  /// Sum of window_len over stages; must equal K*Q.
+  std::uint64_t total_packets() const noexcept;
+
+ private:
+  std::uint64_t q_ = 1;
+  std::uint64_t k_ = 0;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace jmh::pipe

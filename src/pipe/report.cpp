@@ -1,0 +1,45 @@
+#include "pipe/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace jmh::pipe {
+
+std::string render_sweep_breakdown(ord::OrderingKind kind, const ProblemParams& prob,
+                                   const MachineParams& machine) {
+  const SweepCost c = sweep_cost_pipelined(kind, prob, machine);
+  std::ostringstream os;
+  os << "sweep breakdown: " << ord::to_string(kind) << " on d=" << prob.d
+     << ", m=" << prob.m << "\n";
+  os << "  phase e |        Q     mode          cost   share\n";
+  for (std::size_t i = 0; i < c.phase_cost.size(); ++i) {
+    const int e = prob.d - static_cast<int>(i);
+    os << "  " << std::setw(7) << e << " | " << std::setw(8) << c.q[i] << "  "
+       << std::setw(7) << (c.deep[i] ? "deep" : "shallow") << "  " << std::setw(12)
+       << std::fixed << std::setprecision(0) << c.phase_cost[i] << "  " << std::setw(5)
+       << std::setprecision(1) << 100.0 * c.phase_cost[i] / c.total << "%\n";
+  }
+  os << "  divisions + last transition: " << std::setprecision(0) << c.overhead << "  "
+     << std::setprecision(1) << 100.0 * c.overhead / c.total << "%\n";
+  os << "  total: " << std::setprecision(0) << c.total << "\n";
+  return os.str();
+}
+
+std::string render_ordering_summary(const ProblemParams& prob, const MachineParams& machine) {
+  const double base = sweep_cost_unpipelined(prob, machine);
+  std::ostringstream os;
+  os << "ordering summary (d=" << prob.d << ", m=" << prob.m << ", baseline " << std::fixed
+     << std::setprecision(0) << base << ")\n";
+  for (auto kind : {ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
+                    ord::OrderingKind::Degree4, ord::OrderingKind::MinAlpha}) {
+    const SweepCost c = sweep_cost_pipelined(kind, prob, machine);
+    os << "  " << ord::to_string(kind);
+    for (std::size_t pad = ord::to_string(kind).size(); pad < 12; ++pad) os << ' ';
+    os << std::setprecision(3) << c.total / base << "\n";
+  }
+  const SweepCost lb = sweep_cost_lower_bound(prob, machine);
+  os << "  lower-bound " << std::setprecision(3) << lb.total / base << "\n";
+  return os.str();
+}
+
+}  // namespace jmh::pipe

@@ -1,0 +1,18 @@
+// Human-readable sweep cost breakdowns (used by comm_planner and tools).
+#pragma once
+
+#include <string>
+
+#include "pipe/cost_model.hpp"
+
+namespace jmh::pipe {
+
+/// Phase-by-phase table for one ordering: per exchange phase the chosen Q,
+/// mode, absolute cost and share of the sweep's communication time.
+std::string render_sweep_breakdown(ord::OrderingKind kind, const ProblemParams& prob,
+                                   const MachineParams& machine);
+
+/// One-line-per-ordering summary relative to the unpipelined baseline.
+std::string render_ordering_summary(const ProblemParams& prob, const MachineParams& machine);
+
+}  // namespace jmh::pipe

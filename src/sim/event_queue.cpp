@@ -1,0 +1,27 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace jmh::sim {
+
+void EventQueue::schedule(double time, Action action) {
+  JMH_REQUIRE(time >= now_, "cannot schedule an event in the past");
+  queue_.push({time, next_seq_++, std::move(action)});
+}
+
+void EventQueue::step() {
+  JMH_REQUIRE(!queue_.empty(), "no events to step");
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately and Entry's members are not const.
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.time;
+  e.action();
+}
+
+double EventQueue::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+}  // namespace jmh::sim

@@ -1,0 +1,55 @@
+// Generic discrete-event simulation engine.
+//
+// A priority queue of (time, sequence, action); actions may schedule
+// further events. Ties in time are broken by insertion order so simulations
+// are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace jmh::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules @p action at absolute time @p time (>= now()).
+  void schedule(double time, Action action);
+
+  /// Schedules @p action @p delay time units from now.
+  void schedule_in(double delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  double now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Executes the earliest event. Precondition: !empty().
+  void step();
+
+  /// Runs until no events remain; returns the time of the last event.
+  double run();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace jmh::sim

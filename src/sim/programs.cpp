@@ -1,0 +1,147 @@
+#include "sim/programs.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace jmh::sim {
+
+namespace {
+
+// All nodes execute the same link pattern in every stage of our programs
+// (SPMD), so build one NodeStage and replicate it.
+std::vector<NodeStage> replicate(const NodeStage& node_stage, std::uint64_t num_nodes) {
+  return std::vector<NodeStage>(num_nodes, node_stage);
+}
+
+// Packs a window of links into per-link messages of packet_elems each.
+NodeStage pack_window(const std::vector<ord::Link>& links, std::size_t begin, std::size_t len,
+                      double packet_elems) {
+  std::map<ord::Link, int> mult;
+  for (std::size_t i = begin; i < begin + len; ++i) ++mult[links[i]];
+  NodeStage stage;
+  stage.reserve(mult.size());
+  for (const auto& [link, count] : mult)
+    stage.push_back({link, packet_elems * static_cast<double>(count)});
+  return stage;
+}
+
+}  // namespace
+
+Program build_sweep_program(const ord::JacobiOrdering& ordering, int sweep, double step_elems) {
+  const std::uint64_t nodes = std::uint64_t{1} << ordering.dimension();
+  Program program;
+  const auto transitions = ordering.sweep_transitions(sweep);
+  program.reserve(transitions.size());
+  for (const auto& t : transitions)
+    program.push_back(replicate({{t.link, step_elems}}, nodes));
+  return program;
+}
+
+Program build_pipelined_phase_program(const ord::LinkSequence& seq, std::uint64_t q,
+                                      double step_elems, int d) {
+  JMH_REQUIRE(q >= 1, "pipelining degree must be >= 1");
+  JMH_REQUIRE(seq.e() <= d, "phase does not fit the cube");
+  const std::uint64_t nodes = std::uint64_t{1} << d;
+  const std::uint64_t k = seq.size();
+  const double packet = step_elems / static_cast<double>(q);
+  const auto& links = seq.links();
+  const std::uint64_t window = std::min(q, k);
+
+  Program program;
+  // Prologue: growing prefixes.
+  for (std::uint64_t j = 1; j < window; ++j)
+    program.push_back(replicate(pack_window(links, 0, static_cast<std::size_t>(j), packet), nodes));
+  // Kernel.
+  if (q <= k) {
+    for (std::uint64_t i = 0; i + q <= k; ++i)
+      program.push_back(replicate(
+          pack_window(links, static_cast<std::size_t>(i), static_cast<std::size_t>(q), packet),
+          nodes));
+  } else {
+    JMH_REQUIRE(q - k + 1 <= (std::uint64_t{1} << 22),
+                "deep program too large to materialize");
+    const NodeStage full = pack_window(links, 0, static_cast<std::size_t>(k), packet);
+    for (std::uint64_t i = 0; i < q - k + 1; ++i) program.push_back(replicate(full, nodes));
+  }
+  // Epilogue: shrinking suffixes.
+  for (std::uint64_t j = window - 1; j >= 1; --j)
+    program.push_back(replicate(
+        pack_window(links, static_cast<std::size_t>(k - j), static_cast<std::size_t>(j), packet),
+        nodes));
+  return program;
+}
+
+Program build_pipelined_sweep_program(const ord::JacobiOrdering& ordering, int sweep,
+                                      double step_elems,
+                                      const std::vector<std::uint64_t>& q_per_phase) {
+  const std::uint64_t nodes = std::uint64_t{1} << ordering.dimension();
+  const auto transitions = ordering.sweep_transitions(sweep);
+  Program program;
+
+  std::size_t exchange_index = 0;
+  for (const ord::PhaseInfo& phase : ordering.phases()) {
+    if (phase.type == ord::PhaseInfo::Type::Exchange) {
+      JMH_REQUIRE(exchange_index < q_per_phase.size(),
+                  "need one pipelining degree per exchange phase");
+      const std::uint64_t q = q_per_phase[exchange_index++];
+      JMH_REQUIRE(q >= 1, "pipelining degree must be >= 1");
+      // Phase link sequence under this sweep's sigma rotation.
+      std::vector<ord::Link> links;
+      links.reserve(phase.num_steps);
+      for (std::size_t t = 0; t < phase.num_steps; ++t)
+        links.push_back(transitions[phase.first_step + t].link);
+
+      const std::uint64_t k = links.size();
+      const double packet = step_elems / static_cast<double>(q);
+      const std::uint64_t window = std::min(q, k);
+      for (std::uint64_t j = 1; j < window; ++j)  // prologue
+        program.push_back(
+            replicate(pack_window(links, 0, static_cast<std::size_t>(j), packet), nodes));
+      if (q <= k) {
+        for (std::uint64_t i = 0; i + q <= k; ++i)
+          program.push_back(replicate(
+              pack_window(links, static_cast<std::size_t>(i), static_cast<std::size_t>(q), packet),
+              nodes));
+      } else {
+        JMH_REQUIRE(q - k + 1 <= (std::uint64_t{1} << 22),
+                    "deep program too large to materialize");
+        const NodeStage full = pack_window(links, 0, static_cast<std::size_t>(k), packet);
+        for (std::uint64_t i = 0; i < q - k + 1; ++i) program.push_back(replicate(full, nodes));
+      }
+      for (std::uint64_t j = window - 1; j >= 1; --j)  // epilogue
+        program.push_back(replicate(
+            pack_window(links, static_cast<std::size_t>(k - j), static_cast<std::size_t>(j), packet),
+            nodes));
+    } else {
+      // Division or last transition: one full-size message per node.
+      const auto& t = transitions[phase.first_step];
+      program.push_back(replicate({{t.link, step_elems}}, nodes));
+    }
+  }
+  JMH_CHECK(exchange_index == q_per_phase.size(), "unused pipelining degrees supplied");
+  return program;
+}
+
+SimResult simulate_sweep_pipelined(const ord::JacobiOrdering& ordering, int sweep,
+                                   double step_elems,
+                                   const std::vector<std::uint64_t>& q_per_phase,
+                                   const SimConfig& config) {
+  const Network net(ordering.dimension(), config);
+  return net.run_program(
+      build_pipelined_sweep_program(ordering, sweep, step_elems, q_per_phase));
+}
+
+double simulate_sweep(const ord::JacobiOrdering& ordering, int sweep, double step_elems,
+                      const SimConfig& config) {
+  const Network net(ordering.dimension(), config);
+  return net.run_program(build_sweep_program(ordering, sweep, step_elems)).makespan;
+}
+
+double simulate_pipelined_phase(const ord::LinkSequence& seq, std::uint64_t q,
+                                double step_elems, int d, const SimConfig& config) {
+  const Network net(d, config);
+  return net.run_program(build_pipelined_phase_program(seq, q, step_elems, d)).makespan;
+}
+
+}  // namespace jmh::sim

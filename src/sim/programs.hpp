@@ -1,0 +1,47 @@
+// Builders turning orderings and pipelined schedules into simulator
+// programs, plus end-to-end simulation entry points used to cross-validate
+// the analytical cost model (experiment E9 in DESIGN.md).
+#pragma once
+
+#include "ord/ordering.hpp"
+#include "pipe/cost_model.hpp"
+#include "sim/network.hpp"
+
+namespace jmh::sim {
+
+/// Program for one unpipelined sweep: every transition is one stage in
+/// which every node sends one full-size block message through the
+/// transition's link.
+Program build_sweep_program(const ord::JacobiOrdering& ordering, int sweep, double step_elems);
+
+/// Program for one exchange phase pipelined with degree @p q: one stage per
+/// pipeline stage; per node, the window's packets packed per link. Shallow
+/// and deep modes both supported (deep materializes q - K + 1 kernel
+/// stages; keep q moderate).
+Program build_pipelined_phase_program(const ord::LinkSequence& seq, std::uint64_t q,
+                                      double step_elems, int d);
+
+/// Simulated communication time of one unpipelined sweep.
+double simulate_sweep(const ord::JacobiOrdering& ordering, int sweep, double step_elems,
+                      const SimConfig& config);
+
+/// Simulated communication time of one pipelined exchange phase.
+double simulate_pipelined_phase(const ord::LinkSequence& seq, std::uint64_t q,
+                                double step_elems, int d, const SimConfig& config);
+
+/// Full-sweep program with every exchange phase pipelined: phase e = d..1
+/// uses q_per_phase[d-e] packets (as reported by
+/// pipe::sweep_cost_pipelined); divisions and the last transition are
+/// single full-size message stages. Inter-sweep link rotation sigma_sweep
+/// is honored.
+Program build_pipelined_sweep_program(const ord::JacobiOrdering& ordering, int sweep,
+                                      double step_elems,
+                                      const std::vector<std::uint64_t>& q_per_phase);
+
+/// Simulated communication time of one fully-pipelined sweep.
+SimResult simulate_sweep_pipelined(const ord::JacobiOrdering& ordering, int sweep,
+                                   double step_elems,
+                                   const std::vector<std::uint64_t>& q_per_phase,
+                                   const SimConfig& config);
+
+}  // namespace jmh::sim

@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace jmh::sim {
+
+std::string render_stage_timeline(const SimResult& result, int width) {
+  JMH_REQUIRE(width >= 1, "width must be positive");
+  std::ostringstream os;
+  const double longest =
+      result.stage_times.empty()
+          ? 0.0
+          : *std::max_element(result.stage_times.begin(), result.stage_times.end());
+  os << "stages: " << result.stage_times.size() << ", makespan " << std::fixed
+     << std::setprecision(0) << result.makespan << "\n";
+  for (std::size_t i = 0; i < result.stage_times.size(); ++i) {
+    const double t = result.stage_times[i];
+    const int bar = longest > 0.0 ? std::max(1, static_cast<int>(t / longest * width)) : 0;
+    os << std::setw(4) << i << " |" << std::string(static_cast<std::size_t>(bar), '#')
+       << " " << std::setprecision(0) << t << "\n";
+  }
+  return os.str();
+}
+
+std::string render_link_utilization(const SimResult& result, int d, int width) {
+  JMH_REQUIRE(d >= 1, "dimension must be positive");
+  JMH_REQUIRE(result.link_busy.size() % static_cast<std::size_t>(d) == 0,
+              "link_busy size must be a multiple of d");
+  const std::size_t nodes = result.link_busy.size() / static_cast<std::size_t>(d);
+  std::ostringstream os;
+  os << "per-dimension mean link utilization (makespan " << std::fixed
+     << std::setprecision(0) << result.makespan << ")\n";
+  for (int link = 0; link < d; ++link) {
+    double busy = 0.0;
+    for (std::size_t n = 0; n < nodes; ++n)
+      busy += result.link_busy[n * static_cast<std::size_t>(d) + static_cast<std::size_t>(link)];
+    const double util =
+        result.makespan > 0.0 ? busy / (result.makespan * static_cast<double>(nodes)) : 0.0;
+    const int bar = static_cast<int>(util * width + 0.5);
+    os << "  dim " << link << " |" << std::string(static_cast<std::size_t>(bar), '=')
+       << std::string(static_cast<std::size_t>(std::max(0, width - bar)), ' ') << "| "
+       << std::setprecision(1) << util * 100.0 << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace jmh::sim

@@ -1,0 +1,22 @@
+// ASCII rendering of simulation results: stage timelines and per-link
+// utilization bars. Pure formatting over SimResult -- used by the
+// trace_visualizer example and tested for structural properties.
+#pragma once
+
+#include <string>
+
+#include "sim/network.hpp"
+
+namespace jmh::sim {
+
+/// Horizontal bar chart of per-stage durations (one row per stage, bar
+/// lengths proportional to time, longest bar = @p width chars).
+std::string render_stage_timeline(const SimResult& result, int width = 50);
+
+/// Per-link utilization bars aggregated over nodes: for each dimension,
+/// the mean utilization of that dimension's channels across the cube.
+/// Surfaces the paper's core diagnosis at a glance: BR leaves every
+/// dimension but 0 nearly idle.
+std::string render_link_utilization(const SimResult& result, int d, int width = 40);
+
+}  // namespace jmh::sim

@@ -1,0 +1,32 @@
+#include "solve/block_layout.hpp"
+
+#include "common/assert.hpp"
+
+namespace jmh::solve {
+
+BlockLayout::BlockLayout(std::size_t m, int d) : m_(m), d_(d) {
+  JMH_REQUIRE(d >= 1 && d <= 20, "cube dimension out of range");
+  JMH_REQUIRE(m >= num_blocks(), "need at least one column per block");
+}
+
+std::size_t BlockLayout::block_begin(ord::BlockId b) const {
+  JMH_REQUIRE(b <= num_blocks(), "block out of range");
+  return (static_cast<std::size_t>(b) * m_) / num_blocks();
+}
+
+std::size_t BlockLayout::block_size(ord::BlockId b) const {
+  JMH_REQUIRE(b < num_blocks(), "block out of range");
+  return block_begin(b + 1) - block_begin(b);
+}
+
+ord::BlockId BlockLayout::block_of(std::size_t col) const {
+  JMH_REQUIRE(col < m_, "column out of range");
+  // block_begin is monotone; invert by direct formula then adjust for the
+  // floor partition boundaries.
+  auto b = static_cast<ord::BlockId>((col * num_blocks()) / m_);
+  while (block_begin(b) > col) --b;
+  while (block_begin(b + 1) <= col) ++b;
+  return b;
+}
+
+}  // namespace jmh::solve

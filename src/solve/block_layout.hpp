@@ -1,0 +1,41 @@
+// Column-block distribution for the parallel one-sided Jacobi method.
+//
+// The m columns are grouped into 2^{d+1} blocks, two per node (paper
+// 2.3.1). When m is not divisible the block sizes differ by at most one
+// (the paper's footnote on slight load imbalance).
+#pragma once
+
+#include <cstddef>
+
+#include "ord/schedule.hpp"
+
+namespace jmh::solve {
+
+class BlockLayout {
+ public:
+  /// Layout of @p m columns over the 2^{d+1} blocks of a d-cube.
+  /// Requires at least one column per block.
+  BlockLayout(std::size_t m, int d);
+
+  std::size_t m() const noexcept { return m_; }
+  int d() const noexcept { return d_; }
+  std::size_t num_blocks() const noexcept { return std::size_t{2} << d_; }
+
+  /// First column of block @p b (balanced partition).
+  std::size_t block_begin(ord::BlockId b) const;
+  /// Columns in block @p b.
+  std::size_t block_size(ord::BlockId b) const;
+
+  /// Block containing column @p col.
+  ord::BlockId block_of(std::size_t col) const;
+
+  /// Initial blocks of node @p n: fixed = 2n, mobile = 2n + 1.
+  ord::BlockId initial_fixed(cube::Node n) const { return static_cast<ord::BlockId>(2 * n); }
+  ord::BlockId initial_mobile(cube::Node n) const { return static_cast<ord::BlockId>(2 * n + 1); }
+
+ private:
+  std::size_t m_;
+  int d_;
+};
+
+}  // namespace jmh::solve

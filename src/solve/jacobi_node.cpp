@@ -1,0 +1,152 @@
+#include "solve/jacobi_node.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "la/rotation.hpp"
+
+namespace jmh::solve {
+
+net::Payload ColumnBlock::serialize() const {
+  net::Payload p;
+  p.reserve(3 + cols.size() + b.size() + v.size());
+  p.push_back(static_cast<double>(id));
+  p.push_back(static_cast<double>(num_cols()));
+  p.push_back(static_cast<double>(rows));
+  for (std::size_t c : cols) p.push_back(static_cast<double>(c));
+  p.insert(p.end(), b.begin(), b.end());
+  p.insert(p.end(), v.begin(), v.end());
+  return p;
+}
+
+ColumnBlock ColumnBlock::deserialize(const net::Payload& payload) {
+  JMH_REQUIRE(payload.size() >= 3, "truncated block payload");
+  ColumnBlock out;
+  out.id = static_cast<ord::BlockId>(payload[0]);
+  const auto ncols = static_cast<std::size_t>(payload[1]);
+  out.rows = static_cast<std::size_t>(payload[2]);
+  JMH_REQUIRE(payload.size() == 3 + ncols + 2 * ncols * out.rows, "block payload size mismatch");
+  out.cols.resize(ncols);
+  for (std::size_t i = 0; i < ncols; ++i) out.cols[i] = static_cast<std::size_t>(payload[3 + i]);
+  const auto* base = payload.data() + 3 + ncols;
+  out.b.assign(base, base + ncols * out.rows);
+  out.v.assign(base + ncols * out.rows, base + 2 * ncols * out.rows);
+  return out;
+}
+
+std::vector<ColumnBlock> ColumnBlock::split(std::size_t q) const {
+  JMH_REQUIRE(q >= 1, "packet count must be positive");
+  std::vector<ColumnBlock> packets(q);
+  const std::size_t n = num_cols();
+  for (std::size_t p = 0; p < q; ++p) {
+    const std::size_t begin = p * n / q;
+    const std::size_t end = (p + 1) * n / q;
+    ColumnBlock& pkt = packets[p];
+    pkt.id = id;
+    pkt.rows = rows;
+    pkt.cols.assign(cols.begin() + static_cast<std::ptrdiff_t>(begin),
+                    cols.begin() + static_cast<std::ptrdiff_t>(end));
+    pkt.b.assign(b.begin() + static_cast<std::ptrdiff_t>(begin * rows),
+                 b.begin() + static_cast<std::ptrdiff_t>(end * rows));
+    pkt.v.assign(v.begin() + static_cast<std::ptrdiff_t>(begin * rows),
+                 v.begin() + static_cast<std::ptrdiff_t>(end * rows));
+  }
+  return packets;
+}
+
+ColumnBlock ColumnBlock::merge(const std::vector<ColumnBlock>& packets) {
+  JMH_REQUIRE(!packets.empty(), "cannot merge zero packets");
+  ColumnBlock out;
+  out.id = packets.front().id;
+  out.rows = packets.front().rows;
+  for (const auto& pkt : packets) {
+    JMH_REQUIRE(pkt.id == out.id && pkt.rows == out.rows, "packets from different blocks");
+    out.cols.insert(out.cols.end(), pkt.cols.begin(), pkt.cols.end());
+    out.b.insert(out.b.end(), pkt.b.begin(), pkt.b.end());
+    out.v.insert(out.v.end(), pkt.v.begin(), pkt.v.end());
+  }
+  return out;
+}
+
+ColumnBlock extract_block(const la::Matrix& a, const BlockLayout& layout, ord::BlockId id) {
+  JMH_REQUIRE(a.is_square() && a.rows() == layout.m(), "matrix/layout mismatch");
+  ColumnBlock out;
+  out.id = id;
+  out.rows = a.rows();
+  const std::size_t begin = layout.block_begin(id);
+  const std::size_t size = layout.block_size(id);
+  out.cols.resize(size);
+  out.b.resize(size * out.rows);
+  out.v.assign(size * out.rows, 0.0);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t col = begin + i;
+    out.cols[i] = col;
+    const auto src = a.col(col);
+    std::copy(src.begin(), src.end(), out.b.begin() + static_cast<std::ptrdiff_t>(i * out.rows));
+    out.v[i * out.rows + col] = 1.0;  // V starts as the identity
+  }
+  return out;
+}
+
+JacobiNode::JacobiNode(const la::Matrix& a, const BlockLayout& layout, cube::Node node)
+    : fixed_(extract_block(a, layout, layout.initial_fixed(node))),
+      mobile_(extract_block(a, layout, layout.initial_mobile(node))) {}
+
+namespace {
+
+SweepStats pair_within_block(ColumnBlock& blk, double threshold) {
+  SweepStats stats;
+  for (std::size_t i = 0; i + 1 < blk.num_cols(); ++i) {
+    for (std::size_t j = i + 1; j < blk.num_cols(); ++j) {
+      const la::PairOutcome o = la::pair_columns_stats(blk.col_b(i), blk.col_b(j),
+                                                       blk.col_v(i), blk.col_v(j), threshold);
+      stats.rotations += o.rotated ? 1 : 0;
+      stats.off2 += o.bij * o.bij;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+SweepStats JacobiNode::intra_block_pairings(double threshold) {
+  SweepStats stats = pair_within_block(fixed_, threshold);
+  stats += pair_within_block(mobile_, threshold);
+  return stats;
+}
+
+SweepStats JacobiNode::inter_block_pairings(double threshold) {
+  SweepStats stats;
+  for (std::size_t i = 0; i < fixed_.num_cols(); ++i) {
+    for (std::size_t j = 0; j < mobile_.num_cols(); ++j) {
+      const la::PairOutcome o = la::pair_columns_stats(
+          fixed_.col_b(i), mobile_.col_b(j), fixed_.col_v(i), mobile_.col_v(j), threshold);
+      stats.rotations += o.rotated ? 1 : 0;
+      stats.off2 += o.bij * o.bij;
+    }
+  }
+  return stats;
+}
+
+SweepStats JacobiNode::pair_fixed_with(ColumnBlock& packet, double threshold) {
+  JMH_REQUIRE(packet.rows == fixed_.rows, "packet row count mismatch");
+  SweepStats stats;
+  for (std::size_t i = 0; i < fixed_.num_cols(); ++i) {
+    for (std::size_t j = 0; j < packet.num_cols(); ++j) {
+      const la::PairOutcome o = la::pair_columns_stats(
+          fixed_.col_b(i), packet.col_b(j), fixed_.col_v(i), packet.col_v(j), threshold);
+      stats.rotations += o.rotated ? 1 : 0;
+      stats.off2 += o.bij * o.bij;
+    }
+  }
+  return stats;
+}
+
+double JacobiNode::frobenius_squared() const {
+  double total = 0.0;
+  for (double x : fixed_.b) total += x * x;
+  for (double x : mobile_.b) total += x * x;
+  return total;
+}
+
+}  // namespace jmh::solve

@@ -1,0 +1,103 @@
+// Per-node state and computation of the distributed one-sided Jacobi
+// solver, shared by the inline (sequential simulation) and mpi_lite
+// (threaded) executors.
+//
+// A node holds two column blocks of the working pair (B = A*V, V). Each
+// block carries its global column indices so rotations can be attributed
+// and results reassembled after any number of block moves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "net/mailbox.hpp"
+#include "solve/block_layout.hpp"
+
+namespace jmh::solve {
+
+/// A column block of (B, V): `cols` global column ids; `b` and `v` hold the
+/// column data contiguously, column-major, rows() elements per column.
+struct ColumnBlock {
+  ord::BlockId id = 0;
+  std::size_t rows = 0;
+  std::vector<std::size_t> cols;
+  std::vector<double> b;
+  std::vector<double> v;
+
+  std::size_t num_cols() const noexcept { return cols.size(); }
+  std::span<double> col_b(std::size_t i) { return {b.data() + i * rows, rows}; }
+  std::span<double> col_v(std::size_t i) { return {v.data() + i * rows, rows}; }
+
+  /// Flattens to an mpi_lite payload: [id, ncols, rows, cols..., b..., v...].
+  net::Payload serialize() const;
+  static ColumnBlock deserialize(const net::Payload& payload);
+
+  /// Splits into @p q column packets (contiguous groups, sizes differing by
+  /// at most one; trailing packets may be empty when q > num_cols). Packets
+  /// keep the block id. Used by the pipelined executor.
+  std::vector<ColumnBlock> split(std::size_t q) const;
+
+  /// Reassembles packets produced by split (in order).
+  static ColumnBlock merge(const std::vector<ColumnBlock>& packets);
+};
+
+/// Extracts block @p id of (B=A, V=I) from the input matrix.
+ColumnBlock extract_block(const la::Matrix& a, const BlockLayout& layout, ord::BlockId id);
+
+/// Per-node accumulation over (part of) a sweep: rotation count plus the
+/// sum of squared pre-rotation off-diagonal dot products. Because a sweep
+/// visits every unordered column pair exactly once, summing off2 across all
+/// nodes over one sweep yields Sum_{i<j} (v_i^T A v_j)^2 -- half the
+/// squared off-diagonal Frobenius norm of V^T A V -- measured as the sweep
+/// passes over each pair.
+struct SweepStats {
+  std::size_t rotations = 0;
+  double off2 = 0.0;
+
+  SweepStats& operator+=(const SweepStats& o) {
+    rotations += o.rotations;
+    off2 += o.off2;
+    return *this;
+  }
+};
+
+class JacobiNode {
+ public:
+  JacobiNode(const la::Matrix& a, const BlockLayout& layout, cube::Node node);
+
+  ColumnBlock& fixed() noexcept { return fixed_; }
+  ColumnBlock& mobile() noexcept { return mobile_; }
+  const ColumnBlock& fixed() const noexcept { return fixed_; }
+  const ColumnBlock& mobile() const noexcept { return mobile_; }
+
+  /// Step (1) of the sweep: pair every column of each resident block with
+  /// the other columns of the same block.
+  SweepStats intra_block_pairings(double threshold);
+
+  /// Step (2): pair every column of the fixed block with every column of
+  /// the mobile block.
+  SweepStats inter_block_pairings(double threshold);
+
+  /// Pairs every fixed column with every column of @p packet (a slice of
+  /// some mobile block passing through this node); both sides are updated.
+  /// The packetized unit of work of the pipelined executor.
+  SweepStats pair_fixed_with(ColumnBlock& packet, double threshold);
+
+  /// Sum of ||b_k||^2 over this node's resident columns. Summed across all
+  /// nodes this is ||A||_F^2 (invariant under the method's rotations);
+  /// used to normalize off-diagonal convergence tests.
+  double frobenius_squared() const;
+
+  /// Division bookkeeping: the received block becomes the new mobile and
+  /// the kept block the new fixed (see ord::BlockTracker::apply).
+  void install_mobile(ColumnBlock block) { mobile_ = std::move(block); }
+  void promote_mobile_to_fixed() { std::swap(fixed_, mobile_); }
+
+ private:
+  ColumnBlock fixed_;
+  ColumnBlock mobile_;
+};
+
+}  // namespace jmh::solve

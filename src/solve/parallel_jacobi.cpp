@@ -1,0 +1,241 @@
+#include "solve/parallel_jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "la/shift.hpp"
+#include "net/collectives.hpp"
+#include "net/hypercube_comm.hpp"
+#include "net/universe.hpp"
+
+namespace jmh::solve {
+
+DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m, int sweeps,
+                                  bool converged, std::size_t rotations) {
+  DistributedResult out;
+  out.sweeps = sweeps;
+  out.converged = converged;
+  out.rotations = rotations;
+
+  la::Matrix b(m, m);
+  la::Matrix v(m, m);
+  std::vector<char> seen(m, 0);
+  for (auto& blk : blocks) {
+    JMH_REQUIRE(blk.rows == m, "block row count mismatch");
+    for (std::size_t i = 0; i < blk.num_cols(); ++i) {
+      const std::size_t col = blk.cols[i];
+      JMH_REQUIRE(col < m && !seen[col], "column coverage violation in final blocks");
+      seen[col] = 1;
+      std::copy_n(blk.b.begin() + static_cast<std::ptrdiff_t>(i * m), m, b.col(col).begin());
+      std::copy_n(blk.v.begin() + static_cast<std::ptrdiff_t>(i * m), m, v.col(col).begin());
+    }
+  }
+  JMH_REQUIRE(std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; }),
+              "final blocks do not cover every column");
+
+  // lambda_k = v_k . b_k; sort ascending.
+  std::vector<double> lambda(m);
+  for (std::size_t k = 0; k < m; ++k) lambda[k] = la::dot(v.col(k), b.col(k));
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return lambda[x] < lambda[y]; });
+
+  out.eigenvalues.resize(m);
+  out.eigenvectors = la::Matrix(m, m);
+  for (std::size_t k = 0; k < m; ++k) {
+    out.eigenvalues[k] = lambda[order[k]];
+    const auto src = v.col(order[k]);
+    std::copy(src.begin(), src.end(), out.eigenvectors.col(k).begin());
+  }
+  return out;
+}
+
+namespace {
+
+// Shared shift wrapper: solve A + sigma*I, shift the spectrum back.
+template <typename Solver>
+DistributedResult solve_with_shift(const la::Matrix& a, const SolveOptions& opts,
+                                   Solver&& solver) {
+  const double sigma = la::gershgorin_radius(a);
+  SolveOptions inner = opts;
+  inner.gershgorin_shift = false;
+  DistributedResult r = solver(la::add_diagonal_shift(a, sigma), inner);
+  for (double& ev : r.eigenvalues) ev -= sigma;
+  return r;
+}
+
+}  // namespace
+
+DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                               const SolveOptions& opts) {
+  JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
+  if (opts.gershgorin_shift) {
+    return solve_with_shift(a, opts, [&](const la::Matrix& shifted, const SolveOptions& o) {
+      return solve_inline(shifted, ordering, o);
+    });
+  }
+  const int d = ordering.dimension();
+  const BlockLayout layout(a.rows(), d);
+  const cube::Hypercube topo(d);
+  const std::uint64_t num_nodes = topo.num_nodes();
+
+  std::vector<JacobiNode> nodes;
+  nodes.reserve(num_nodes);
+  for (cube::Node n = 0; n < num_nodes; ++n) nodes.emplace_back(a, layout, n);
+
+  double frob2 = 0.0;
+  for (const auto& node : nodes) frob2 += node.frobenius_squared();
+
+  int sweeps = 0;
+  bool converged = false;
+  std::size_t total_rotations = 0;
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    SweepStats stats;
+    for (auto& node : nodes) stats += node.intra_block_pairings(opts.threshold);
+
+    for (const auto& t : ordering.sweep_transitions(sweep)) {
+      for (auto& node : nodes) stats += node.inter_block_pairings(opts.threshold);
+      // Apply the transition to all neighbor pairs.
+      const cube::Node bit = cube::Node{1} << t.link;
+      for (cube::Node lo = 0; lo < num_nodes; ++lo) {
+        if (lo & bit) continue;
+        const cube::Node hi = lo | bit;
+        if (!t.division) {
+          std::swap(nodes[lo].mobile(), nodes[hi].mobile());
+        } else {
+          // lo sends its mobile, receives hi's fixed (becomes lo's mobile);
+          // hi keeps its mobile as new fixed and receives lo's mobile.
+          ColumnBlock lo_mobile = std::move(nodes[lo].mobile());
+          nodes[lo].install_mobile(std::move(nodes[hi].fixed()));
+          nodes[hi].fixed() = std::move(nodes[hi].mobile());
+          nodes[hi].install_mobile(std::move(lo_mobile));
+        }
+      }
+    }
+
+    total_rotations += stats.rotations;
+    if (opts.stop_rule == StopRule::NoRotations) {
+      if (stats.rotations == 0) {
+        converged = true;
+        break;
+      }
+    } else {
+      // off2 is accumulated from pre-rotation dot products, so it measures
+      // the matrix state *entering* this sweep: when it is already below
+      // tolerance the previous sweep had converged and this one is not
+      // counted.
+      if (std::sqrt(2.0 * stats.off2) <= opts.off_tol * std::sqrt(frob2)) {
+        converged = true;
+        break;
+      }
+    }
+    ++sweeps;
+  }
+
+  std::vector<ColumnBlock> blocks;
+  blocks.reserve(2 * num_nodes);
+  for (auto& node : nodes) {
+    blocks.push_back(std::move(node.fixed()));
+    blocks.push_back(std::move(node.mobile()));
+  }
+  return assemble_result(std::move(blocks), a.rows(), sweeps, converged, total_rotations);
+}
+
+DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                            const SolveOptions& opts) {
+  JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
+  if (opts.gershgorin_shift) {
+    return solve_with_shift(a, opts, [&](const la::Matrix& shifted, const SolveOptions& o) {
+      return solve_mpi(shifted, ordering, o);
+    });
+  }
+  const int d = ordering.dimension();
+  const BlockLayout layout(a.rows(), d);
+  net::Universe universe(1 << d);
+
+  DistributedResult result;  // filled by rank 0
+  std::mutex result_mu;
+
+  universe.run([&](net::Comm& comm) {
+    net::HypercubeComm hc(comm);
+    JacobiNode node(a, layout, hc.node());
+
+    const double frob2 = net::allreduce_sum(comm, node.frobenius_squared());
+
+    int sweeps = 0;
+    bool converged = false;
+    double total_rotations = 0.0;
+
+    for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+      SweepStats stats = node.intra_block_pairings(opts.threshold);
+
+      for (const auto& t : ordering.sweep_transitions(sweep)) {
+        stats += node.inter_block_pairings(opts.threshold);
+        const bool low_side = (hc.node() & (cube::Node{1} << t.link)) == 0;
+        if (!t.division) {
+          const net::Payload got = hc.exchange(t.link, node.mobile().serialize());
+          node.install_mobile(ColumnBlock::deserialize(got));
+        } else if (low_side) {
+          hc.send(t.link, node.mobile().serialize());
+          node.install_mobile(ColumnBlock::deserialize(hc.recv(t.link)));
+        } else {
+          hc.send(t.link, node.fixed().serialize());
+          node.promote_mobile_to_fixed();  // kept mobile becomes the new fixed
+          node.install_mobile(ColumnBlock::deserialize(hc.recv(t.link)));
+        }
+      }
+
+      const double global_rot =
+          net::allreduce_sum(comm, static_cast<double>(stats.rotations));
+      const double global_off2 = net::allreduce_sum(comm, stats.off2);
+      total_rotations += global_rot;
+      if (opts.stop_rule == StopRule::NoRotations) {
+        if (global_rot == 0.0) {
+          converged = true;
+          break;
+        }
+      } else {
+        // See solve_inline: off2 measures the state entering this sweep.
+        if (std::sqrt(2.0 * global_off2) <= opts.off_tol * std::sqrt(frob2)) {
+          converged = true;
+          break;
+        }
+      }
+      ++sweeps;
+    }
+
+    // Collect all blocks at every rank (allgather keeps the control flow
+    // symmetric) and let rank 0 assemble.
+    net::Payload mine = node.fixed().serialize();
+    const net::Payload mobile = node.mobile().serialize();
+    mine.insert(mine.end(), mobile.begin(), mobile.end());
+    const std::vector<double> all = net::allgatherv(comm, mine);
+
+    if (comm.rank() == 0) {
+      // Parse the concatenated payload stream back into blocks.
+      std::vector<ColumnBlock> blocks;
+      std::size_t pos = 0;
+      while (pos < all.size()) {
+        const auto ncols = static_cast<std::size_t>(all[pos + 1]);
+        const auto rows = static_cast<std::size_t>(all[pos + 2]);
+        const std::size_t len = 3 + ncols + 2 * ncols * rows;
+        net::Payload one(all.begin() + static_cast<std::ptrdiff_t>(pos),
+                         all.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        blocks.push_back(ColumnBlock::deserialize(one));
+        pos += len;
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      result = assemble_result(std::move(blocks), a.rows(), sweeps, converged,
+                               static_cast<std::size_t>(total_rotations));
+    }
+  });
+  result.comm = universe.stats();
+  return result;
+}
+
+}  // namespace jmh::solve

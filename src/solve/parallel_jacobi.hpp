@@ -1,0 +1,71 @@
+// Distributed one-sided Jacobi eigensolver driven by a JacobiOrdering.
+//
+// Two executors share identical numerical behaviour:
+//   * solve_inline: simulates the 2^d nodes sequentially in one thread
+//     (deterministic; used for the Table 2 convergence experiments);
+//   * solve_mpi: runs each node as an mpi_lite rank on its own thread,
+//     exchanging blocks with real messages over the hypercube overlay --
+//     the shape an MPI port of the paper's algorithm would take.
+//
+// Each sweep: intra-block pairings, then the 2^{d+1}-1 step/transition
+// pairs of the ordering (inter-block pairings + mobile exchange or division
+// transfer). Convergence: a sweep in which no node applies any rotation.
+#pragma once
+
+#include "la/onesided_jacobi.hpp"
+#include "net/universe.hpp"
+#include "ord/ordering.hpp"
+#include "solve/jacobi_node.hpp"
+
+namespace jmh::solve {
+
+/// Convergence test applied after each sweep.
+enum class StopRule {
+  /// Stop when a full sweep applies no rotation (strictest; the final
+  /// all-skip sweep is not counted).
+  NoRotations,
+  /// Stop when the off-diagonal norm observed during the sweep satisfies
+  /// sqrt(2 * sum bij^2) <= off_tol * ||A||_F (the classical off(A)
+  /// criterion; cheaper by 1-2 sweeps and the convention 1990s papers
+  /// report, see EXPERIMENTS.md Table 2 notes). The triggering sweep is
+  /// counted.
+  OffDiagonal,
+};
+
+struct SolveOptions {
+  double threshold = la::kDefaultThreshold;
+  int max_sweeps = 60;
+  StopRule stop_rule = StopRule::NoRotations;
+  double off_tol = 1e-8;  ///< used by StopRule::OffDiagonal
+
+  /// Solve A + sigma*I (sigma = Gershgorin radius) and shift the spectrum
+  /// back. Makes the working matrix positive semidefinite, which removes
+  /// the one-sided method's +/-lambda tie ambiguity (la/shift.hpp) at the
+  /// cost of squaring its condition-dependent convergence constant.
+  bool gershgorin_shift = false;
+};
+
+struct DistributedResult {
+  std::vector<double> eigenvalues;  ///< ascending
+  la::Matrix eigenvectors;          ///< column k pairs with eigenvalues[k]
+  int sweeps = 0;                   ///< sweeps that performed >= 1 rotation
+  bool converged = false;
+  std::size_t rotations = 0;
+  /// Traffic of the mpi_lite run (zero for solve_inline).
+  net::CommStats comm;
+};
+
+/// Sequentially-simulated distributed solve on a d-cube.
+DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                               const SolveOptions& opts = {});
+
+/// Thread-per-node distributed solve over mpi_lite.
+DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                            const SolveOptions& opts = {});
+
+/// Assembles eigenpairs from final node blocks (exposed for the executors
+/// and tests). Blocks must jointly cover all m columns.
+DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m, int sweeps,
+                                  bool converged, std::size_t rotations);
+
+}  // namespace jmh::solve

@@ -1,0 +1,85 @@
+#include "ord/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ord/br.hpp"
+#include "ord/degree4.hpp"
+#include "ord/permuted_br.hpp"
+
+namespace jmh::ord {
+namespace {
+
+TEST(Analysis, ReportBasicsForBr) {
+  const auto r = analyze(br_sequence(5));
+  EXPECT_EQ(r.e, 5);
+  EXPECT_EQ(r.length, 31u);
+  EXPECT_EQ(r.alpha, 16);
+  EXPECT_EQ(r.lower_bound, 7u);
+  EXPECT_NEAR(r.alpha_ratio, 16.0 / 7.0, 1e-12);
+  EXPECT_EQ(r.degree, 2);
+  EXPECT_TRUE(r.valid);
+  // BR histogram is geometric: 16 8 4 2 1 -> balance 1/16.
+  EXPECT_NEAR(r.balance, 1.0 / 16.0, 1e-12);
+}
+
+TEST(Analysis, PermutedBrIsMoreBalanced) {
+  for (int e : {6, 8, 10}) {
+    const auto br = analyze(br_sequence(e));
+    const auto pbr = analyze(permuted_br_sequence(e));
+    EXPECT_GT(pbr.balance, br.balance) << e;
+    EXPECT_LT(pbr.alpha_ratio, br.alpha_ratio) << e;
+  }
+}
+
+TEST(Analysis, DistinctFractionLengthAndRange) {
+  const auto r = analyze(degree4_sequence(6));
+  ASSERT_EQ(r.distinct_fraction.size(), 6u);
+  for (double f : r.distinct_fraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  // Degree-4 means lengths 1..4 are majority-distinct, length 5 is not.
+  EXPECT_GT(r.distinct_fraction[3], 0.5);
+  EXPECT_LT(r.distinct_fraction[4], 0.5);
+}
+
+TEST(Analysis, WindowProfileMonotone) {
+  const auto seq = permuted_br_sequence(7);
+  const auto profile = window_max_mult_profile(seq, 20);
+  ASSERT_EQ(profile.size(), 20u);
+  EXPECT_EQ(profile[0], 1);  // singleton windows
+  for (std::size_t i = 1; i < profile.size(); ++i)
+    EXPECT_GE(profile[i], profile[i - 1]);  // longer windows can't reduce max mult
+}
+
+TEST(Analysis, WindowProfileBrDoublesEveryOther) {
+  // BR: any window of length q contains ceil(q/2) zeros.
+  const auto profile = window_max_mult_profile(br_sequence(6), 8);
+  for (std::size_t q = 1; q <= 8; ++q)
+    EXPECT_EQ(profile[q - 1], static_cast<int>((q + 1) / 2)) << q;
+}
+
+TEST(Analysis, MeanDistinctLinks) {
+  // Degree-4 at q=4: nearly every window has 4 distinct links.
+  EXPECT_GT(mean_distinct_links(degree4_sequence(6), 4), 3.8);
+  // BR at q=4: windows look like 0x0y -> 3 distinct at best.
+  EXPECT_LE(mean_distinct_links(br_sequence(6), 4), 3.0);
+}
+
+TEST(Analysis, RenderReportMentionsKeyNumbers) {
+  const auto text = render_report(analyze(br_sequence(4)), "BR");
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("8"), std::string::npos);   // alpha of BR e=4
+  EXPECT_NE(text.find("yes"), std::string::npos);  // validity
+}
+
+TEST(Analysis, CompareOrderingsSkipsUndefinedDegree4) {
+  const auto small = compare_orderings(3);
+  EXPECT_EQ(small.find("degree-4"), std::string::npos);
+  const auto big = compare_orderings(5);
+  EXPECT_NE(big.find("degree-4"), std::string::npos);
+  EXPECT_NE(big.find("permuted-BR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jmh::ord

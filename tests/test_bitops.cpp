@@ -1,0 +1,65 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh {
+namespace {
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bitops, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1ull << 50), 50);
+  EXPECT_THROW(ilog2(0), std::invalid_argument);
+}
+
+TEST(Bitops, Ilog2Ceil) {
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(2), 1);
+  EXPECT_EQ(ilog2_ceil(3), 2);
+  EXPECT_EQ(ilog2_ceil(4), 2);
+  EXPECT_EQ(ilog2_ceil(5), 3);
+}
+
+TEST(Bitops, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(127, 7), 19u);  // the paper's e=7 lower bound
+  EXPECT_THROW(ceil_div(1, 0), std::invalid_argument);
+}
+
+TEST(Bitops, GrayCodeAdjacentDifferInOneBit) {
+  for (std::uint64_t i = 0; i + 1 < 256; ++i) {
+    const std::uint64_t diff = gray_code(i) ^ gray_code(i + 1);
+    EXPECT_TRUE(is_pow2(diff)) << "i=" << i;
+  }
+}
+
+TEST(Bitops, GrayRankInvertsGrayCode) {
+  for (std::uint64_t i = 0; i < 1024; ++i) EXPECT_EQ(gray_rank(gray_code(i)), i);
+}
+
+TEST(Bitops, GrayCodeIsPermutation) {
+  std::vector<bool> seen(256, false);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const std::uint64_t g = gray_code(i);
+    ASSERT_LT(g, 256u);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+}  // namespace
+}  // namespace jmh

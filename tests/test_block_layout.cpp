@@ -1,0 +1,70 @@
+#include "solve/block_layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::solve {
+namespace {
+
+TEST(BlockLayout, EvenSplit) {
+  const BlockLayout l(16, 2);  // 8 blocks of 2
+  EXPECT_EQ(l.num_blocks(), 8u);
+  for (ord::BlockId b = 0; b < 8; ++b) {
+    EXPECT_EQ(l.block_size(b), 2u);
+    EXPECT_EQ(l.block_begin(b), 2u * b);
+  }
+}
+
+TEST(BlockLayout, UnevenSplitDiffersByAtMostOne) {
+  const BlockLayout l(13, 2);  // 8 blocks over 13 columns
+  std::size_t total = 0;
+  std::size_t smallest = 13, largest = 0;
+  for (ord::BlockId b = 0; b < l.num_blocks(); ++b) {
+    const std::size_t s = l.block_size(b);
+    total += s;
+    smallest = std::min(smallest, s);
+    largest = std::max(largest, s);
+  }
+  EXPECT_EQ(total, 13u);
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(BlockLayout, BlocksArePartition) {
+  const BlockLayout l(37, 3);
+  std::size_t next = 0;
+  for (ord::BlockId b = 0; b < l.num_blocks(); ++b) {
+    EXPECT_EQ(l.block_begin(b), next);
+    next += l.block_size(b);
+  }
+  EXPECT_EQ(next, 37u);
+}
+
+TEST(BlockLayout, BlockOfInvertsBegin) {
+  const BlockLayout l(37, 3);
+  for (std::size_t col = 0; col < 37; ++col) {
+    const ord::BlockId b = l.block_of(col);
+    EXPECT_GE(col, l.block_begin(b));
+    EXPECT_LT(col, l.block_begin(b) + l.block_size(b));
+  }
+}
+
+TEST(BlockLayout, InitialAssignment) {
+  const BlockLayout l(16, 2);
+  EXPECT_EQ(l.initial_fixed(0), 0u);
+  EXPECT_EQ(l.initial_mobile(0), 1u);
+  EXPECT_EQ(l.initial_fixed(3), 6u);
+  EXPECT_EQ(l.initial_mobile(3), 7u);
+}
+
+TEST(BlockLayout, RejectsTooFewColumns) {
+  EXPECT_THROW(BlockLayout(7, 2), std::invalid_argument);  // 8 blocks need >= 8 cols
+}
+
+TEST(BlockLayout, PaperBlockCount) {
+  // Paper 2.3.1: m columns grouped into 2^{d+1} blocks of m/2^{d+1}.
+  const BlockLayout l(64, 3);
+  EXPECT_EQ(l.num_blocks(), 16u);
+  EXPECT_EQ(l.block_size(5), 4u);
+}
+
+}  // namespace
+}  // namespace jmh::solve

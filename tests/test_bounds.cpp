@@ -1,0 +1,60 @@
+#include "ord/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::ord {
+namespace {
+
+TEST(Bounds, LowerBoundMatchesPaperTable1) {
+  // ceil((2^e - 1)/e); see DESIGN.md note 3 -- the paper prints 58 for e=9
+  // where the formula gives 57, flagged in EXPERIMENTS.md.
+  EXPECT_EQ(alpha_lower_bound(7), 19u);
+  EXPECT_EQ(alpha_lower_bound(8), 32u);
+  EXPECT_EQ(alpha_lower_bound(9), 57u);
+  EXPECT_EQ(alpha_lower_bound(10), 103u);
+  EXPECT_EQ(alpha_lower_bound(11), 187u);
+  EXPECT_EQ(alpha_lower_bound(12), 342u);
+  EXPECT_EQ(alpha_lower_bound(13), 631u);
+  EXPECT_EQ(alpha_lower_bound(14), 1171u);
+}
+
+TEST(Bounds, LowerBoundSmallCases) {
+  EXPECT_EQ(alpha_lower_bound(1), 1u);
+  EXPECT_EQ(alpha_lower_bound(2), 2u);
+  EXPECT_EQ(alpha_lower_bound(3), 3u);
+  EXPECT_EQ(alpha_lower_bound(4), 4u);
+  EXPECT_EQ(alpha_lower_bound(5), 7u);
+  EXPECT_EQ(alpha_lower_bound(6), 11u);
+}
+
+TEST(Bounds, BrAlpha) {
+  EXPECT_EQ(br_alpha(1), 1u);
+  EXPECT_EQ(br_alpha(5), 16u);
+  EXPECT_EQ(br_alpha(10), 512u);
+}
+
+TEST(Bounds, PermutedBrBoundFormula) {
+  // Theorem 2: 2^e/(e-1) + 2^{e-2}/(e-1) - 2^e/(e-1)^2.
+  EXPECT_NEAR(permuted_br_alpha_bound(9), 512.0 / 8 + 128.0 / 8 - 512.0 / 64, 1e-12);
+  EXPECT_NEAR(permuted_br_alpha_bound(17), 131072.0 / 16 + 32768.0 / 16 - 131072.0 / 256,
+              1e-9);
+}
+
+TEST(Bounds, RatioTendsTo125) {
+  // Theorem 3: bound / lower-bound -> 1.25 for large e.
+  for (int e : {33, 49, 62}) {
+    const double ratio =
+        permuted_br_alpha_bound(e) / static_cast<double>(alpha_lower_bound(e));
+    EXPECT_NEAR(ratio, permuted_br_asymptotic_ratio(), 0.08) << "e=" << e;
+  }
+}
+
+TEST(Bounds, RangeChecks) {
+  EXPECT_THROW(alpha_lower_bound(0), std::invalid_argument);
+  EXPECT_THROW(alpha_lower_bound(63), std::invalid_argument);
+  EXPECT_THROW(br_alpha(0), std::invalid_argument);
+  EXPECT_THROW(permuted_br_alpha_bound(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmh::ord

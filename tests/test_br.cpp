@@ -1,0 +1,79 @@
+#include "ord/br.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ord/bounds.hpp"
+
+namespace jmh::ord {
+namespace {
+
+TEST(Br, SmallSequencesMatchPaper) {
+  EXPECT_EQ(br_sequence(1).to_string(), "0");
+  EXPECT_EQ(br_sequence(2).to_string(), "010");
+  EXPECT_EQ(br_sequence(3).to_string(), "0102010");
+  // Paper 2.3.1: "the sequence of links for e=4 is D4BR = <010201030102010>".
+  EXPECT_EQ(br_sequence(4).to_string(), "010201030102010");
+}
+
+TEST(Br, RecursiveStructure) {
+  // D_i = <D_{i-1}, i-1, D_{i-1}>.
+  for (int e = 2; e <= 12; ++e) {
+    const auto smaller = br_sequence(e - 1).links();
+    const auto larger = br_sequence(e).links();
+    ASSERT_EQ(larger.size(), 2 * smaller.size() + 1);
+    for (std::size_t i = 0; i < smaller.size(); ++i) {
+      EXPECT_EQ(larger[i], smaller[i]);
+      EXPECT_EQ(larger[smaller.size() + 1 + i], smaller[i]);
+    }
+    EXPECT_EQ(larger[smaller.size()], e - 1);
+  }
+}
+
+TEST(Br, LinkAtMatchesSequence) {
+  const auto seq = br_sequence(10);
+  for (std::size_t t = 1; t <= seq.size(); ++t)
+    EXPECT_EQ(br_link_at(t), seq[t - 1]);
+}
+
+class BrValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrValidityTest, IsESequence) {
+  EXPECT_TRUE(br_sequence(GetParam()).is_valid());
+}
+
+TEST_P(BrValidityTest, AlphaIsHalfLengthPlusHalf) {
+  // alpha(D_e^BR) = 2^{e-1}: link 0 occupies every other position.
+  const int e = GetParam();
+  EXPECT_EQ(static_cast<std::uint64_t>(br_sequence(e).alpha()), br_alpha(e));
+}
+
+TEST_P(BrValidityTest, EveryWindowIsHalfZeros) {
+  // Section 2.4: any subsequence of Q consecutive elements has at least
+  // floor(Q/2) elements equal to 0 -- the reason pipelined BR gains at most 2x.
+  const int e = GetParam();
+  const auto seq = br_sequence(e);
+  for (std::size_t q : {2u, 3u, 4u, 7u}) {
+    if (q > seq.size()) continue;
+    for (std::size_t i = 0; i + q <= seq.size(); ++i) {
+      std::size_t zeros = 0;
+      for (std::size_t j = i; j < i + q; ++j)
+        if (seq[j] == 0) ++zeros;
+      EXPECT_GE(zeros, q / 2) << "e=" << e << " window at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, BrValidityTest, ::testing::Range(1, 15));
+
+TEST(Br, HistogramIsGeometric) {
+  // Link i appears 2^{e-1-i} times.
+  const int e = 9;
+  const auto h = br_sequence(e).histogram();
+  for (int i = 0; i < e; ++i)
+    EXPECT_EQ(h[static_cast<std::size_t>(i)], 1 << (e - 1 - i)) << i;
+}
+
+TEST(Br, LinkAtRejectsZero) { EXPECT_THROW(br_link_at(0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace jmh::ord

@@ -1,0 +1,73 @@
+#include "la/brent_luk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/eigen_check.hpp"
+#include "la/sym_gen.hpp"
+
+namespace jmh::la {
+namespace {
+
+TEST(BrentLuk, RoundsAreDisjointPairings) {
+  const std::size_t m = 12;
+  for (std::size_t round = 0; round + 1 < m; ++round) {
+    const auto pairs = brent_luk_round(m, round);
+    ASSERT_EQ(pairs.size(), m / 2);
+    std::vector<bool> used(m, false);
+    for (auto [i, j] : pairs) {
+      ASSERT_LT(i, m);
+      ASSERT_LT(j, m);
+      EXPECT_NE(i, j);
+      EXPECT_FALSE(used[i]);
+      EXPECT_FALSE(used[j]);
+      used[i] = used[j] = true;
+    }
+  }
+}
+
+TEST(BrentLuk, SweepCoversAllPairsOnce) {
+  for (std::size_t m : {4u, 8u, 10u, 16u}) {
+    EXPECT_TRUE(is_complete_pattern(brent_luk_sweep(m), m)) << m;
+  }
+}
+
+TEST(BrentLuk, ColumnZeroAlwaysPlays) {
+  const std::size_t m = 8;
+  for (std::size_t round = 0; round + 1 < m; ++round) {
+    const auto pairs = brent_luk_round(m, round);
+    const bool zero_plays = std::any_of(pairs.begin(), pairs.end(), [](const auto& p) {
+      return p.first == 0 || p.second == 0;
+    });
+    EXPECT_TRUE(zero_plays) << round;
+  }
+}
+
+TEST(BrentLuk, RejectsOddOrZeroM) {
+  EXPECT_THROW(brent_luk_round(7, 0), std::invalid_argument);
+  EXPECT_THROW(brent_luk_round(0, 0), std::invalid_argument);
+  EXPECT_THROW(brent_luk_round(8, 7), std::invalid_argument);
+}
+
+TEST(BrentLuk, SolvesEigenproblem) {
+  Xoshiro256 rng(61);
+  const Matrix a = random_uniform_symmetric(16, rng);
+  const auto r = onesided_jacobi(a, brent_luk_provider(16));
+  ASSERT_TRUE(r.converged);
+  const auto ref = onesided_jacobi_cyclic(a);
+  EXPECT_LT(spectrum_distance(r.eigenvalues, ref.eigenvalues), 1e-9);
+  EXPECT_LT(eigenpair_residual(a, r.eigenvalues, r.eigenvectors), 1e-10);
+}
+
+TEST(BrentLuk, ConvergenceComparableToCyclic) {
+  // Round-robin vs row-cyclic: both converge within a couple of sweeps of
+  // each other on random symmetric matrices.
+  Xoshiro256 rng(67);
+  const Matrix a = random_uniform_symmetric(24, rng);
+  const auto bl = onesided_jacobi(a, brent_luk_provider(24));
+  const auto cy = onesided_jacobi_cyclic(a);
+  ASSERT_TRUE(bl.converged && cy.converged);
+  EXPECT_NEAR(static_cast<double>(bl.sweeps), static_cast<double>(cy.sweeps), 3.0);
+}
+
+}  // namespace
+}  // namespace jmh::la

@@ -1,0 +1,91 @@
+#include "ord/degree4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cube/path.hpp"
+
+namespace jmh::ord {
+namespace {
+
+TEST(Degree4, BuildingBlockE3) {
+  const auto e3 = degree4_building_block(3);
+  const std::vector<Link> expected = {0, 1, 2, 3, 0, 1, 2};
+  EXPECT_EQ(e3, expected);
+}
+
+TEST(Degree4, BuildingBlockRecursion) {
+  // E_i = <E_{i-1}, i, E_{i-1}>.
+  for (int i = 4; i <= 10; ++i) {
+    const auto smaller = degree4_building_block(i - 1);
+    const auto larger = degree4_building_block(i);
+    ASSERT_EQ(larger.size(), 2 * smaller.size() + 1);
+    EXPECT_EQ(larger[smaller.size()], i);
+    for (std::size_t p = 0; p < smaller.size(); ++p) {
+      EXPECT_EQ(larger[p], smaller[p]);
+      EXPECT_EQ(larger[smaller.size() + 1 + p], smaller[p]);
+    }
+  }
+}
+
+TEST(Degree4, PaperExampleE5) {
+  // Section 3.3: D5D4 = <0123012401230121012301240123012>.
+  EXPECT_EQ(degree4_sequence(5).to_string(), "0123012401230121012301240123012");
+}
+
+class Degree4ValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Degree4ValidityTest, IsESequence) {
+  // Paper Theorem 1.
+  EXPECT_TRUE(degree4_sequence(GetParam()).is_valid());
+}
+
+TEST_P(Degree4ValidityTest, HasDegreeFour) {
+  // Paper Definition 2/3: the majority of length-4 windows are distinct.
+  EXPECT_EQ(degree4_sequence(GetParam()).degree(), 4);
+}
+
+TEST_P(Degree4ValidityTest, EndsNeighborInDimensionOne) {
+  // Lemma 1: start and end of the D_e^D4 walk differ in dimension 1.
+  const int e = GetParam();
+  const cube::Hypercube cube(e);
+  const cube::Node end = cube::walk_end(cube, 0, degree4_sequence(e).links());
+  EXPECT_EQ(cube.link_between(0, end), 1);
+}
+
+TEST_P(Degree4ValidityTest, ExactlyFourRepeatingWindows) {
+  // Section 3.3: only the four central length-4 windows straddling the
+  // middle "1" contain a repeat (for any e > 3).
+  const int e = GetParam();
+  const auto seq = degree4_sequence(e);
+  const auto stats = seq.window_stats(4);
+  std::size_t repeats = 0;
+  for (const auto& w : stats)
+    if (w.max_mult > 1) ++repeats;
+  EXPECT_EQ(repeats, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, Degree4ValidityTest, ::testing::Range(4, 16));
+
+TEST(Degree4, CentralRepeatingWindowsAreThePaperOnes) {
+  // For e=5 the repeating windows are <0121>, <1210>, <2101>, <1012>.
+  const auto seq = degree4_sequence(5);
+  const auto stats = seq.window_stats(4);
+  std::vector<std::string> repeats;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (stats[i].max_mult > 1) {
+      std::string w;
+      for (std::size_t j = i; j < i + 4; ++j) w += static_cast<char>('0' + seq[j]);
+      repeats.push_back(w);
+    }
+  }
+  const std::vector<std::string> expected = {"0121", "1210", "2101", "1012"};
+  EXPECT_EQ(repeats, expected);
+}
+
+TEST(Degree4, RejectsSmallE) {
+  EXPECT_THROW(degree4_sequence(3), std::invalid_argument);
+  EXPECT_THROW(degree4_building_block(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmh::ord

@@ -1,0 +1,65 @@
+#include "cube/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::cube {
+namespace {
+
+TEST(Embedding, RoundTrip) {
+  const int d = 5;
+  for (std::uint64_t pos = 0; pos < (1u << d); ++pos)
+    EXPECT_EQ(cube_to_ring(d, ring_to_cube(d, pos)), pos);
+}
+
+TEST(Embedding, DilationOne) {
+  // Consecutive ring positions map to cube neighbors -- including the
+  // wraparound edge.
+  const int d = 6;
+  const Hypercube cube(d);
+  for (std::uint64_t pos = 0; pos < cube.num_nodes(); ++pos) {
+    const Node a = ring_to_cube(d, pos);
+    const Node b = ring_to_cube(d, pos + 1);  // pos+1 wraps via modulo
+    EXPECT_EQ(cube.distance(a, b), 1) << pos;
+  }
+}
+
+TEST(Embedding, StepLinksAreValid) {
+  const int d = 4;
+  const Hypercube cube(d);
+  for (std::uint64_t pos = 0; pos < cube.num_nodes(); ++pos) {
+    const Link l = ring_step_link(d, pos);
+    EXPECT_TRUE(cube.valid_link(l));
+    EXPECT_EQ(cube.neighbor(ring_to_cube(d, pos), l), ring_to_cube(d, pos + 1));
+  }
+}
+
+TEST(Embedding, WraparoundUsesTopDimension) {
+  // Gray code: last word is 100..0, so the wrap edge flips the top bit.
+  const int d = 5;
+  EXPECT_EQ(ring_step_link(d, (1u << d) - 1), d - 1);
+}
+
+TEST(Embedding, EmbeddingIsPermutation) {
+  const int d = 5;
+  const auto ring = ring_embedding(d);
+  std::vector<bool> seen(1u << d, false);
+  for (Node n : ring) {
+    ASSERT_LT(n, 1u << d);
+    EXPECT_FALSE(seen[n]);
+    seen[n] = true;
+  }
+}
+
+TEST(Embedding, StepLinkHistogramIsBrLike) {
+  // The Gray ring uses link i exactly 2^{d-1-i} times per lap (plus the
+  // wrap edge on link d-1): the same geometric histogram as D_d^BR -- the
+  // structural reason BR-style sequences hammer link 0.
+  const int d = 6;
+  std::vector<int> hist(d, 0);
+  for (std::uint64_t pos = 0; pos < (1u << d); ++pos) ++hist[ring_step_link(d, pos)];
+  for (int i = 0; i + 1 < d; ++i) EXPECT_EQ(hist[i], 1 << (d - 1 - i)) << i;
+  EXPECT_EQ(hist[d - 1], 2);  // closing edge adds one to the top dimension
+}
+
+}  // namespace
+}  // namespace jmh::cube

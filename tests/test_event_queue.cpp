@@ -1,0 +1,89 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jmh::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(q.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, NowAdvancesDuringRun) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(5.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(EventQueue, ActionsCanScheduleMore) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(2.0, [&] { times.push_back(q.now()); });
+  });
+  EXPECT_DOUBLE_EQ(q.run(), 3.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+  EventQueue q;
+  q.schedule(2.0, [&] {
+    EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  });
+  q.run();
+}
+
+TEST(EventQueue, StepOneAtATime) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_EQ(q.pending(), 2u);
+  q.step();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.step();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.step(), std::invalid_argument);
+}
+
+TEST(EventQueue, EmptyRunReturnsZero) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.run(), 0.0);
+}
+
+TEST(EventQueue, CascadedChainReachesDepth) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) q.schedule_in(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  EXPECT_DOUBLE_EQ(q.run(), 99.0);
+  EXPECT_EQ(depth, 100);
+}
+
+}  // namespace
+}  // namespace jmh::sim

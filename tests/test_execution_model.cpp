@@ -1,0 +1,106 @@
+#include "pipe/execution_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::pipe {
+namespace {
+
+ExecutionParams paper_exec() {
+  ExecutionParams e;
+  e.machine.ts = 1000.0;
+  e.machine.tw = 100.0;
+  e.t_flop = 1.0;
+  return e;
+}
+
+TEST(ExecutionModel, ComputeScalesInverselyWithNodes) {
+  const auto exec = paper_exec();
+  ProblemParams small, large;
+  small.d = 3;
+  large.d = 5;
+  small.m = large.m = 1 << 12;
+  EXPECT_NEAR(sweep_compute_time(small, exec) / sweep_compute_time(large, exec), 4.0, 1e-9);
+}
+
+TEST(ExecutionModel, SequentialMatchesSingleNodeWork) {
+  const auto exec = paper_exec();
+  ProblemParams p;
+  p.d = 3;
+  p.m = 1 << 10;
+  // 2^d nodes each hold 1/2^d of the pairings.
+  EXPECT_NEAR(sequential_sweep_time(p.m, exec),
+              sweep_compute_time(p, exec) * std::ldexp(1.0, p.d), 1e-3);
+}
+
+TEST(ExecutionModel, TotalsAddUp) {
+  const auto exec = paper_exec();
+  ProblemParams p;
+  p.d = 4;
+  p.m = 1 << 12;
+  const auto r = sweep_execution(ord::OrderingKind::Degree4, p, exec);
+  EXPECT_NEAR(r.total, r.compute + r.comm, 1e-9);
+  EXPECT_NEAR(r.comm_fraction, r.comm / r.total, 1e-12);
+  EXPECT_GT(r.comm, 0.0);
+  EXPECT_GT(r.compute, 0.0);
+}
+
+TEST(ExecutionModel, PipeliningImprovesExecutionTime) {
+  const auto exec = paper_exec();
+  ProblemParams p;
+  p.d = 6;
+  p.m = 1 << 14;
+  const auto base = sweep_execution_unpipelined(p, exec);
+  for (auto kind : {ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
+                    ord::OrderingKind::Degree4}) {
+    EXPECT_LE(sweep_execution(kind, p, exec).total, base.total + 1e-6);
+  }
+}
+
+TEST(ExecutionModel, OrderingChoiceMattersWhenCommBound) {
+  // Communication-bound regime (slow network relative to flops): degree-4
+  // must beat BR end-to-end, not just on the comm term.
+  ExecutionParams exec = paper_exec();
+  exec.t_flop = 0.01;  // fast CPU -> comm dominates
+  ProblemParams p;
+  p.d = 8;
+  p.m = 1 << 14;
+  const double br = sweep_execution(ord::OrderingKind::BR, p, exec).total;
+  const double d4 = sweep_execution(ord::OrderingKind::Degree4, p, exec).total;
+  EXPECT_LT(d4, 0.7 * br);
+}
+
+TEST(ExecutionModel, OrderingChoiceIrrelevantWhenComputeBound) {
+  ExecutionParams exec = paper_exec();
+  exec.t_flop = 1000.0;  // slow CPU -> compute dominates
+  ProblemParams p;
+  p.d = 4;
+  p.m = 1 << 10;
+  const double br = sweep_execution(ord::OrderingKind::BR, p, exec).total;
+  const double d4 = sweep_execution(ord::OrderingKind::Degree4, p, exec).total;
+  EXPECT_NEAR(d4 / br, 1.0, 0.01);
+}
+
+TEST(ExecutionModel, SpeedupBoundedByNodeCount) {
+  const auto exec = paper_exec();
+  for (int d : {2, 4, 6}) {
+    ProblemParams p;
+    p.d = d;
+    p.m = 1 << 13;
+    const double s = sweep_speedup(ord::OrderingKind::PermutedBR, p, exec);
+    EXPECT_GT(s, 1.0) << d;
+    EXPECT_LE(s, std::ldexp(1.0, d) + 1e-9) << d;
+  }
+}
+
+TEST(ExecutionModel, SpeedupImprovesWithBetterOrdering) {
+  ExecutionParams exec = paper_exec();
+  exec.t_flop = 0.05;
+  ProblemParams p;
+  p.d = 8;
+  p.m = 1 << 14;
+  EXPECT_GT(sweep_speedup(ord::OrderingKind::Degree4, p, exec),
+            sweep_speedup(ord::OrderingKind::BR, p, exec));
+}
+
+}  // namespace
+}  // namespace jmh::pipe

@@ -1,0 +1,112 @@
+#include "cube/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace jmh::cube {
+namespace {
+
+TEST(Hypercube, Sizes) {
+  const Hypercube c(4);
+  EXPECT_EQ(c.dimension(), 4);
+  EXPECT_EQ(c.num_nodes(), 16u);
+  EXPECT_EQ(c.num_links(), 32u);  // 16 nodes * 4 links / 2
+}
+
+TEST(Hypercube, DimensionZero) {
+  const Hypercube c(0);
+  EXPECT_EQ(c.num_nodes(), 1u);
+  EXPECT_EQ(c.num_links(), 0u);
+}
+
+TEST(Hypercube, RejectsBadDimension) {
+  EXPECT_THROW(Hypercube(-1), std::invalid_argument);
+  EXPECT_THROW(Hypercube(Hypercube::kMaxDimension + 1), std::invalid_argument);
+}
+
+TEST(Hypercube, NeighborFlipsExactlyOneBit) {
+  const Hypercube c(5);
+  for (Node n = 0; n < c.num_nodes(); ++n) {
+    for (Link l = 0; l < c.dimension(); ++l) {
+      const Node nb = c.neighbor(n, l);
+      EXPECT_EQ(n ^ nb, Node{1} << l);
+      EXPECT_EQ(c.neighbor(nb, l), n);  // involutive
+    }
+  }
+}
+
+TEST(Hypercube, PaperExampleNode2Link1ReachesNode0) {
+  // Paper section 2.1: "node 2 uses link 1 (or dimension 1) to send
+  // messages to node 0".
+  const Hypercube c(3);
+  EXPECT_EQ(c.neighbor(2, 1), 0u);
+}
+
+TEST(Hypercube, LinkBetween) {
+  const Hypercube c(4);
+  EXPECT_EQ(c.link_between(0, 1), 0);
+  EXPECT_EQ(c.link_between(0, 8), 3);
+  EXPECT_EQ(c.link_between(5, 7), 1);
+  EXPECT_EQ(c.link_between(0, 3), -1);  // distance 2
+  EXPECT_EQ(c.link_between(6, 6), -1);  // same node
+}
+
+TEST(Hypercube, DistanceIsHamming) {
+  const Hypercube c(4);
+  EXPECT_EQ(c.distance(0, 15), 4);
+  EXPECT_EQ(c.distance(5, 5), 0);
+  EXPECT_EQ(c.distance(0b1010, 0b0110), 2);
+}
+
+TEST(Hypercube, NeighborsList) {
+  const Hypercube c(3);
+  const auto nb = c.neighbors(5);  // 101 -> 100, 111, 001
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 4u);
+  EXPECT_EQ(nb[1], 7u);
+  EXPECT_EQ(nb[2], 1u);
+}
+
+TEST(Hypercube, SubcubeMembers) {
+  const Hypercube c(4);
+  const auto sub = c.subcube_members(0b1010, 2);  // low 2 dims of base 1000
+  ASSERT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub[0], 0b1000u);
+  EXPECT_EQ(sub[3], 0b1011u);
+  // Whole cube.
+  EXPECT_EQ(c.subcube_members(3, 4).size(), 16u);
+  // Trivial subcube.
+  const auto self = c.subcube_members(7, 0);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], 7u);
+}
+
+TEST(Hypercube, GrayPathVisitsAllNodesOnce) {
+  const Hypercube c(6);
+  const auto path = c.gray_path();
+  ASSERT_EQ(path.size(), c.num_nodes());
+  std::vector<bool> seen(c.num_nodes(), false);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    EXPECT_FALSE(seen[path[i]]);
+    seen[path[i]] = true;
+    if (i > 0) EXPECT_EQ(c.distance(path[i - 1], path[i]), 1);
+  }
+}
+
+class HypercubeDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeDimTest, EveryNodeHasDDistinctNeighbors) {
+  const Hypercube c(GetParam());
+  for (Node n = 0; n < c.num_nodes(); ++n) {
+    auto nb = c.neighbors(n);
+    std::sort(nb.begin(), nb.end());
+    EXPECT_EQ(std::adjacent_find(nb.begin(), nb.end()), nb.end());
+    EXPECT_EQ(nb.size(), static_cast<std::size_t>(c.dimension()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeDimTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace jmh::cube

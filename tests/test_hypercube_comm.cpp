@@ -1,0 +1,82 @@
+#include "net/hypercube_comm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::net {
+namespace {
+
+TEST(HypercubeComm, RequiresPowerOfTwo) {
+  Universe u(3);
+  EXPECT_THROW(u.run([](Comm& c) { HypercubeComm hc(c); }), std::invalid_argument);
+}
+
+TEST(HypercubeComm, DimensionAndNeighbors) {
+  Universe u(8);
+  u.run([](Comm& c) {
+    HypercubeComm hc(c);
+    EXPECT_EQ(hc.dimension(), 3);
+    EXPECT_EQ(hc.node(), static_cast<cube::Node>(c.rank()));
+    for (cube::Link l = 0; l < 3; ++l)
+      EXPECT_EQ(hc.neighbor(l), static_cast<cube::Node>(c.rank() ^ (1 << l)));
+  });
+}
+
+TEST(HypercubeComm, ExchangeAcrossEachDimension) {
+  Universe u(8);
+  u.run([](Comm& c) {
+    HypercubeComm hc(c);
+    for (cube::Link l = 0; l < 3; ++l) {
+      const double mine = static_cast<double>(c.rank());
+      const Payload got = hc.exchange(l, std::span<const double>(&mine, 1));
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], static_cast<double>(c.rank() ^ (1 << l)));
+    }
+  });
+}
+
+TEST(HypercubeComm, DirectedSendRecv) {
+  Universe u(4);
+  u.run([](Comm& c) {
+    HypercubeComm hc(c);
+    // Everyone sends its rank across link 0 and receives the neighbor's.
+    const double mine = static_cast<double>(c.rank());
+    hc.send(0, std::span<const double>(&mine, 1));
+    const Payload got = hc.recv(0);
+    EXPECT_EQ(got[0], static_cast<double>(c.rank() ^ 1));
+  });
+}
+
+TEST(HypercubeComm, TagsIsolateConcurrentExchanges) {
+  Universe u(4);
+  u.run([](Comm& c) {
+    HypercubeComm hc(c);
+    // Issue sends on two links with distinct tags before receiving either;
+    // matching must not cross over.
+    const double a = 10.0 + c.rank(), b = 20.0 + c.rank();
+    hc.send(0, std::span<const double>(&a, 1), /*tag=*/1);
+    hc.send(1, std::span<const double>(&b, 1), /*tag=*/2);
+    EXPECT_EQ(hc.recv(0, 1)[0], 10.0 + (c.rank() ^ 1));
+    EXPECT_EQ(hc.recv(1, 2)[0], 20.0 + (c.rank() ^ 2));
+  });
+}
+
+TEST(HypercubeComm, InvalidLinkRejected) {
+  Universe u(2);
+  EXPECT_THROW(u.run([](Comm& c) {
+    HypercubeComm hc(c);
+    const double x = 0.0;
+    hc.exchange(1, std::span<const double>(&x, 1));
+  }),
+               std::invalid_argument);
+}
+
+TEST(HypercubeComm, SingleNodeCube) {
+  Universe u(1);
+  u.run([](Comm& c) {
+    HypercubeComm hc(c);
+    EXPECT_EQ(hc.dimension(), 0);
+  });
+}
+
+}  // namespace
+}  // namespace jmh::net

@@ -1,0 +1,114 @@
+#include "solve/jacobi_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/sym_gen.hpp"
+
+namespace jmh::solve {
+namespace {
+
+la::Matrix test_matrix(std::size_t n, std::uint64_t seed = 3) {
+  Xoshiro256 rng(seed);
+  return la::random_uniform_symmetric(n, rng);
+}
+
+TEST(ColumnBlock, ExtractHoldsMatrixColumnsAndIdentity) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  const ColumnBlock blk = extract_block(a, layout, 3);
+  EXPECT_EQ(blk.id, 3u);
+  EXPECT_EQ(blk.rows, 16u);
+  ASSERT_EQ(blk.num_cols(), 2u);
+  EXPECT_EQ(blk.cols[0], 6u);
+  EXPECT_EQ(blk.cols[1], 7u);
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(blk.b[r], a(r, 6));
+    EXPECT_EQ(blk.b[16 + r], a(r, 7));
+    EXPECT_EQ(blk.v[r], r == 6 ? 1.0 : 0.0);
+    EXPECT_EQ(blk.v[16 + r], r == 7 ? 1.0 : 0.0);
+  }
+}
+
+TEST(ColumnBlock, SerializeRoundTrip) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  const ColumnBlock blk = extract_block(a, layout, 5);
+  const ColumnBlock back = ColumnBlock::deserialize(blk.serialize());
+  EXPECT_EQ(back.id, blk.id);
+  EXPECT_EQ(back.rows, blk.rows);
+  EXPECT_EQ(back.cols, blk.cols);
+  EXPECT_EQ(back.b, blk.b);
+  EXPECT_EQ(back.v, blk.v);
+}
+
+TEST(ColumnBlock, DeserializeRejectsGarbage) {
+  EXPECT_THROW(ColumnBlock::deserialize({1.0}), std::invalid_argument);
+  EXPECT_THROW(ColumnBlock::deserialize({1.0, 2.0, 3.0, 4.0}), std::invalid_argument);
+}
+
+TEST(JacobiNode, InitialBlocks) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  const JacobiNode node(a, layout, 2);
+  EXPECT_EQ(node.fixed().id, 4u);
+  EXPECT_EQ(node.mobile().id, 5u);
+}
+
+TEST(JacobiNode, IntraBlockPairingsRotate) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 1);  // 4 blocks of 4 columns
+  JacobiNode node(a, layout, 0);
+  const std::size_t rotations = node.intra_block_pairings(1e-12).rotations;
+  // 2 blocks x C(4,2) pairs, essentially all rotate on a random matrix.
+  EXPECT_GT(rotations, 8u);
+  EXPECT_LE(rotations, 12u);
+}
+
+TEST(JacobiNode, InterBlockPairingsCountCrossPairs) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 1);
+  JacobiNode node(a, layout, 0);
+  const std::size_t rotations = node.inter_block_pairings(1e-12).rotations;
+  EXPECT_LE(rotations, 16u);  // 4x4 cross pairs
+  EXPECT_GT(rotations, 10u);
+}
+
+TEST(JacobiNode, PairingOrthogonalizesWithinNode) {
+  const la::Matrix a = test_matrix(8);
+  const BlockLayout layout(8, 1);
+  JacobiNode node(a, layout, 0);
+  // One local sweep pass: intra + inter.
+  for (int pass = 0; pass < 25; ++pass) {
+    if (node.intra_block_pairings(1e-13).rotations +
+            node.inter_block_pairings(1e-13).rotations ==
+        0)
+      break;
+  }
+  // All resident columns pairwise orthogonal now.
+  auto& f = node.fixed();
+  auto& m = node.mobile();
+  for (std::size_t i = 0; i < f.num_cols(); ++i)
+    for (std::size_t j = 0; j < m.num_cols(); ++j)
+      EXPECT_NEAR(la::dot(f.col_b(i), m.col_b(j)), 0.0, 1e-8);
+}
+
+TEST(JacobiNode, PromoteMobileToFixedSwaps) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  JacobiNode node(a, layout, 1);
+  node.promote_mobile_to_fixed();
+  EXPECT_EQ(node.fixed().id, 3u);
+  EXPECT_EQ(node.mobile().id, 2u);
+}
+
+TEST(JacobiNode, InstallMobileReplaces) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  JacobiNode node(a, layout, 0);
+  ColumnBlock other = extract_block(a, layout, 7);
+  node.install_mobile(std::move(other));
+  EXPECT_EQ(node.mobile().id, 7u);
+}
+
+}  // namespace
+}  // namespace jmh::solve

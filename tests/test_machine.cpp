@@ -1,0 +1,68 @@
+#include "pipe/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::pipe {
+namespace {
+
+MachineParams paper_machine() {
+  MachineParams m;
+  m.ts = 1000.0;
+  m.tw = 100.0;
+  return m;
+}
+
+TEST(Machine, TransitionCost) {
+  const auto m = paper_machine();
+  EXPECT_DOUBLE_EQ(transition_cost(m, 50.0), 1000.0 + 50.0 * 100.0);
+}
+
+TEST(Machine, AllPortKernelCostMatchesPaperFormula) {
+  // Paper section 3.1: e*Ts + alpha*S*Tw for a deep kernel stage.
+  const auto m = paper_machine();
+  const int e = 5, alpha = 7, total = 31;
+  const double s = 10.0;
+  EXPECT_DOUBLE_EQ(comm_op_cost(m, e, alpha, total, s), e * 1000.0 + alpha * s * 100.0);
+}
+
+TEST(Machine, OnePortSerializesEverything) {
+  MachineParams m = paper_machine();
+  m.ports = 1;
+  EXPECT_DOUBLE_EQ(comm_op_cost(m, 3, 2, 5, 10.0), 3 * 1000.0 + 5 * 10.0 * 100.0);
+}
+
+TEST(Machine, KPortInterpolates) {
+  MachineParams m = paper_machine();
+  m.ports = 2;
+  // total 6 packets over 2 ports -> 3 serial rounds, even though max_mult=2.
+  EXPECT_DOUBLE_EQ(comm_op_cost(m, 3, 2, 6, 10.0), 3 * 1000.0 + 3 * 10.0 * 100.0);
+  // If one link dominates, max_mult governs.
+  EXPECT_DOUBLE_EQ(comm_op_cost(m, 3, 4, 6, 10.0), 3 * 1000.0 + 4 * 10.0 * 100.0);
+}
+
+TEST(Machine, AllPortDominatedByBusiestLink) {
+  const auto m = paper_machine();
+  EXPECT_DOUBLE_EQ(comm_op_cost(m, 4, 3, 10, 2.0), 4 * 1000.0 + 3 * 2.0 * 100.0);
+}
+
+TEST(Machine, ZeroMessagesIsFree) {
+  EXPECT_DOUBLE_EQ(comm_op_cost(paper_machine(), 0, 0, 0, 10.0), 0.0);
+}
+
+TEST(Machine, InvalidArgumentsRejected) {
+  EXPECT_THROW(comm_op_cost(paper_machine(), 1, 2, 1, 10.0), std::invalid_argument);
+  EXPECT_THROW(comm_op_cost(paper_machine(), 1, 1, 1, -1.0), std::invalid_argument);
+  MachineParams bad = paper_machine();
+  bad.ports = 0;
+  EXPECT_THROW(comm_op_cost(bad, 1, 1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Machine, AllPortFlag) {
+  MachineParams m;
+  EXPECT_TRUE(m.all_port());
+  m.ports = 3;
+  EXPECT_FALSE(m.all_port());
+}
+
+}  // namespace
+}  // namespace jmh::pipe

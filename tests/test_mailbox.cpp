@@ -1,0 +1,94 @@
+#include "net/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace jmh::net {
+namespace {
+
+TEST(Mailbox, DeliverThenReceive) {
+  Mailbox mb;
+  mb.deliver({1, 7, 0, {1.0, 2.0}});
+  const Message m = mb.receive(1, 7);
+  EXPECT_EQ(m.source, 1);
+  EXPECT_EQ(m.tag, 7);
+  EXPECT_EQ(m.data, (Payload{1.0, 2.0}));
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, MatchingBySourceAndTag) {
+  Mailbox mb;
+  mb.deliver({1, 5, 0, {1.0}});
+  mb.deliver({2, 5, 0, {2.0}});
+  mb.deliver({1, 6, 0, {3.0}});
+  EXPECT_EQ(mb.receive(1, 6).data[0], 3.0);
+  EXPECT_EQ(mb.receive(2, 5).data[0], 2.0);
+  EXPECT_EQ(mb.receive(1, 5).data[0], 1.0);
+}
+
+TEST(Mailbox, FifoPerSourceTag) {
+  Mailbox mb;
+  mb.deliver({0, 1, 0, {10.0}});
+  mb.deliver({0, 1, 1, {20.0}});
+  EXPECT_EQ(mb.receive(0, 1).data[0], 10.0);
+  EXPECT_EQ(mb.receive(0, 1).data[0], 20.0);
+}
+
+TEST(Mailbox, Probe) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.probe(0, 0));
+  mb.deliver({0, 0, 0, {}});
+  EXPECT_TRUE(mb.probe(0, 0));
+  EXPECT_FALSE(mb.probe(0, 1));
+  EXPECT_FALSE(mb.probe(1, 0));
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
+  Mailbox mb;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.deliver({3, 9, 0, {42.0}});
+  });
+  const Message m = mb.receive(3, 9);
+  sender.join();
+  EXPECT_EQ(m.data[0], 42.0);
+}
+
+TEST(Mailbox, PoisonMatchesAnyReceive) {
+  Mailbox mb;
+  mb.deliver({kPoisonSource, 0, 0, {}});
+  const Message m = mb.receive(5, 123);
+  EXPECT_EQ(m.source, kPoisonSource);
+  // Poison stays queued for further receivers.
+  EXPECT_EQ(mb.receive(6, 7).source, kPoisonSource);
+}
+
+TEST(Mailbox, ClearEmpties) {
+  Mailbox mb;
+  mb.deliver({0, 0, 0, {}});
+  mb.deliver({1, 0, 0, {}});
+  mb.clear();
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, ConcurrentDeliveries) {
+  Mailbox mb;
+  constexpr int kPerThread = 200;
+  std::thread a([&] {
+    for (int i = 0; i < kPerThread; ++i) mb.deliver({0, 1, 0, {static_cast<double>(i)}});
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kPerThread; ++i) mb.deliver({1, 1, 0, {static_cast<double>(i)}});
+  });
+  a.join();
+  b.join();
+  // FIFO per source must be preserved under concurrency.
+  for (int i = 0; i < kPerThread; ++i) {
+    EXPECT_EQ(mb.receive(0, 1).data[0], static_cast<double>(i));
+    EXPECT_EQ(mb.receive(1, 1).data[0], static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace jmh::net

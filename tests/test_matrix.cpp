@@ -1,0 +1,88 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::la {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t r = 0; r < 3; ++r) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(4);
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t r = 0; r < 4; ++r) EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  m(1, 1) = 4;
+  const auto& d = m.data();
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 3);
+  EXPECT_EQ(d[3], 4);
+}
+
+TEST(Matrix, ColSpanAliasesStorage) {
+  Matrix m(3, 3);
+  auto col = m.col(1);
+  col[2] = 7.5;
+  EXPECT_EQ(m(2, 1), 7.5);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::invalid_argument);
+  EXPECT_THROW(m(0, 2), std::invalid_argument);
+  EXPECT_THROW(m.col(2), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2), b(2, 2);
+  a(1, 1) = 3.0;
+  b(1, 1) = 5.5;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 2.5);
+}
+
+TEST(Matvec, KnownProduct) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> x = {1, 1, 1};
+  const auto y = matvec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Dot, Basics) {
+  const std::vector<double> x = {1, 2, 3}, y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+TEST(OffdiagFrobenius, CountsOnlyOffDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 100;
+  a(1, 1) = -50;
+  a(0, 1) = 3;
+  a(1, 0) = 4;
+  EXPECT_DOUBLE_EQ(offdiag_frobenius(a), 5.0);
+}
+
+}  // namespace
+}  // namespace jmh::la

@@ -1,0 +1,72 @@
+#include "ord/min_alpha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ord/bounds.hpp"
+
+namespace jmh::ord {
+namespace {
+
+TEST(MinAlpha, PaperSequencesAreValid) {
+  for (int e = 2; e <= kMaxPaperMinAlphaE; ++e)
+    EXPECT_TRUE(paper_min_alpha_sequence(e).is_valid()) << "e=" << e;
+}
+
+TEST(MinAlpha, PaperSequencesHaveClaimedAlpha) {
+  // Section 3.1: alpha = 2, 3, 4, 7, 11 for e = 2..6.
+  const int claimed[] = {2, 3, 4, 7, 11};
+  for (int e = 2; e <= 6; ++e)
+    EXPECT_EQ(paper_min_alpha_sequence(e).alpha(), claimed[e - 2]) << "e=" << e;
+}
+
+TEST(MinAlpha, PaperAlphasMeetTheLowerBound) {
+  // All published optima coincide with ceil((2^e-1)/e).
+  for (int e = 2; e <= 6; ++e)
+    EXPECT_EQ(static_cast<std::uint64_t>(paper_min_alpha_sequence(e).alpha()),
+              alpha_lower_bound(e))
+        << "e=" << e;
+}
+
+TEST(MinAlpha, RejectsOutOfRange) {
+  EXPECT_THROW(paper_min_alpha_sequence(1), std::invalid_argument);
+  EXPECT_THROW(paper_min_alpha_sequence(7), std::invalid_argument);
+}
+
+class MinAlphaSearchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinAlphaSearchTest, SearchAttainsLowerBound) {
+  const int e = GetParam();
+  const auto seq = search_min_alpha(e);
+  ASSERT_TRUE(seq.has_value()) << "search budget exhausted for e=" << e;
+  EXPECT_TRUE(seq->is_valid());
+  EXPECT_EQ(static_cast<std::uint64_t>(seq->alpha()), alpha_lower_bound(e));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, MinAlphaSearchTest, ::testing::Range(1, 6));
+
+TEST(MinAlphaSearch, InfeasibleBoundIsProvedInfeasible) {
+  // alpha = 1 cannot work for e = 3 (7 elements over 3 links).
+  const auto r = find_sequence_with_alpha(3, 1);
+  EXPECT_FALSE(r.sequence.has_value());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(MinAlphaSearch, GenerousBoundFindsBrLikeSequence) {
+  const auto r = find_sequence_with_alpha(4, 8);
+  ASSERT_TRUE(r.sequence.has_value());
+  EXPECT_TRUE(r.sequence->is_valid());
+  EXPECT_LE(r.sequence->alpha(), 8);
+}
+
+TEST(MinAlphaSearch, BudgetExhaustionReported) {
+  const auto r = find_sequence_with_alpha(6, static_cast<int>(alpha_lower_bound(6)), 10);
+  if (!r.sequence) EXPECT_FALSE(r.exhausted);
+}
+
+TEST(MinAlphaSearch, NodeCountIsCounted) {
+  const auto r = find_sequence_with_alpha(3, 3);
+  EXPECT_GT(r.nodes_expanded, 0u);
+}
+
+}  // namespace
+}  // namespace jmh::ord

@@ -1,0 +1,106 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::sim {
+namespace {
+
+SimConfig paper_config() {
+  SimConfig c;
+  c.machine.ts = 1000.0;
+  c.machine.tw = 100.0;
+  return c;
+}
+
+std::vector<NodeStage> uniform_stage(int d, NodeStage stage) {
+  return std::vector<NodeStage>(std::size_t{1} << d, std::move(stage));
+}
+
+TEST(NetworkSim, SingleMessageStage) {
+  const Network net(3, paper_config());
+  const double t = net.run_stage(uniform_stage(3, {{0, 50.0}}));
+  EXPECT_DOUBLE_EQ(t, 1000.0 + 50.0 * 100.0);
+}
+
+TEST(NetworkSim, MultiLinkAllPortParallelTransmission) {
+  // Three messages on distinct links: 3 startups serialized, transmissions
+  // parallel -> 3*ts + max(elems)*tw.
+  const Network net(3, paper_config());
+  const double t = net.run_stage(uniform_stage(3, {{0, 10.0}, {1, 30.0}, {2, 20.0}}));
+  EXPECT_DOUBLE_EQ(t, 3 * 1000.0 + 30.0 * 100.0);
+}
+
+TEST(NetworkSim, MatchesCommOpCostClosedForm) {
+  const auto cfg = paper_config();
+  const Network net(4, cfg);
+  // Window with multiplicities 3,2,1,1 packets of 8 elements.
+  const NodeStage stage = {{0, 24.0}, {1, 16.0}, {2, 8.0}, {3, 8.0}};
+  const double simulated = net.run_stage(uniform_stage(4, stage));
+  const double model = pipe::comm_op_cost(cfg.machine, 4, 3, 7, 8.0);
+  EXPECT_DOUBLE_EQ(simulated, model);
+}
+
+TEST(NetworkSim, OnePortSerializesTransmissions) {
+  SimConfig cfg = paper_config();
+  cfg.machine.ports = 1;
+  const Network net(2, cfg);
+  const double t = net.run_stage(uniform_stage(2, {{0, 10.0}, {1, 20.0}}));
+  // 2 startups + both transmissions back to back.
+  EXPECT_DOUBLE_EQ(t, 2 * 1000.0 + (10.0 + 20.0) * 100.0);
+}
+
+TEST(NetworkSim, TwoPortLimitsConcurrency) {
+  SimConfig cfg = paper_config();
+  cfg.machine.ports = 2;
+  const Network net(3, cfg);
+  // Three equal messages, 2 ports: two in parallel, then the third.
+  const double t = net.run_stage(uniform_stage(3, {{0, 10.0}, {1, 10.0}, {2, 10.0}}));
+  EXPECT_DOUBLE_EQ(t, 3 * 1000.0 + 2 * 10.0 * 100.0);
+}
+
+TEST(NetworkSim, OverlapStartupIsNeverSlower) {
+  SimConfig strict = paper_config();
+  SimConfig overlap = paper_config();
+  overlap.overlap_startup = true;
+  const NodeStage stage = {{0, 40.0}, {1, 10.0}, {2, 25.0}};
+  const double t_strict = Network(3, strict).run_stage(uniform_stage(3, stage));
+  const double t_overlap = Network(3, overlap).run_stage(uniform_stage(3, stage));
+  EXPECT_LE(t_overlap, t_strict);
+  // With overlap, the first transmission starts at ts: 1*ts + 40*tw bounds.
+  EXPECT_GE(t_overlap, 1000.0 + 40.0 * 100.0);
+}
+
+TEST(NetworkSim, EmptyStageIsFree) {
+  const Network net(2, paper_config());
+  EXPECT_DOUBLE_EQ(net.run_stage(uniform_stage(2, {})), 0.0);
+}
+
+TEST(NetworkSim, ZeroElementMessageStillPaysStartup) {
+  const Network net(1, paper_config());
+  EXPECT_DOUBLE_EQ(net.run_stage(uniform_stage(1, {{0, 0.0}})), 1000.0);
+}
+
+TEST(NetworkSim, DuplicateLinkRejected) {
+  const Network net(2, paper_config());
+  EXPECT_THROW(net.run_stage(uniform_stage(2, {{0, 1.0}, {0, 2.0}})), std::invalid_argument);
+}
+
+TEST(NetworkSim, WrongNodeCountRejected) {
+  const Network net(2, paper_config());
+  EXPECT_THROW(net.run_stage({{}, {}}), std::invalid_argument);  // 2 nodes given, 4 needed
+}
+
+TEST(NetworkSim, ProgramAccumulatesStages) {
+  const Network net(2, paper_config());
+  Program program;
+  program.push_back(uniform_stage(2, {{0, 10.0}}));
+  program.push_back(uniform_stage(2, {{1, 20.0}}));
+  const SimResult r = net.run_program(program);
+  ASSERT_EQ(r.stage_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.stage_times[0], 1000.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(r.stage_times[1], 1000.0 + 2000.0);
+  EXPECT_DOUBLE_EQ(r.makespan, r.stage_times[0] + r.stage_times[1]);
+}
+
+}  // namespace
+}  // namespace jmh::sim

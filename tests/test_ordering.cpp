@@ -1,0 +1,127 @@
+#include "ord/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ord/br.hpp"
+#include "ord/degree4.hpp"
+#include "ord/min_alpha.hpp"
+#include "ord/permuted_br.hpp"
+
+namespace jmh::ord {
+namespace {
+
+TEST(Ordering, StepsPerSweep) {
+  for (int d = 1; d <= 8; ++d) {
+    const JacobiOrdering ord(OrderingKind::BR, d);
+    EXPECT_EQ(ord.steps_per_sweep(), (std::size_t{2} << d) - 1);
+    EXPECT_EQ(ord.num_blocks(), std::size_t{2} << d);
+    EXPECT_EQ(ord.sweep_transitions(0).size(), ord.steps_per_sweep());
+  }
+}
+
+TEST(Ordering, PhaseDecomposition) {
+  const JacobiOrdering ord(OrderingKind::BR, 3);
+  const auto& phases = ord.phases();
+  // d exchange phases + d divisions + 1 last transition.
+  ASSERT_EQ(phases.size(), 7u);
+  EXPECT_EQ(phases[0].type, PhaseInfo::Type::Exchange);
+  EXPECT_EQ(phases[0].e, 3);
+  EXPECT_EQ(phases[0].num_steps, 7u);
+  EXPECT_EQ(phases[1].type, PhaseInfo::Type::Division);
+  EXPECT_EQ(phases[2].e, 2);
+  EXPECT_EQ(phases[2].num_steps, 3u);
+  EXPECT_EQ(phases[4].e, 1);
+  EXPECT_EQ(phases[6].type, PhaseInfo::Type::LastTransition);
+  // Contiguous coverage.
+  std::size_t next = 0;
+  for (const auto& p : phases) {
+    EXPECT_EQ(p.first_step, next);
+    next += p.num_steps;
+  }
+  EXPECT_EQ(next, ord.steps_per_sweep());
+}
+
+TEST(Ordering, TransitionLinksComeFromSequences) {
+  const JacobiOrdering ord(OrderingKind::PermutedBR, 4);
+  const auto ts = ord.sweep_transitions(0);
+  std::size_t pos = 0;
+  for (int e = 4; e >= 1; --e) {
+    const auto& seq = ord.exchange_sequence(e);
+    for (std::size_t i = 0; i < seq.size(); ++i, ++pos) {
+      EXPECT_EQ(ts[pos].link, seq[i]);
+      EXPECT_FALSE(ts[pos].division);
+    }
+    EXPECT_EQ(ts[pos].link, e - 1);  // division through link e-1
+    EXPECT_TRUE(ts[pos].division);
+    ++pos;
+  }
+  EXPECT_EQ(ts[pos].link, 3);  // last transition through link d-1
+  EXPECT_FALSE(ts[pos].division);
+}
+
+TEST(Ordering, SweepLinkRotation) {
+  // sigma_s(i) = (i - s) mod d.
+  const JacobiOrdering ord(OrderingKind::BR, 4);
+  EXPECT_EQ(ord.sweep_link_map(0, 2), 2);
+  EXPECT_EQ(ord.sweep_link_map(1, 2), 1);
+  EXPECT_EQ(ord.sweep_link_map(1, 0), 3);
+  EXPECT_EQ(ord.sweep_link_map(4, 2), 2);  // period d
+  EXPECT_EQ(ord.sweep_link_map(5, 2), 1);
+}
+
+TEST(Ordering, SweepTransitionsApplyRotation) {
+  const JacobiOrdering ord(OrderingKind::BR, 3);
+  const auto base = ord.sweep_transitions(0);
+  const auto next = ord.sweep_transitions(1);
+  ASSERT_EQ(base.size(), next.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(next[i].link, (base[i].link + 2) % 3) << i;  // (l - 1) mod 3
+    EXPECT_EQ(next[i].division, base[i].division);
+  }
+}
+
+TEST(Ordering, SequenceFamilies) {
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::BR, 5).links(), br_sequence(5).links());
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::PermutedBR, 5).links(),
+            permuted_br_sequence(5).links());
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::Degree4, 5).links(),
+            degree4_sequence(5).links());
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::MinAlpha, 5).links(),
+            paper_min_alpha_sequence(5).links());
+}
+
+TEST(Ordering, SequenceFallbacks) {
+  // degree-4 undefined for e<4 -> BR; min-alpha beyond e=6 -> permuted-BR.
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::Degree4, 3).links(), br_sequence(3).links());
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::MinAlpha, 8).links(),
+            permuted_br_sequence(8).links());
+  EXPECT_EQ(make_exchange_sequence(OrderingKind::PermutedBR, 1).links(),
+            br_sequence(1).links());
+}
+
+TEST(Ordering, ToString) {
+  EXPECT_EQ(to_string(OrderingKind::BR), "BR");
+  EXPECT_EQ(to_string(OrderingKind::PermutedBR), "permuted-BR");
+  EXPECT_EQ(to_string(OrderingKind::Degree4), "degree-4");
+  EXPECT_EQ(to_string(OrderingKind::MinAlpha), "min-alpha");
+}
+
+TEST(Ordering, RejectsBadDimension) {
+  EXPECT_THROW(JacobiOrdering(OrderingKind::BR, 0), std::invalid_argument);
+}
+
+class OrderingKindTest : public ::testing::TestWithParam<OrderingKind> {};
+
+TEST_P(OrderingKindTest, AllExchangeSequencesValid) {
+  for (int d = 1; d <= 9; ++d) {
+    const JacobiOrdering ord(GetParam(), d);
+    for (int e = 1; e <= d; ++e) EXPECT_TRUE(ord.exchange_sequence(e).is_valid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, OrderingKindTest,
+                         ::testing::Values(OrderingKind::BR, OrderingKind::PermutedBR,
+                                           OrderingKind::Degree4, OrderingKind::MinAlpha));
+
+}  // namespace
+}  // namespace jmh::ord

@@ -1,0 +1,70 @@
+#include "cube/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh::cube {
+namespace {
+
+TEST(Walk, FollowsLinks) {
+  const Hypercube c(3);
+  const auto nodes = walk(c, 0, {0, 1, 0, 2});
+  const std::vector<Node> expected = {0, 1, 3, 2, 6};
+  EXPECT_EQ(nodes, expected);
+}
+
+TEST(Walk, EmptyLinksStaysPut) {
+  const Hypercube c(3);
+  const auto nodes = walk(c, 5, {});
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 5u);
+}
+
+TEST(Walk, EndMatchesFullWalk) {
+  const Hypercube c(4);
+  const std::vector<Link> links = {0, 1, 2, 3, 0, 1};
+  EXPECT_EQ(walk_end(c, 9, links), walk(c, 9, links).back());
+}
+
+TEST(Hamiltonian, GraySequenceIsHamiltonian) {
+  // The BR sequence for e equals the Gray-code link order; spot-check the
+  // raw checker with the e=3 sequence from the paper.
+  EXPECT_TRUE(is_e_sequence({0, 1, 0, 2, 0, 1, 0}, 3));
+}
+
+TEST(Hamiltonian, RevisitedNodeRejected) {
+  EXPECT_TRUE(is_hamiltonian_path(Hypercube(2), 0, {0, 1, 0}, 2));
+  EXPECT_FALSE(is_e_sequence({0, 0, 0}, 2));              // bounces between two nodes
+  EXPECT_FALSE(is_e_sequence({0, 1, 0, 1, 0, 1, 0}, 3));  // stays in a 2-subcube
+}
+
+TEST(Hamiltonian, WrongLengthRejected) {
+  EXPECT_FALSE(is_e_sequence({0, 1}, 2));
+  EXPECT_FALSE(is_e_sequence({0, 1, 0, 1}, 2));
+}
+
+TEST(Hamiltonian, LinkOutOfRangeRejected) {
+  EXPECT_FALSE(is_e_sequence({0, 2, 0}, 2));
+}
+
+TEST(Hamiltonian, SubcubePathWithinLargerCube) {
+  // A Hamiltonian path of the 2-subcube checked from any start node of a
+  // 4-cube (the mobile block's tour during exchange phase 2).
+  const Hypercube c(4);
+  for (Node start = 0; start < c.num_nodes(); ++start)
+    EXPECT_TRUE(is_hamiltonian_path(c, start, {0, 1, 0}, 2)) << start;
+}
+
+TEST(Hamiltonian, PaperMinAlphaExampleE3) {
+  // Section 3.2 example: <0102101> is a Hamiltonian path of a 3-cube.
+  EXPECT_TRUE(is_e_sequence({0, 1, 0, 2, 1, 0, 1}, 3));
+}
+
+TEST(Hamiltonian, PermutedSubsequenceExample) {
+  // Property 1 example: permuting links 0 and 1 in the tail <010> of
+  // <0102010> gives <0102101>, still Hamiltonian.
+  EXPECT_TRUE(is_e_sequence({0, 1, 0, 2, 0, 1, 0}, 3));
+  EXPECT_TRUE(is_e_sequence({0, 1, 0, 2, 1, 0, 1}, 3));
+}
+
+}  // namespace
+}  // namespace jmh::cube

@@ -1,0 +1,129 @@
+#include "pipe/pipelining.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ord/br.hpp"
+#include "ord/degree4.hpp"
+#include "ord/permuted_br.hpp"
+
+namespace jmh::pipe {
+namespace {
+
+using ord::br_sequence;
+
+TEST(Pipelining, UnpipelinedDegenerate) {
+  const auto seq = br_sequence(3);  // K = 7
+  const PipelineSchedule s(seq, 1);
+  EXPECT_FALSE(s.deep());
+  ASSERT_EQ(s.stages().size(), 7u);
+  for (const auto& st : s.stages()) {
+    EXPECT_EQ(st.part, Stage::Part::Kernel);
+    EXPECT_EQ(st.window_len, 1);
+    EXPECT_EQ(st.distinct, 1);
+    EXPECT_EQ(st.max_mult, 1);
+  }
+  EXPECT_EQ(s.total_packets(), 7u);
+}
+
+TEST(Pipelining, PaperShallowExample) {
+  // Section 2.4: K=7, links 0,1,0,2,0,1,0, Q=3. Kernel windows are the
+  // length-3 sliding windows; prologue uses links 0 then 0-1; epilogue 1-0
+  // then 0.
+  const auto seq = br_sequence(3);
+  const PipelineSchedule s(seq, 3);
+  EXPECT_FALSE(s.deep());
+  // 2 prologue + 5 kernel + 2 epilogue.
+  ASSERT_EQ(s.stages().size(), 9u);
+  EXPECT_EQ(s.stages()[0].part, Stage::Part::Prologue);
+  EXPECT_EQ(s.stages()[0].window_len, 1);
+  EXPECT_EQ(s.stages()[1].window_len, 2);
+  EXPECT_EQ(s.stages()[1].distinct, 2);  // links 0-1
+  for (int i = 2; i <= 6; ++i) EXPECT_EQ(s.stages()[static_cast<std::size_t>(i)].part, Stage::Part::Kernel);
+  // kernel windows: 010, 102, 020, 201, 010
+  EXPECT_EQ(s.stages()[2].distinct, 2);
+  EXPECT_EQ(s.stages()[3].distinct, 3);
+  EXPECT_EQ(s.stages()[4].distinct, 2);
+  EXPECT_EQ(s.stages()[5].distinct, 3);
+  EXPECT_EQ(s.stages()[6].distinct, 2);
+  EXPECT_EQ(s.stages()[7].part, Stage::Part::Epilogue);
+  EXPECT_EQ(s.stages()[7].window_len, 2);
+  EXPECT_EQ(s.stages()[8].window_len, 1);
+  EXPECT_EQ(s.total_packets(), 21u);  // K*Q
+}
+
+TEST(Pipelining, PaperDeepExample) {
+  // Section 2.4: K=3 (links 0,1,0), Q=100: prologue 0 then 0-1; 98 kernel
+  // stages of 0-1-0; epilogue 1-0 then 0.
+  const auto seq = br_sequence(2);
+  const PipelineSchedule s(seq, 100);
+  EXPECT_TRUE(s.deep());
+  ASSERT_EQ(s.stages().size(), 2u + 98u + 2u);
+  EXPECT_EQ(s.stages()[0].part, Stage::Part::Prologue);
+  EXPECT_EQ(s.stages()[0].distinct, 1);
+  EXPECT_EQ(s.stages()[1].distinct, 2);
+  for (std::size_t i = 2; i < 100; ++i) {
+    EXPECT_EQ(s.stages()[i].part, Stage::Part::Kernel);
+    EXPECT_EQ(s.stages()[i].window_len, 3);
+    EXPECT_EQ(s.stages()[i].distinct, 2);
+    EXPECT_EQ(s.stages()[i].max_mult, 2);  // link 0 carries two packets
+  }
+  EXPECT_EQ(s.stages()[100].part, Stage::Part::Epilogue);
+  EXPECT_EQ(s.total_packets(), 300u);  // K*Q
+}
+
+TEST(Pipelining, QEqualsKBoundary) {
+  const auto seq = br_sequence(3);
+  const PipelineSchedule s(seq, 7);
+  EXPECT_FALSE(s.deep());
+  // 6 prologue + 1 kernel + 6 epilogue.
+  ASSERT_EQ(s.stages().size(), 13u);
+  EXPECT_EQ(s.stages()[6].part, Stage::Part::Kernel);
+  EXPECT_EQ(s.stages()[6].window_len, 7);
+  EXPECT_EQ(s.stages()[6].max_mult, seq.alpha());
+  EXPECT_EQ(s.total_packets(), 49u);
+}
+
+TEST(Pipelining, DeepKernelUsesAlpha) {
+  const auto seq = ord::permuted_br_sequence(5);
+  const PipelineSchedule s(seq, 40);  // K = 31
+  for (const auto& st : s.stages()) {
+    if (st.part == Stage::Part::Kernel) {
+      EXPECT_EQ(st.distinct, 5);
+      EXPECT_EQ(st.max_mult, seq.alpha());
+    }
+  }
+}
+
+class PacketAccountingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PacketAccountingTest, TotalPacketsIsKQ) {
+  const auto seq = ord::degree4_sequence(5);  // K = 31
+  const std::uint64_t q = GetParam();
+  const PipelineSchedule s(seq, q);
+  EXPECT_EQ(s.total_packets(), seq.size() * q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PacketAccountingTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 30, 31, 32, 33, 64,
+                                           100));
+
+TEST(Pipelining, RejectsZeroQ) {
+  EXPECT_THROW(PipelineSchedule(br_sequence(3), 0), std::invalid_argument);
+}
+
+TEST(Pipelining, Degree4WindowsAreDistinctAtQ4) {
+  // The payoff of the degree-4 ordering: at Q=4 almost every kernel stage
+  // uses 4 distinct links (max_mult 1), so 4 messages travel in parallel.
+  const auto seq = ord::degree4_sequence(6);
+  const PipelineSchedule s(seq, 4);
+  std::size_t distinct4 = 0, kernels = 0;
+  for (const auto& st : s.stages()) {
+    if (st.part != Stage::Part::Kernel) continue;
+    ++kernels;
+    if (st.distinct == 4 && st.max_mult == 1) ++distinct4;
+  }
+  EXPECT_GT(distinct4, kernels * 9 / 10);
+}
+
+}  // namespace
+}  // namespace jmh::pipe

@@ -1,0 +1,103 @@
+#include "sim/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pipe/optimizer.hpp"
+
+namespace jmh::sim {
+namespace {
+
+SimConfig paper_config() {
+  SimConfig c;
+  c.machine.ts = 1000.0;
+  c.machine.tw = 100.0;
+  return c;
+}
+
+TEST(Programs, SweepProgramShape) {
+  const ord::JacobiOrdering ordering(ord::OrderingKind::BR, 3);
+  const Program p = build_sweep_program(ordering, 0, 64.0);
+  ASSERT_EQ(p.size(), ordering.steps_per_sweep());
+  for (const auto& stage : p) {
+    ASSERT_EQ(stage.size(), 8u);
+    for (const auto& node : stage) {
+      ASSERT_EQ(node.size(), 1u);
+      EXPECT_DOUBLE_EQ(node[0].elems, 64.0);
+    }
+  }
+}
+
+TEST(Programs, SimulatedSweepMatchesClosedForm) {
+  // E9: the unpipelined sweep's simulated makespan must equal
+  // (2^{d+1}-1) * (ts + S*tw) exactly.
+  const auto cfg = paper_config();
+  for (int d : {1, 2, 3, 4}) {
+    const ord::JacobiOrdering ordering(ord::OrderingKind::PermutedBR, d);
+    const double s = 128.0;
+    const double simulated = simulate_sweep(ordering, 0, s, cfg);
+    const double expected =
+        static_cast<double>((std::uint64_t{2} << d) - 1) * (1000.0 + s * 100.0);
+    EXPECT_DOUBLE_EQ(simulated, expected) << "d=" << d;
+  }
+}
+
+TEST(Programs, PipelinedPhaseMatchesCostModel) {
+  // E9: simulated pipelined phases must agree with
+  // pipe::phase_cost_pipelined under the strict startup model.
+  const auto cfg = paper_config();
+  for (auto kind : {ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
+                    ord::OrderingKind::Degree4}) {
+    for (int e : {3, 4, 5}) {
+      const auto seq = ord::make_exchange_sequence(kind, e);
+      for (std::uint64_t q : {1u, 2u, 4u, 8u, 40u}) {
+        const double s = 512.0;
+        const double simulated = simulate_pipelined_phase(seq, q, s, /*d=*/e, cfg);
+        const double model = pipe::phase_cost_pipelined(seq, q, s, cfg.machine);
+        EXPECT_NEAR(simulated, model, 1e-6)
+            << ord::to_string(kind) << " e=" << e << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(Programs, PipelinedProgramPacksLinks) {
+  // At Q=7 on BR's e=3 sequence (0102010), the full-window kernel stage
+  // packs 4 packets on link 0, 2 on link 1, 1 on link 2.
+  const auto seq = ord::make_exchange_sequence(ord::OrderingKind::BR, 3);
+  const Program p = build_pipelined_phase_program(seq, 7, 70.0, 3);
+  // Stages: 6 prologue + 1 kernel + 6 epilogue.
+  ASSERT_EQ(p.size(), 13u);
+  const NodeStage& kernel = p[6][0];
+  ASSERT_EQ(kernel.size(), 3u);
+  const double packet = 10.0;
+  EXPECT_DOUBLE_EQ(kernel[0].elems, 4 * packet);
+  EXPECT_DOUBLE_EQ(kernel[1].elems, 2 * packet);
+  EXPECT_DOUBLE_EQ(kernel[2].elems, 1 * packet);
+}
+
+TEST(Programs, OverlappedHardwareBeatsModel) {
+  // The ablation claim: letting transmissions overlap later startups can
+  // only reduce the phase time.
+  SimConfig overlap = paper_config();
+  overlap.overlap_startup = true;
+  const auto strict = paper_config();
+  const auto seq = ord::make_exchange_sequence(ord::OrderingKind::Degree4, 5);
+  for (std::uint64_t q : {4u, 8u, 16u}) {
+    const double t_overlap = simulate_pipelined_phase(seq, q, 256.0, 5, overlap);
+    const double t_strict = simulate_pipelined_phase(seq, q, 256.0, 5, strict);
+    EXPECT_LE(t_overlap, t_strict + 1e-9) << q;
+  }
+}
+
+TEST(Programs, PhaseOnLargerCubeUsesSameLinks) {
+  // An exchange phase e < d runs in parallel in every e-subcube; the program
+  // must still be valid on the full d-cube.
+  const auto seq = ord::make_exchange_sequence(ord::OrderingKind::BR, 2);
+  const auto cfg = paper_config();
+  const double t_small = simulate_pipelined_phase(seq, 2, 64.0, 2, cfg);
+  const double t_large = simulate_pipelined_phase(seq, 2, 64.0, 5, cfg);
+  EXPECT_DOUBLE_EQ(t_small, t_large);
+}
+
+}  // namespace
+}  // namespace jmh::sim

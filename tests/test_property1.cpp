@@ -1,0 +1,207 @@
+// Property-based validation of the paper's Property 1: applying a link
+// permutation to a subsequence of a valid sequence that is itself a
+// Hamiltonian path of a subcube yields another valid sequence.
+//
+// REPRODUCTION FINDING (DESIGN.md note 7): the property as literally
+// stated -- "let sigma be ANY permutation of the link identifiers" -- is
+// false: sigma must map the subsequence's own link set into itself, or the
+// relabeled walk leaves its subcube and collides with nodes the rest of
+// the sequence visits. Counterexample below
+// (PermutationEscapingSubcubeBreaksValidity). Every transformation the
+// paper actually performs satisfies the stronger precondition, so the
+// permuted-BR construction is unaffected; these tests fuzz the corrected
+// statement far beyond the specific transpositions the paper uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "ord/br.hpp"
+#include "ord/degree4.hpp"
+#include "ord/min_alpha.hpp"
+#include "ord/permuted_br.hpp"
+
+namespace jmh::ord {
+namespace {
+
+// Random permutation of links [0, span) extended by the identity on
+// [span, e): the corrected Property-1 precondition for a subsequence whose
+// subcube is spanned by dimensions [0, span).
+std::vector<Link> random_subcube_permutation(int e, int span, Xoshiro256& rng) {
+  std::vector<Link> p(static_cast<std::size_t>(e));
+  std::iota(p.begin(), p.end(), 0);
+  for (std::size_t i = static_cast<std::size_t>(span); i > 1; --i)
+    std::swap(p[i - 1], p[rng.below(i)]);
+  return p;
+}
+
+// The (e-k-1)-subsequences of D_e^BR occupy [j*B, j*B + B - 2], B = 2^{e-k-1},
+// and use links [0, e-k-2].
+struct Subseq {
+  std::size_t begin;
+  std::size_t len;
+  int link_span;
+};
+
+Subseq br_subsequence(int e, int k, std::size_t j) {
+  const std::size_t block = std::size_t{1} << (e - k - 1);
+  return {j * block, block - 1, e - k - 1};
+}
+
+class Property1Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Property1Fuzz, SubcubePermutationOnBrSubsequencePreservesValidity) {
+  const int e = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(e) * 7919);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto links = br_sequence(e).links();
+    const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(e - 1)));
+    const std::size_t num_subseqs = std::size_t{1} << (k + 1);
+    const auto [begin, len, span] = br_subsequence(e, k, rng.below(num_subseqs));
+    const auto perm = random_subcube_permutation(e, span, rng);
+    for (std::size_t p = begin; p < begin + len; ++p)
+      links[p] = perm[static_cast<std::size_t>(links[p])];
+    EXPECT_TRUE(LinkSequence(links, e).is_valid())
+        << "e=" << e << " trial=" << trial << " k=" << k;
+  }
+}
+
+TEST_P(Property1Fuzz, StackedSubcubePermutationsPreserveValidity) {
+  // Apply a random subcube-stabilizing permutation to every odd subsequence
+  // at every level, mimicking the permuted-BR construction with arbitrary
+  // (not the paper's) base permutations. As in the construction, a
+  // permutation for a nested subsequence must be conjugated by ("compounded
+  // with", in the paper's words) the permutations already applied to its
+  // enclosing subsequences -- otherwise it no longer stabilizes the
+  // subsequence's *current* link set; the naive unconjugated variant is the
+  // negative control below.
+  const int e = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(e) * 104729);
+  auto links = br_sequence(e).links();
+  std::vector<std::vector<Link>> phi(1);  // enclosing composition per subsequence
+  {
+    std::vector<Link> id(static_cast<std::size_t>(e));
+    std::iota(id.begin(), id.end(), 0);
+    phi[0] = id;
+  }
+  for (int k = 0; k + 1 < e; ++k) {
+    std::vector<std::vector<Link>> next;
+    for (const auto& p : phi) {
+      next.push_back(p);
+      next.push_back(p);
+    }
+    phi = std::move(next);
+    const std::size_t num_subseqs = std::size_t{1} << (k + 1);
+    for (std::size_t j = 1; j < num_subseqs; j += 2) {
+      const auto [begin, len, span] = br_subsequence(e, k, j);
+      if (len == 0) continue;
+      const auto base = random_subcube_permutation(e, span, rng);
+      // sigma = phi . base . phi^{-1}
+      std::vector<Link> inv(static_cast<std::size_t>(e));
+      for (int x = 0; x < e; ++x) inv[static_cast<std::size_t>(phi[j][static_cast<std::size_t>(x)])] = x;
+      std::vector<Link> sigma(static_cast<std::size_t>(e));
+      for (int x = 0; x < e; ++x)
+        sigma[static_cast<std::size_t>(x)] =
+            phi[j][static_cast<std::size_t>(base[static_cast<std::size_t>(inv[static_cast<std::size_t>(x)])])];
+      for (std::size_t p = begin; p < begin + len; ++p)
+        links[p] = sigma[static_cast<std::size_t>(links[p])];
+      // Compound for deeper levels.
+      std::vector<Link> composed(static_cast<std::size_t>(e));
+      for (int x = 0; x < e; ++x)
+        composed[static_cast<std::size_t>(x)] =
+            sigma[static_cast<std::size_t>(phi[j][static_cast<std::size_t>(x)])];
+      phi[j] = composed;
+    }
+    ASSERT_TRUE(LinkSequence(links, e).is_valid()) << "e=" << e << " after level " << k;
+  }
+}
+
+TEST(Property1, UnconjugatedNestedPermutationsBreakValidity) {
+  // Negative control for the stacked test: skipping the paper's
+  // compounding step (applying a raw [0, e-k-2]-stabilizing permutation to
+  // a subsequence that earlier transformations already relabeled) breaks
+  // validity for some draw.
+  const int e = 6;
+  Xoshiro256 rng(static_cast<std::uint64_t>(e) * 104729);
+  bool found_invalid = false;
+  for (int trial = 0; trial < 50 && !found_invalid; ++trial) {
+    auto links = br_sequence(e).links();
+    for (int k = 0; k + 1 < e && !found_invalid; ++k) {
+      const std::size_t num_subseqs = std::size_t{1} << (k + 1);
+      for (std::size_t j = 1; j < num_subseqs; j += 2) {
+        const auto [begin, len, span] = br_subsequence(e, k, j);
+        if (len == 0) continue;
+        const auto perm = random_subcube_permutation(e, span, rng);
+        for (std::size_t p = begin; p < begin + len; ++p)
+          links[p] = perm[static_cast<std::size_t>(links[p])];
+      }
+      if (!LinkSequence(links, e).is_valid()) found_invalid = true;
+    }
+  }
+  EXPECT_TRUE(found_invalid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, Property1Fuzz, ::testing::Values(3, 4, 5, 6, 7, 8, 10));
+
+TEST(Property1, WholeSequencePermutationPreservesValidity) {
+  // The whole-sequence case: a global relabeling of all e links.
+  Xoshiro256 rng(11);
+  for (auto make : {+[](int e) { return br_sequence(e); },
+                    +[](int e) { return permuted_br_sequence(e); },
+                    +[](int e) { return degree4_sequence(e); }}) {
+    const int e = 6;
+    auto links = make(e).links();
+    const auto perm = random_subcube_permutation(e, e, rng);
+    for (auto& l : links) l = perm[static_cast<std::size_t>(l)];
+    EXPECT_TRUE(LinkSequence(links, e).is_valid());
+  }
+}
+
+TEST(Property1, PermutationEscapingSubcubeBreaksValidity) {
+  // The counterexample to the literal "any permutation" reading: in
+  // D_3^BR = <0102010>, the tail <010> is a Hamiltonian path of a
+  // 2-subcube (links {0,1}); swapping links 0 and 2 maps it to <212>,
+  // whose walk escapes that subcube and revisits nodes of the prefix.
+  EXPECT_TRUE(LinkSequence({0, 1, 0, 2, 0, 1, 0}, 3).is_valid());
+  EXPECT_FALSE(LinkSequence({0, 1, 0, 2, 2, 1, 2}, 3).is_valid());
+}
+
+TEST(Property1, PaperExampleZeroOneSwap) {
+  // The paper's own example: swapping 0 and 1 (which stabilizes the
+  // 2-subcube's links) in the tail of <0102010> gives <0102101>, valid.
+  EXPECT_TRUE(LinkSequence({0, 1, 0, 2, 1, 0, 1}, 3).is_valid());
+}
+
+TEST(Property1, PermutingNonSubcubeRangeCanBreakValidity) {
+  // Negative control: permuting a misaligned range (not a subcube
+  // Hamiltonian path) must be able to produce invalid sequences.
+  Xoshiro256 rng(13);
+  const int e = 5;
+  bool found_invalid = false;
+  for (int trial = 0; trial < 200 && !found_invalid; ++trial) {
+    auto links = br_sequence(e).links();
+    const std::size_t begin = 1 + rng.below(8);  // misaligned on purpose
+    const std::size_t len = 3 + rng.below(8);
+    const auto perm = random_subcube_permutation(e, e, rng);
+    for (std::size_t p = begin; p < std::min(begin + len, links.size()); ++p)
+      links[p] = perm[static_cast<std::size_t>(links[p])];
+    if (!LinkSequence(links, e).is_valid()) found_invalid = true;
+  }
+  EXPECT_TRUE(found_invalid);
+}
+
+TEST(Property1, MinAlphaSequencesTolerateGlobalRelabeling) {
+  Xoshiro256 rng(17);
+  for (int e = 2; e <= 6; ++e) {
+    auto links = paper_min_alpha_sequence(e).links();
+    const auto perm = random_subcube_permutation(e, e, rng);
+    for (auto& l : links) l = perm[static_cast<std::size_t>(l)];
+    const LinkSequence s(links, e);
+    EXPECT_TRUE(s.is_valid()) << e;
+    EXPECT_EQ(s.alpha(), paper_min_alpha_sequence(e).alpha()) << e;  // alpha is relabel-invariant
+  }
+}
+
+}  // namespace
+}  // namespace jmh::ord

@@ -1,0 +1,83 @@
+#include "pipe/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace jmh {
+namespace {
+
+pipe::ProblemParams small_problem() {
+  pipe::ProblemParams p;
+  p.d = 4;
+  p.m = 1 << 12;
+  return p;
+}
+
+TEST(SweepBreakdown, ListsAllPhasesAndSumsToTotal) {
+  const auto prob = small_problem();
+  const pipe::MachineParams machine;
+  const auto c = pipe::sweep_cost_pipelined(ord::OrderingKind::PermutedBR, prob, machine);
+  ASSERT_EQ(c.phase_cost.size(), 4u);
+  double sum = c.overhead;
+  for (double pc : c.phase_cost) sum += pc;
+  EXPECT_NEAR(sum, c.total, 1e-6);
+}
+
+TEST(SweepBreakdown, RenderContainsEveryPhase) {
+  const auto text = pipe::render_sweep_breakdown(ord::OrderingKind::Degree4, small_problem(),
+                                                 pipe::MachineParams{});
+  for (const char* needle : {"phase e", "divisions", "total", "degree-4"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(SweepBreakdown, LargestPhaseDominates) {
+  const auto prob = small_problem();
+  const auto c =
+      pipe::sweep_cost_pipelined(ord::OrderingKind::BR, prob, pipe::MachineParams{});
+  // Exchange phase d has 2^d - 1 of the 2^{d+1} - 1 steps; it must be the
+  // most expensive phase.
+  for (std::size_t i = 1; i < c.phase_cost.size(); ++i)
+    EXPECT_GE(c.phase_cost[0], c.phase_cost[i]);
+}
+
+TEST(OrderingSummary, MentionsAllOrderings) {
+  const auto text = pipe::render_ordering_summary(small_problem(), pipe::MachineParams{});
+  for (const char* needle : {"BR", "permuted-BR", "degree-4", "min-alpha", "lower-bound"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(Trace, StageTimelineShape) {
+  sim::SimResult r;
+  r.stage_times = {10.0, 20.0, 5.0};
+  r.makespan = 35.0;
+  const auto text = sim::render_stage_timeline(r, 20);
+  EXPECT_NE(text.find("stages: 3"), std::string::npos);
+  // The longest stage gets the full-width bar.
+  EXPECT_NE(text.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(Trace, EmptyTimeline) {
+  const auto text = sim::render_stage_timeline(sim::SimResult{}, 10);
+  EXPECT_NE(text.find("stages: 0"), std::string::npos);
+}
+
+TEST(Trace, LinkUtilizationRows) {
+  sim::SimResult r;
+  r.makespan = 100.0;
+  r.link_busy = {50.0, 0.0, 50.0, 0.0};  // 2 nodes x 2 dims, dim 0 busy half
+  const auto text = sim::render_link_utilization(r, 2, 10);
+  EXPECT_NE(text.find("dim 0"), std::string::npos);
+  EXPECT_NE(text.find("dim 1"), std::string::npos);
+  EXPECT_NE(text.find("50.0%"), std::string::npos);
+  EXPECT_NE(text.find("0.0%"), std::string::npos);
+}
+
+TEST(Trace, MismatchedSizesRejected) {
+  sim::SimResult r;
+  r.link_busy = {1.0, 2.0, 3.0};
+  EXPECT_THROW(sim::render_link_utilization(r, 2, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmh

@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmh {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntervalInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Xoshiro256 rng(123);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(-1.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.below(10);
+    ASSERT_LT(x, 10u);
+    ++counts[static_cast<std::size_t>(x)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64_next(s);
+  const std::uint64_t b = splitmix64_next(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace jmh

@@ -1,0 +1,88 @@
+#include "la/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/sym_gen.hpp"
+
+namespace jmh::la {
+namespace {
+
+TEST(Rotation, SkipsConvergedPair) {
+  const auto d = compute_rotation(4.0, 9.0, 1e-15);
+  EXPECT_FALSE(d.rotate);
+  EXPECT_EQ(d.c, 1.0);
+  EXPECT_EQ(d.s, 0.0);
+}
+
+TEST(Rotation, RotatesSignificantPair) {
+  const auto d = compute_rotation(4.0, 9.0, 2.0);
+  EXPECT_TRUE(d.rotate);
+  EXPECT_NEAR(d.c * d.c + d.s * d.s, 1.0, 1e-14);
+}
+
+TEST(Rotation, ZeroesTheDotProduct) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(12), y(12);
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    for (auto& v : y) v = rng.uniform(-2.0, 2.0);
+    const double bii = dot(x, x), bjj = dot(y, y), bij = dot(x, y);
+    const auto d = compute_rotation(bii, bjj, bij, 1e-14);
+    if (!d.rotate) continue;
+    apply_rotation(x, y, d.c, d.s);
+    const double scale = std::sqrt(dot(x, x) * dot(y, y));
+    EXPECT_NEAR(dot(x, y) / scale, 0.0, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Rotation, PreservesFrobeniusNormOfThePair) {
+  Xoshiro256 rng(5);
+  std::vector<double> x(8), y(8);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+  const double before = dot(x, x) + dot(y, y);
+  const auto d = compute_rotation(dot(x, x), dot(y, y), dot(x, y), 1e-14);
+  ASSERT_TRUE(d.rotate);
+  apply_rotation(x, y, d.c, d.s);
+  EXPECT_NEAR(dot(x, x) + dot(y, y), before, 1e-12);
+}
+
+TEST(Rotation, PairColumnsUpdatesBothMatrices) {
+  Xoshiro256 rng(9);
+  Matrix b = random_uniform_symmetric(6, rng);
+  Matrix v = Matrix::identity(6);
+  const bool rotated = pair_columns(b, v, 0, 3, 1e-14);
+  ASSERT_TRUE(rotated);
+  EXPECT_NEAR(dot(b.col(0), b.col(3)) /
+                  std::sqrt(dot(b.col(0), b.col(0)) * dot(b.col(3), b.col(3))),
+              0.0, 1e-12);
+  // V columns 0 and 3 now hold the rotation's cosine/sine pattern.
+  EXPECT_NE(v(0, 0), 1.0);
+  EXPECT_NEAR(dot(v.col(0), v.col(0)), 1.0, 1e-14);
+  EXPECT_NEAR(dot(v.col(0), v.col(3)), 0.0, 1e-14);
+}
+
+TEST(Rotation, SelfPairRejected) {
+  Matrix b = Matrix::identity(3);
+  Matrix v = Matrix::identity(3);
+  EXPECT_THROW(pair_columns(b, v, 1, 1), std::invalid_argument);
+}
+
+TEST(Rotation, MismatchedSpansRejected) {
+  std::vector<double> x(3), y(4);
+  EXPECT_THROW(apply_rotation(x, y, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rotation, StableForTinyOffDiagonal) {
+  // Huge tau: rotation angle ~ bij / (bjj - bii); must not overflow.
+  const auto d = compute_rotation(1.0, 1e12, 1.0, 0.0);
+  ASSERT_TRUE(d.rotate);
+  EXPECT_NEAR(d.c, 1.0, 1e-9);
+  EXPECT_NEAR(d.s, 1e-12, 1e-13);
+}
+
+}  // namespace
+}  // namespace jmh::la

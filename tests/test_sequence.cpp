@@ -1,0 +1,109 @@
+#include "ord/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ord/br.hpp"
+
+namespace jmh::ord {
+namespace {
+
+TEST(LinkSequence, ValidatesLength) {
+  EXPECT_NO_THROW(LinkSequence({0, 1, 0}, 2));
+  EXPECT_THROW(LinkSequence({0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(LinkSequence({0, 1, 0, 1}, 2), std::invalid_argument);
+}
+
+TEST(LinkSequence, ValidatesLinkRange) {
+  EXPECT_THROW(LinkSequence({0, 2, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(LinkSequence({0, -1, 0}, 2), std::invalid_argument);
+}
+
+TEST(LinkSequence, AlphaAndHistogram) {
+  const LinkSequence s({0, 1, 0, 2, 0, 1, 0}, 3);
+  EXPECT_EQ(s.alpha(), 4);
+  const auto h = s.histogram();
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 4);
+  EXPECT_EQ(h[1], 2);
+  EXPECT_EQ(h[2], 1);
+}
+
+TEST(LinkSequence, WindowStatsSliding) {
+  const LinkSequence s({0, 1, 0, 2, 0, 1, 0}, 3);
+  const auto w = s.window_stats(3);
+  ASSERT_EQ(w.size(), 5u);
+  // windows: 010, 102, 020, 201, 010
+  EXPECT_EQ(w[0].distinct, 2);
+  EXPECT_EQ(w[0].max_mult, 2);
+  EXPECT_EQ(w[1].distinct, 3);
+  EXPECT_EQ(w[1].max_mult, 1);
+  EXPECT_EQ(w[2].distinct, 2);
+  EXPECT_EQ(w[2].max_mult, 2);
+  EXPECT_EQ(w[3].distinct, 3);
+  EXPECT_EQ(w[3].max_mult, 1);
+  EXPECT_EQ(w[4].distinct, 2);
+  EXPECT_EQ(w[4].max_mult, 2);
+}
+
+TEST(LinkSequence, WindowStatsFullLength) {
+  const LinkSequence s({0, 1, 0, 2, 0, 1, 0}, 3);
+  const auto w = s.window_stats(7);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].distinct, 3);
+  EXPECT_EQ(w[0].max_mult, 4);
+}
+
+TEST(LinkSequence, WindowStatsMatchBruteForce) {
+  // Property check against a brute-force recount on a few BR sequences.
+  for (int e : {3, 4, 5, 6}) {
+    const LinkSequence s = br_sequence(e);
+    for (std::size_t q : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+      const auto fast = s.window_stats(q);
+      ASSERT_EQ(fast.size(), s.size() - q + 1);
+      for (std::size_t i = 0; i + q <= s.size(); ++i) {
+        std::vector<int> count(static_cast<std::size_t>(e), 0);
+        int distinct = 0, mx = 0;
+        for (std::size_t j = i; j < i + q; ++j) {
+          if (count[static_cast<std::size_t>(s[j])]++ == 0) ++distinct;
+          mx = std::max(mx, count[static_cast<std::size_t>(s[j])]);
+        }
+        EXPECT_EQ(fast[i].distinct, distinct) << "e=" << e << " q=" << q << " i=" << i;
+        EXPECT_EQ(fast[i].max_mult, mx) << "e=" << e << " q=" << q << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(LinkSequence, DegreeOfBRIsTwo) {
+  // Paper Definition 2: D_e^BR has degree 2 for any e.
+  for (int e = 2; e <= 10; ++e) EXPECT_EQ(br_sequence(e).degree(), 2) << e;
+}
+
+TEST(LinkSequence, DistinctWindowFraction) {
+  const LinkSequence s({0, 1, 0, 2, 0, 1, 0}, 3);
+  EXPECT_DOUBLE_EQ(s.distinct_window_fraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.distinct_window_fraction(2), 1.0);
+  EXPECT_NEAR(s.distinct_window_fraction(3), 2.0 / 5.0, 1e-12);
+}
+
+TEST(LinkSequence, ToStringRoundTrip) {
+  const LinkSequence s({0, 1, 0, 2, 0, 1, 0}, 3);
+  EXPECT_EQ(s.to_string(), "0102010");
+  const LinkSequence parsed = sequence_from_string("0102010", 3);
+  EXPECT_EQ(parsed.links(), s.links());
+}
+
+TEST(LinkSequence, ToStringLargeLinkBrackets) {
+  std::vector<Link> links((std::size_t{1} << 11) - 1, 0);
+  links[0] = 10;
+  for (int l = 1; l < 11; ++l) links[static_cast<std::size_t>(l)] = l;
+  const LinkSequence s(links, 11);
+  EXPECT_EQ(s.to_string().substr(0, 6), "[10]12");
+}
+
+TEST(LinkSequence, ParseRejectsNonDigits) {
+  EXPECT_THROW(sequence_from_string("01a", 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmh::ord

@@ -1,0 +1,122 @@
+// Full-sweep cross-validation: the discrete-event simulation of an entire
+// pipelined sweep must reproduce pipe::sweep_cost_pipelined exactly when
+// run with the same per-phase pipelining degrees -- closing the loop on
+// the Figure 2 methodology at sweep granularity.
+#include <gtest/gtest.h>
+
+#include "pipe/cost_model.hpp"
+#include "sim/programs.hpp"
+
+namespace jmh {
+namespace {
+
+sim::SimConfig paper_config() {
+  sim::SimConfig c;
+  c.machine.ts = 1000.0;
+  c.machine.tw = 100.0;
+  return c;
+}
+
+struct SweepSimCase {
+  ord::OrderingKind kind;
+  int d;
+  double m;
+};
+
+class SweepSimTest : public ::testing::TestWithParam<SweepSimCase> {};
+
+TEST_P(SweepSimTest, SimulatedSweepMatchesCostModel) {
+  const auto [kind, d, m] = GetParam();
+  const auto cfg = paper_config();
+  pipe::ProblemParams prob;
+  prob.d = d;
+  prob.m = m;
+  const pipe::SweepCost model = pipe::sweep_cost_pipelined(kind, prob, cfg.machine);
+
+  const ord::JacobiOrdering ordering(kind, d);
+  const sim::SimResult simulated = sim::simulate_sweep_pipelined(
+      ordering, /*sweep=*/0, prob.step_message_elems(), model.q, cfg);
+
+  EXPECT_NEAR(simulated.makespan, model.total, 1e-6 * model.total)
+      << ord::to_string(kind) << " d=" << d;
+}
+
+std::vector<SweepSimCase> sweep_sim_cases() {
+  std::vector<SweepSimCase> cases;
+  for (auto kind : {ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
+                    ord::OrderingKind::Degree4, ord::OrderingKind::MinAlpha}) {
+    cases.push_back({kind, 3, 512.0});
+    cases.push_back({kind, 5, 4096.0});
+    cases.push_back({kind, 6, 256.0});  // shallow regime (few columns/block)
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SweepSimTest, ::testing::ValuesIn(sweep_sim_cases()),
+                         [](const ::testing::TestParamInfo<SweepSimCase>& info) {
+                           std::string name = ord::to_string(info.param.kind) + "_d" +
+                                              std::to_string(info.param.d) + "_m" +
+                                              std::to_string(static_cast<int>(info.param.m));
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+TEST(SweepSim, LaterSweepsCostTheSame) {
+  // sigma_s only relabels links; the sweep cost is relabel-invariant.
+  const auto cfg = paper_config();
+  pipe::ProblemParams prob;
+  prob.d = 4;
+  prob.m = 1024.0;
+  const auto model =
+      pipe::sweep_cost_pipelined(ord::OrderingKind::PermutedBR, prob, cfg.machine);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::PermutedBR, 4);
+  const double s0 =
+      sim::simulate_sweep_pipelined(ordering, 0, prob.step_message_elems(), model.q, cfg)
+          .makespan;
+  for (int sweep : {1, 2, 3}) {
+    const double s =
+        sim::simulate_sweep_pipelined(ordering, sweep, prob.step_message_elems(), model.q, cfg)
+            .makespan;
+    EXPECT_DOUBLE_EQ(s, s0) << sweep;
+  }
+}
+
+TEST(SweepSim, PipelinedSweepBeatsUnpipelined) {
+  const auto cfg = paper_config();
+  pipe::ProblemParams prob;
+  prob.d = 5;
+  prob.m = 4096.0;
+  const auto model = pipe::sweep_cost_pipelined(ord::OrderingKind::Degree4, prob, cfg.machine);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::Degree4, 5);
+  const double pipelined =
+      sim::simulate_sweep_pipelined(ordering, 0, prob.step_message_elems(), model.q, cfg)
+          .makespan;
+  const double plain = sim::simulate_sweep(ordering, 0, prob.step_message_elems(), cfg);
+  EXPECT_LT(pipelined, plain);
+}
+
+TEST(SweepSim, WrongDegreeCountRejected) {
+  const ord::JacobiOrdering ordering(ord::OrderingKind::BR, 3);
+  EXPECT_THROW(
+      sim::build_pipelined_sweep_program(ordering, 0, 64.0, {1, 1}),  // needs 3 degrees
+      std::invalid_argument);
+}
+
+TEST(SweepSim, UtilizationRisesWithBetterOrdering) {
+  const auto cfg = paper_config();
+  pipe::ProblemParams prob;
+  prob.d = 5;
+  prob.m = 4096.0;
+  const auto run = [&](ord::OrderingKind kind) {
+    const auto model = pipe::sweep_cost_pipelined(kind, prob, cfg.machine);
+    const ord::JacobiOrdering ordering(kind, 5);
+    return sim::simulate_sweep_pipelined(ordering, 0, prob.step_message_elems(), model.q, cfg);
+  };
+  const auto br = run(ord::OrderingKind::BR);
+  const auto d4 = run(ord::OrderingKind::Degree4);
+  EXPECT_GT(d4.mean_link_utilization(), br.mean_link_utilization());
+}
+
+}  // namespace
+}  // namespace jmh

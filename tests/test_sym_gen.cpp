@@ -1,0 +1,80 @@
+#include "la/sym_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/eigen_check.hpp"
+#include "la/onesided_jacobi.hpp"
+
+namespace jmh::la {
+namespace {
+
+TEST(SymGen, RandomUniformIsSymmetricAndBounded) {
+  Xoshiro256 rng(17);
+  const Matrix a = random_uniform_symmetric(16, rng);
+  for (std::size_t c = 0; c < 16; ++c) {
+    for (std::size_t r = 0; r < 16; ++r) {
+      EXPECT_EQ(a(r, c), a(c, r));
+      EXPECT_GE(a(r, c), -1.0);
+      EXPECT_LT(a(r, c), 1.0);
+    }
+  }
+}
+
+TEST(SymGen, RandomUniformIsSeedDeterministic) {
+  Xoshiro256 r1(5), r2(5);
+  const Matrix a = random_uniform_symmetric(8, r1);
+  const Matrix b = random_uniform_symmetric(8, r2);
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.0);
+}
+
+TEST(SymGen, Diagonal) {
+  const Matrix d = diagonal({1.0, 2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 1.0);
+  EXPECT_EQ(d(2, 2), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(SymGen, TridiagShape) {
+  const Matrix t = tridiag_toeplitz(5, 2.0, -1.0);
+  EXPECT_EQ(t(0, 0), 2.0);
+  EXPECT_EQ(t(1, 0), -1.0);
+  EXPECT_EQ(t(0, 1), -1.0);
+  EXPECT_EQ(t(2, 0), 0.0);
+}
+
+TEST(SymGen, TridiagEigenvaluesAscending) {
+  const auto ev = tridiag_toeplitz_eigenvalues(7, 2.0, -1.0);
+  ASSERT_EQ(ev.size(), 7u);
+  for (std::size_t i = 1; i < ev.size(); ++i) EXPECT_LT(ev[i - 1], ev[i]);
+  // The classic 1D Laplacian spectrum lies in (0, 4).
+  EXPECT_GT(ev.front(), 0.0);
+  EXPECT_LT(ev.back(), 4.0);
+}
+
+TEST(SymGen, SpectrumMatrixIsSymmetric) {
+  Xoshiro256 rng(3);
+  const Matrix a = symmetric_with_spectrum({1.0, 2.0, 5.0, -4.0}, rng);
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t r = 0; r < 4; ++r) EXPECT_NEAR(a(r, c), a(c, r), 1e-12);
+}
+
+TEST(SymGen, SpectrumMatrixPreservesEigenvalues) {
+  Xoshiro256 rng(11);
+  const std::vector<double> spectrum = {-3.0, -1.0, 0.5, 2.0, 10.0};
+  const Matrix a = symmetric_with_spectrum(spectrum, rng);
+  const auto result = onesided_jacobi_cyclic(a);
+  ASSERT_TRUE(result.converged);
+  std::vector<double> want = spectrum;
+  std::sort(want.begin(), want.end());
+  EXPECT_LT(spectrum_distance(result.eigenvalues, want), 1e-9);
+}
+
+TEST(SymGen, SpectrumMatrixIsNotDiagonal) {
+  // The Householder mixing must actually rotate the basis.
+  Xoshiro256 rng(7);
+  const Matrix a = symmetric_with_spectrum({1.0, 2.0, 3.0, 4.0}, rng);
+  EXPECT_GT(offdiag_frobenius(a), 0.1);
+}
+
+}  // namespace
+}  // namespace jmh::la
