@@ -13,6 +13,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_env.hpp"
+
 #include "pipe/cost_model.hpp"
 #include "pipe/execution_model.hpp"
 #include "pipe/optimizer.hpp"
@@ -80,7 +82,7 @@ int main() {
 
   std::printf("\nE. End-to-end sweep speedup vs d (m = 2^18, t_flop = 0.2: comm-bound regime)\n");
   std::printf("   d |      BR  permuted-BR  degree-4   (ideal = 2^d)\n");
-  for (int d = 4; d <= 10; d += 2) {
+  for (int d = jmh::bench::min_d(4, 1, 10); d <= jmh::bench::max_d(10, 1, 10); d += 2) {
     pipe::ExecutionParams exec;
     exec.machine = machine;
     exec.t_flop = 0.2;

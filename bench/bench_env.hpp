@@ -1,0 +1,39 @@
+// Environment knobs for the bench/ harness (the BenchEngine pattern:
+// runtime-tunable via env vars so CI can run a fast smoke subset without a
+// separate build).
+//
+//   BENCH_SAMPLES=N  -- samples / repetitions per measured point
+//                       (default: each bench's paper-faithful count)
+//   BENCH_MIN_D=N    -- smallest hypercube dimension to sweep
+//   BENCH_MAX_D=N    -- largest hypercube dimension to sweep
+//
+// Each bench clamps the requested range to what it supports, so e.g.
+// BENCH_MAX_D=4 turns the Figure 2 reproduction into a seconds-long smoke
+// run while leaving default invocations bit-identical to before.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace jmh::bench {
+
+/// Integer env var with a default; non-numeric values fall back to 0.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// BENCH_SAMPLES, bounded below by 1.
+inline int samples(int fallback) { return std::max(1, env_int("BENCH_SAMPLES", fallback)); }
+
+/// BENCH_MIN_D clamped to [lo, hi].
+inline int min_d(int fallback, int lo, int hi) {
+  return std::clamp(env_int("BENCH_MIN_D", fallback), lo, hi);
+}
+
+/// BENCH_MAX_D clamped to [lo, hi].
+inline int max_d(int fallback, int lo, int hi) {
+  return std::clamp(env_int("BENCH_MAX_D", fallback), lo, hi);
+}
+
+}  // namespace jmh::bench

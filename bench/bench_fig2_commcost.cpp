@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "pipe/cost_model.hpp"
 
 namespace {
@@ -31,7 +32,7 @@ void run_figure(double log2_m) {
   std::printf("  d |    BR  pipBR  degree-4  permuted-BR  lower-bound  pBR-mode\n");
   std::printf("----+-----------------------------------------------------------\n");
 
-  for (int d = 3; d <= 15; ++d) {
+  for (int d = jmh::bench::min_d(3, 1, 15); d <= jmh::bench::max_d(15, 1, 15); ++d) {
     ProblemParams prob;
     prob.d = d;
     prob.m = std::ldexp(1.0, static_cast<int>(log2_m));

@@ -11,12 +11,16 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_env.hpp"
 #include "pipe/cost_model.hpp"
 #include "sim/programs.hpp"
 
 int main() {
   using namespace jmh;
   using ord::OrderingKind;
+
+  const int d_min = bench::min_d(1, 1, 5);
+  const int d_max = bench::max_d(5, d_min, 5);
 
   sim::SimConfig strict;
   strict.machine.ts = 1000.0;
@@ -28,7 +32,7 @@ int main() {
 
   std::printf("Unpipelined sweeps: simulator vs closed form\n");
   std::printf("  d  ordering      simulated      model         match\n");
-  for (int d = 1; d <= 5; ++d) {
+  for (int d = d_min; d <= d_max; ++d) {
     const ord::JacobiOrdering ordering(OrderingKind::PermutedBR, d);
     const double s = 256.0;
     const double simulated = sim::simulate_sweep(ordering, 0, s, strict);
@@ -63,6 +67,7 @@ int main() {
   std::printf("  kind          d      m    simulated       model    match   mean-util\n");
   for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4}) {
     for (int d : {3, 5}) {
+      if (d < d_min || d > d_max) continue;
       pipe::ProblemParams prob;
       prob.d = d;
       prob.m = 4096.0;

@@ -7,6 +7,8 @@
 // practically identical convergence rates, in the 3-6 sweep range.
 #include <cstdio>
 
+#include "bench_env.hpp"
+
 #include "solve/convergence.hpp"
 
 namespace {
@@ -23,7 +25,7 @@ int main() {
   using namespace jmh::solve;
 
   ConvergenceConfig config;
-  config.repetitions = 30;  // as in the paper
+  config.repetitions = jmh::bench::samples(30);  // paper default; BENCH_SAMPLES overrides
 
   std::printf("Table 2: mean sweeps to convergence over %d random matrices\n",
               config.repetitions);

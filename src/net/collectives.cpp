@@ -51,6 +51,29 @@ double allreduce_sum(Comm& comm, double value) {
   return allreduce(comm, value, [](double a, double b) { return a + b; });
 }
 
+std::vector<double> allreduce_sum(Comm& comm, std::vector<double> values) {
+  if (is_pow2(static_cast<std::uint64_t>(comm.size()))) {
+    for (int bit = 1; bit < comm.size(); bit <<= 1) {
+      const int peer = comm.rank() ^ bit;
+      const Payload got = comm.sendrecv(peer, kTagReduce + bit, values);
+      JMH_CHECK(got.size() == values.size(), "allreduce length mismatch across ranks");
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] += got[i];
+    }
+    return values;
+  }
+  if (comm.rank() == 0) {
+    for (int r = 1; r < comm.size(); ++r) {
+      const Payload got = comm.recv(r, kTagReduce);
+      JMH_CHECK(got.size() == values.size(), "allreduce length mismatch across ranks");
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] += got[i];
+    }
+    for (int r = 1; r < comm.size(); ++r) comm.send(r, kTagReduce + 1, values);
+    return values;
+  }
+  comm.send(0, kTagReduce, values);
+  return comm.recv(0, kTagReduce + 1);
+}
+
 double allreduce_max(Comm& comm, double value) {
   return allreduce(comm, value, [](double a, double b) { return std::max(a, b); });
 }

@@ -15,6 +15,12 @@ namespace jmh::net {
 /// Sum of @p value over all ranks, returned on every rank.
 double allreduce_sum(Comm& comm, double value);
 
+/// Element-wise sum of @p values over all ranks, returned on every rank.
+/// All ranks must contribute the same length. One butterfly (or root relay)
+/// for the whole vector -- combine related votes into one call instead of
+/// paying per-scalar message startups.
+std::vector<double> allreduce_sum(Comm& comm, std::vector<double> values);
+
 /// Max of @p value over all ranks, returned on every rank.
 double allreduce_max(Comm& comm, double value);
 

@@ -82,22 +82,26 @@ double Network::run_stage(const std::vector<NodeStage>& stage) const {
   return stage_end;
 }
 
+void Network::accumulate_stage(const std::vector<NodeStage>& stage, SimResult& acc) const {
+  const std::size_t d = static_cast<std::size_t>(topo_.dimension());
+  if (acc.link_busy.size() != topo_.num_nodes() * d)
+    acc.link_busy.assign(topo_.num_nodes() * d, 0.0);
+  const double t = run_stage(stage);
+  acc.stage_times.push_back(t);
+  acc.makespan += t;
+  for (cube::Node n = 0; n < topo_.num_nodes(); ++n) {
+    for (const auto& msg : stage[n]) {
+      acc.link_busy[n * d + static_cast<std::size_t>(msg.link)] +=
+          msg.elems * config_.machine.tw;
+    }
+  }
+}
+
 SimResult Network::run_program(const Program& program) const {
   SimResult result;
   result.stage_times.reserve(program.size());
-  const std::size_t d = static_cast<std::size_t>(topo_.dimension());
-  result.link_busy.assign(topo_.num_nodes() * d, 0.0);
-  for (const auto& stage : program) {
-    const double t = run_stage(stage);
-    result.stage_times.push_back(t);
-    result.makespan += t;
-    for (cube::Node n = 0; n < topo_.num_nodes(); ++n) {
-      for (const auto& msg : stage[n]) {
-        result.link_busy[n * d + static_cast<std::size_t>(msg.link)] +=
-            msg.elems * config_.machine.tw;
-      }
-    }
-  }
+  result.link_busy.assign(topo_.num_nodes() * static_cast<std::size_t>(topo_.dimension()), 0.0);
+  for (const auto& stage : program) accumulate_stage(stage, result);
   return result;
 }
 

@@ -77,6 +77,13 @@ class Network {
   /// Duration of a single stage (no barrier overhead modelled).
   double run_stage(const std::vector<NodeStage>& stage) const;
 
+  /// Runs one stage and folds it into @p acc (appends the stage time, grows
+  /// the makespan, adds per-channel busy time). Lets incremental clients --
+  /// e.g. a SimTransport charging one protocol transition at a time --
+  /// build up a SimResult without materializing a whole Program. @p acc's
+  /// link_busy is sized on first use.
+  void accumulate_stage(const std::vector<NodeStage>& stage, SimResult& acc) const;
+
  private:
   cube::Hypercube topo_;
   SimConfig config_;

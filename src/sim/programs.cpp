@@ -38,14 +38,15 @@ Program build_sweep_program(const ord::JacobiOrdering& ordering, int sweep, doub
   return program;
 }
 
-Program build_pipelined_phase_program(const ord::LinkSequence& seq, std::uint64_t q,
+Program build_pipelined_links_program(const std::vector<ord::Link>& links, std::uint64_t q,
                                       double step_elems, int d) {
   JMH_REQUIRE(q >= 1, "pipelining degree must be >= 1");
-  JMH_REQUIRE(seq.e() <= d, "phase does not fit the cube");
+  JMH_REQUIRE(!links.empty(), "pipelined phase needs at least one link");
+  for (ord::Link link : links)
+    JMH_REQUIRE(link >= 0 && link < d, "phase link does not fit the cube");
   const std::uint64_t nodes = std::uint64_t{1} << d;
-  const std::uint64_t k = seq.size();
+  const std::uint64_t k = links.size();
   const double packet = step_elems / static_cast<double>(q);
-  const auto& links = seq.links();
   const std::uint64_t window = std::min(q, k);
 
   Program program;
@@ -72,6 +73,12 @@ Program build_pipelined_phase_program(const ord::LinkSequence& seq, std::uint64_
   return program;
 }
 
+Program build_pipelined_phase_program(const ord::LinkSequence& seq, std::uint64_t q,
+                                      double step_elems, int d) {
+  JMH_REQUIRE(seq.e() <= d, "phase does not fit the cube");
+  return build_pipelined_links_program(seq.links(), q, step_elems, d);
+}
+
 Program build_pipelined_sweep_program(const ord::JacobiOrdering& ordering, int sweep,
                                       double step_elems,
                                       const std::vector<std::uint64_t>& q_per_phase) {
@@ -85,34 +92,15 @@ Program build_pipelined_sweep_program(const ord::JacobiOrdering& ordering, int s
       JMH_REQUIRE(exchange_index < q_per_phase.size(),
                   "need one pipelining degree per exchange phase");
       const std::uint64_t q = q_per_phase[exchange_index++];
-      JMH_REQUIRE(q >= 1, "pipelining degree must be >= 1");
       // Phase link sequence under this sweep's sigma rotation.
       std::vector<ord::Link> links;
       links.reserve(phase.num_steps);
       for (std::size_t t = 0; t < phase.num_steps; ++t)
         links.push_back(transitions[phase.first_step + t].link);
 
-      const std::uint64_t k = links.size();
-      const double packet = step_elems / static_cast<double>(q);
-      const std::uint64_t window = std::min(q, k);
-      for (std::uint64_t j = 1; j < window; ++j)  // prologue
-        program.push_back(
-            replicate(pack_window(links, 0, static_cast<std::size_t>(j), packet), nodes));
-      if (q <= k) {
-        for (std::uint64_t i = 0; i + q <= k; ++i)
-          program.push_back(replicate(
-              pack_window(links, static_cast<std::size_t>(i), static_cast<std::size_t>(q), packet),
-              nodes));
-      } else {
-        JMH_REQUIRE(q - k + 1 <= (std::uint64_t{1} << 22),
-                    "deep program too large to materialize");
-        const NodeStage full = pack_window(links, 0, static_cast<std::size_t>(k), packet);
-        for (std::uint64_t i = 0; i < q - k + 1; ++i) program.push_back(replicate(full, nodes));
-      }
-      for (std::uint64_t j = window - 1; j >= 1; --j)  // epilogue
-        program.push_back(replicate(
-            pack_window(links, static_cast<std::size_t>(k - j), static_cast<std::size_t>(j), packet),
-            nodes));
+      Program phase_program =
+          build_pipelined_links_program(links, q, step_elems, ordering.dimension());
+      for (auto& stage : phase_program) program.push_back(std::move(stage));
     } else {
       // Division or last transition: one full-size message per node.
       const auto& t = transitions[phase.first_step];

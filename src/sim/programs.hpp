@@ -21,6 +21,12 @@ Program build_sweep_program(const ord::JacobiOrdering& ordering, int sweep, doub
 Program build_pipelined_phase_program(const ord::LinkSequence& seq, std::uint64_t q,
                                       double step_elems, int d);
 
+/// Same, from an explicit link list -- accepts sigma-rotated phase links,
+/// which use the whole [0, d) range and therefore cannot be wrapped in a
+/// canonical LinkSequence of the phase's order.
+Program build_pipelined_links_program(const std::vector<ord::Link>& links, std::uint64_t q,
+                                      double step_elems, int d);
+
 /// Simulated communication time of one unpipelined sweep.
 double simulate_sweep(const ord::JacobiOrdering& ordering, int sweep, double step_elems,
                       const SimConfig& config);

@@ -1,0 +1,47 @@
+#include "solve/inline_transport.hpp"
+
+#include <utility>
+
+#include "cube/hypercube.hpp"
+
+namespace jmh::solve {
+
+InlineTransport::InlineTransport(const la::Matrix& a, int d) : layout_(a.rows(), d) {
+  const cube::Node num_nodes = cube::Node{1} << d;
+  nodes_.reserve(num_nodes);
+  for (cube::Node n = 0; n < num_nodes; ++n) nodes_.emplace_back(a, layout_, n);
+}
+
+void InlineTransport::visit_nodes(const std::function<void(JacobiNode&)>& fn) {
+  for (JacobiNode& node : nodes_) fn(node);
+}
+
+void InlineTransport::apply_transition(const ord::Transition& t, std::uint64_t /*step*/) {
+  const cube::Node bit = cube::Node{1} << t.link;
+  for (cube::Node lo = 0; lo < nodes_.size(); ++lo) {
+    if (lo & bit) continue;
+    const cube::Node hi = lo | bit;
+    if (!t.division) {
+      std::swap(nodes_[lo].mobile(), nodes_[hi].mobile());
+    } else {
+      // lo sends its mobile, receives hi's fixed (becomes lo's mobile);
+      // hi keeps its mobile as new fixed and receives lo's mobile.
+      ColumnBlock lo_mobile = std::move(nodes_[lo].mobile());
+      nodes_[lo].install_mobile(std::move(nodes_[hi].fixed()));
+      nodes_[hi].fixed() = std::move(nodes_[hi].mobile());
+      nodes_[hi].install_mobile(std::move(lo_mobile));
+    }
+  }
+}
+
+std::vector<ColumnBlock> InlineTransport::collect_blocks() {
+  std::vector<ColumnBlock> blocks;
+  blocks.reserve(2 * nodes_.size());
+  for (JacobiNode& node : nodes_) {
+    blocks.push_back(std::move(node.fixed()));
+    blocks.push_back(std::move(node.mobile()));
+  }
+  return blocks;
+}
+
+}  // namespace jmh::solve

@@ -34,6 +34,23 @@ ColumnBlock ColumnBlock::deserialize(const net::Payload& payload) {
   return out;
 }
 
+std::vector<ColumnBlock> ColumnBlock::deserialize_stream(const net::Payload& payload) {
+  std::vector<ColumnBlock> blocks;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    JMH_REQUIRE(payload.size() - pos >= 3, "truncated block stream");
+    const auto ncols = static_cast<std::size_t>(payload[pos + 1]);
+    const auto rows = static_cast<std::size_t>(payload[pos + 2]);
+    const std::size_t len = 3 + ncols + 2 * ncols * rows;
+    JMH_REQUIRE(payload.size() - pos >= len, "truncated block in stream");
+    net::Payload one(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                     payload.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    blocks.push_back(deserialize(one));
+    pos += len;
+  }
+  return blocks;
+}
+
 std::vector<ColumnBlock> ColumnBlock::split(std::size_t q) const {
   JMH_REQUIRE(q >= 1, "packet count must be positive");
   std::vector<ColumnBlock> packets(q);

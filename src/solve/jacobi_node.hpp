@@ -34,6 +34,10 @@ struct ColumnBlock {
   net::Payload serialize() const;
   static ColumnBlock deserialize(const net::Payload& payload);
 
+  /// Parses a concatenation of serialized blocks (e.g. an allgatherv of
+  /// per-rank payloads) back into blocks, in order.
+  static std::vector<ColumnBlock> deserialize_stream(const net::Payload& payload);
+
   /// Splits into @p q column packets (contiguous groups, sizes differing by
   /// at most one; trailing packets may be empty when q > num_cols). Packets
   /// keep the block id. Used by the pipelined executor.

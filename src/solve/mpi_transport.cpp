@@ -1,0 +1,89 @@
+#include "solve/mpi_transport.hpp"
+
+#include "common/assert.hpp"
+#include "net/collectives.hpp"
+
+namespace jmh::solve {
+
+namespace {
+
+// HypercubeComm namespaces tags as 1<<24 + (tag << 6) + link, so a global
+// step index becomes a message tag only while it fits below 2^24 (keeps
+// the composed tag clear of int overflow and of the collective tag
+// namespaces). Only message transports pay this bound; block-move
+// transports ignore the step index entirely.
+int message_tag(std::uint64_t step) {
+  JMH_REQUIRE(step < (std::uint64_t{1} << 24), "global step exceeds message tag space");
+  return static_cast<int>(step);
+}
+
+}  // namespace
+
+MpiLiteTransport::MpiLiteTransport(net::Comm& comm, const la::Matrix& a, std::uint64_t q)
+    : hc_(comm), layout_(a.rows(), hc_.dimension()), node_(a, layout_, hc_.node()), q_(q) {}
+
+void MpiLiteTransport::apply_transition(const ord::Transition& t, std::uint64_t step) {
+  const int tag = message_tag(step);
+  const bool low_side = (hc_.node() & (cube::Node{1} << t.link)) == 0;
+  if (!t.division) {
+    const net::Payload got = hc_.exchange(t.link, node_.mobile().serialize(), tag);
+    node_.install_mobile(ColumnBlock::deserialize(got));
+  } else if (low_side) {
+    hc_.send(t.link, node_.mobile().serialize(), tag);
+    node_.install_mobile(ColumnBlock::deserialize(hc_.recv(t.link, tag)));
+  } else {
+    hc_.send(t.link, node_.fixed().serialize(), tag);
+    node_.promote_mobile_to_fixed();  // kept mobile becomes the new fixed
+    node_.install_mobile(ColumnBlock::deserialize(hc_.recv(t.link, tag)));
+  }
+}
+
+std::vector<double> MpiLiteTransport::allreduce_sum(std::vector<double> values) {
+  return net::allreduce_sum(hc_.raw(), values);
+}
+
+SweepStats MpiLiteTransport::run_phase(const PhaseContext& ctx) {
+  if (q_ == 0 || ctx.phase.type != ord::PhaseInfo::Type::Exchange)
+    return Transport::run_phase(ctx);
+
+  // Pipelined exchange phase: packetize the mobile block; pair and forward
+  // packet by packet. Packets of one block are spread over consecutive path
+  // nodes, overlapping distinct links.
+  SweepStats stats;
+  const std::size_t k = ctx.phase.num_steps;
+  auto link_of = [&](std::size_t t) { return ctx.transitions[ctx.phase.first_step + t].link; };
+  auto tag_of = [&](std::size_t t) {
+    return message_tag(global_step(ctx.sweep, ctx.steps_per_sweep, ctx.phase.first_step + t));
+  };
+
+  // Step 0: pair own mobile's packets and launch them.
+  std::vector<ColumnBlock> packets = node_.mobile().split(q_);
+  for (ColumnBlock& pkt : packets) {
+    stats += node_.pair_fixed_with(pkt, ctx.threshold);
+    hc_.send(link_of(0), pkt.serialize(), tag_of(0));
+  }
+  // Steps 1..K-1: receive, pair, forward.
+  for (std::size_t t = 1; t < k; ++t) {
+    for (std::uint64_t pi = 0; pi < q_; ++pi) {
+      ColumnBlock pkt = ColumnBlock::deserialize(hc_.recv(link_of(t - 1), tag_of(t - 1)));
+      stats += node_.pair_fixed_with(pkt, ctx.threshold);
+      hc_.send(link_of(t), pkt.serialize(), tag_of(t));
+    }
+  }
+  // Collect the block arriving through the phase's final transition.
+  std::vector<ColumnBlock> incoming;
+  incoming.reserve(q_);
+  for (std::uint64_t pi = 0; pi < q_; ++pi)
+    incoming.push_back(ColumnBlock::deserialize(hc_.recv(link_of(k - 1), tag_of(k - 1))));
+  node_.install_mobile(ColumnBlock::merge(incoming));
+  return stats;
+}
+
+std::vector<ColumnBlock> MpiLiteTransport::collect_blocks() {
+  net::Payload mine = node_.fixed().serialize();
+  const net::Payload mobile = node_.mobile().serialize();
+  mine.insert(mine.end(), mobile.begin(), mobile.end());
+  return ColumnBlock::deserialize_stream(net::allgatherv(hc_.raw(), mine));
+}
+
+}  // namespace jmh::solve

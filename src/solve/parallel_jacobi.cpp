@@ -1,15 +1,14 @@
 #include "solve/parallel_jacobi.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <mutex>
 #include <numeric>
 
 #include "common/assert.hpp"
 #include "la/shift.hpp"
-#include "net/collectives.hpp"
-#include "net/hypercube_comm.hpp"
-#include "net/universe.hpp"
+#include "solve/inline_transport.hpp"
+#include "solve/mpi_transport.hpp"
+#include "solve/sweep_engine.hpp"
 
 namespace jmh::solve {
 
@@ -78,72 +77,31 @@ DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& o
       return solve_inline(shifted, ordering, o);
     });
   }
-  const int d = ordering.dimension();
-  const BlockLayout layout(a.rows(), d);
-  const cube::Hypercube topo(d);
-  const std::uint64_t num_nodes = topo.num_nodes();
+  InlineTransport transport(a, ordering.dimension());
+  const EngineResult er = run_sweep_protocol(transport, ordering, opts);
+  return assemble_result(transport.collect_blocks(), a.rows(), er.sweeps, er.converged,
+                         er.rotations);
+}
 
-  std::vector<JacobiNode> nodes;
-  nodes.reserve(num_nodes);
-  for (cube::Node n = 0; n < num_nodes; ++n) nodes.emplace_back(a, layout, n);
+DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                                 const SolveOptions& opts, std::uint64_t q) {
+  net::Universe universe(1 << ordering.dimension());
 
-  double frob2 = 0.0;
-  for (const auto& node : nodes) frob2 += node.frobenius_squared();
+  DistributedResult result;  // filled by rank 0
+  std::mutex result_mu;
 
-  int sweeps = 0;
-  bool converged = false;
-  std::size_t total_rotations = 0;
-
-  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
-    SweepStats stats;
-    for (auto& node : nodes) stats += node.intra_block_pairings(opts.threshold);
-
-    for (const auto& t : ordering.sweep_transitions(sweep)) {
-      for (auto& node : nodes) stats += node.inter_block_pairings(opts.threshold);
-      // Apply the transition to all neighbor pairs.
-      const cube::Node bit = cube::Node{1} << t.link;
-      for (cube::Node lo = 0; lo < num_nodes; ++lo) {
-        if (lo & bit) continue;
-        const cube::Node hi = lo | bit;
-        if (!t.division) {
-          std::swap(nodes[lo].mobile(), nodes[hi].mobile());
-        } else {
-          // lo sends its mobile, receives hi's fixed (becomes lo's mobile);
-          // hi keeps its mobile as new fixed and receives lo's mobile.
-          ColumnBlock lo_mobile = std::move(nodes[lo].mobile());
-          nodes[lo].install_mobile(std::move(nodes[hi].fixed()));
-          nodes[hi].fixed() = std::move(nodes[hi].mobile());
-          nodes[hi].install_mobile(std::move(lo_mobile));
-        }
-      }
+  universe.run([&](net::Comm& comm) {
+    MpiLiteTransport transport(comm, a, q);
+    const EngineResult er = run_sweep_protocol(transport, ordering, opts);
+    std::vector<ColumnBlock> blocks = transport.collect_blocks();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mu);
+      result = assemble_result(std::move(blocks), a.rows(), er.sweeps, er.converged,
+                               er.rotations);
     }
-
-    total_rotations += stats.rotations;
-    if (opts.stop_rule == StopRule::NoRotations) {
-      if (stats.rotations == 0) {
-        converged = true;
-        break;
-      }
-    } else {
-      // off2 is accumulated from pre-rotation dot products, so it measures
-      // the matrix state *entering* this sweep: when it is already below
-      // tolerance the previous sweep had converged and this one is not
-      // counted.
-      if (std::sqrt(2.0 * stats.off2) <= opts.off_tol * std::sqrt(frob2)) {
-        converged = true;
-        break;
-      }
-    }
-    ++sweeps;
-  }
-
-  std::vector<ColumnBlock> blocks;
-  blocks.reserve(2 * num_nodes);
-  for (auto& node : nodes) {
-    blocks.push_back(std::move(node.fixed()));
-    blocks.push_back(std::move(node.mobile()));
-  }
-  return assemble_result(std::move(blocks), a.rows(), sweeps, converged, total_rotations);
+  });
+  result.comm = universe.stats();
+  return result;
 }
 
 DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& ordering,
@@ -154,88 +112,7 @@ DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& orde
       return solve_mpi(shifted, ordering, o);
     });
   }
-  const int d = ordering.dimension();
-  const BlockLayout layout(a.rows(), d);
-  net::Universe universe(1 << d);
-
-  DistributedResult result;  // filled by rank 0
-  std::mutex result_mu;
-
-  universe.run([&](net::Comm& comm) {
-    net::HypercubeComm hc(comm);
-    JacobiNode node(a, layout, hc.node());
-
-    const double frob2 = net::allreduce_sum(comm, node.frobenius_squared());
-
-    int sweeps = 0;
-    bool converged = false;
-    double total_rotations = 0.0;
-
-    for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
-      SweepStats stats = node.intra_block_pairings(opts.threshold);
-
-      for (const auto& t : ordering.sweep_transitions(sweep)) {
-        stats += node.inter_block_pairings(opts.threshold);
-        const bool low_side = (hc.node() & (cube::Node{1} << t.link)) == 0;
-        if (!t.division) {
-          const net::Payload got = hc.exchange(t.link, node.mobile().serialize());
-          node.install_mobile(ColumnBlock::deserialize(got));
-        } else if (low_side) {
-          hc.send(t.link, node.mobile().serialize());
-          node.install_mobile(ColumnBlock::deserialize(hc.recv(t.link)));
-        } else {
-          hc.send(t.link, node.fixed().serialize());
-          node.promote_mobile_to_fixed();  // kept mobile becomes the new fixed
-          node.install_mobile(ColumnBlock::deserialize(hc.recv(t.link)));
-        }
-      }
-
-      const double global_rot =
-          net::allreduce_sum(comm, static_cast<double>(stats.rotations));
-      const double global_off2 = net::allreduce_sum(comm, stats.off2);
-      total_rotations += global_rot;
-      if (opts.stop_rule == StopRule::NoRotations) {
-        if (global_rot == 0.0) {
-          converged = true;
-          break;
-        }
-      } else {
-        // See solve_inline: off2 measures the state entering this sweep.
-        if (std::sqrt(2.0 * global_off2) <= opts.off_tol * std::sqrt(frob2)) {
-          converged = true;
-          break;
-        }
-      }
-      ++sweeps;
-    }
-
-    // Collect all blocks at every rank (allgather keeps the control flow
-    // symmetric) and let rank 0 assemble.
-    net::Payload mine = node.fixed().serialize();
-    const net::Payload mobile = node.mobile().serialize();
-    mine.insert(mine.end(), mobile.begin(), mobile.end());
-    const std::vector<double> all = net::allgatherv(comm, mine);
-
-    if (comm.rank() == 0) {
-      // Parse the concatenated payload stream back into blocks.
-      std::vector<ColumnBlock> blocks;
-      std::size_t pos = 0;
-      while (pos < all.size()) {
-        const auto ncols = static_cast<std::size_t>(all[pos + 1]);
-        const auto rows = static_cast<std::size_t>(all[pos + 2]);
-        const std::size_t len = 3 + ncols + 2 * ncols * rows;
-        net::Payload one(all.begin() + static_cast<std::ptrdiff_t>(pos),
-                         all.begin() + static_cast<std::ptrdiff_t>(pos + len));
-        blocks.push_back(ColumnBlock::deserialize(one));
-        pos += len;
-      }
-      std::lock_guard<std::mutex> lock(result_mu);
-      result = assemble_result(std::move(blocks), a.rows(), sweeps, converged,
-                               static_cast<std::size_t>(total_rotations));
-    }
-  });
-  result.comm = universe.stats();
-  return result;
+  return solve_mpi_like(a, ordering, opts, /*q=*/0);
 }
 
 }  // namespace jmh::solve

@@ -1,49 +1,29 @@
 // Distributed one-sided Jacobi eigensolver driven by a JacobiOrdering.
 //
-// Two executors share identical numerical behaviour:
-//   * solve_inline: simulates the 2^d nodes sequentially in one thread
-//     (deterministic; used for the Table 2 convergence experiments);
-//   * solve_mpi: runs each node as an mpi_lite rank on its own thread,
-//     exchanging blocks with real messages over the hypercube overlay --
-//     the shape an MPI port of the paper's algorithm would take.
+// All executors share one sweep engine (solve/sweep_engine.hpp) and differ
+// only in the Transport they plug into it:
+//   * solve_inline: InlineTransport -- the 2^d nodes simulated sequentially
+//     in one thread (deterministic; used for the Table 2 convergence
+//     experiments);
+//   * solve_mpi: MpiLiteTransport -- each node an mpi_lite rank on its own
+//     thread, exchanging blocks with real messages over the hypercube
+//     overlay -- the shape an MPI port of the paper's algorithm would take;
+//   * solve_mpi_pipelined (pipelined_executor.hpp): MpiLiteTransport with
+//     packetized exchange phases;
+//   * solve_sim (sim_transport.hpp): SimTransport -- inline numerics with
+//     modeled per-link time under pipe::MachineParams.
 //
 // Each sweep: intra-block pairings, then the 2^{d+1}-1 step/transition
 // pairs of the ordering (inter-block pairings + mobile exchange or division
 // transfer). Convergence: a sweep in which no node applies any rotation.
 #pragma once
 
-#include "la/onesided_jacobi.hpp"
 #include "net/universe.hpp"
 #include "ord/ordering.hpp"
 #include "solve/jacobi_node.hpp"
+#include "solve/transport.hpp"
 
 namespace jmh::solve {
-
-/// Convergence test applied after each sweep.
-enum class StopRule {
-  /// Stop when a full sweep applies no rotation (strictest; the final
-  /// all-skip sweep is not counted).
-  NoRotations,
-  /// Stop when the off-diagonal norm observed during the sweep satisfies
-  /// sqrt(2 * sum bij^2) <= off_tol * ||A||_F (the classical off(A)
-  /// criterion; cheaper by 1-2 sweeps and the convention 1990s papers
-  /// report, see EXPERIMENTS.md Table 2 notes). The triggering sweep is
-  /// counted.
-  OffDiagonal,
-};
-
-struct SolveOptions {
-  double threshold = la::kDefaultThreshold;
-  int max_sweeps = 60;
-  StopRule stop_rule = StopRule::NoRotations;
-  double off_tol = 1e-8;  ///< used by StopRule::OffDiagonal
-
-  /// Solve A + sigma*I (sigma = Gershgorin radius) and shift the spectrum
-  /// back. Makes the working matrix positive semidefinite, which removes
-  /// the one-sided method's +/-lambda tie ambiguity (la/shift.hpp) at the
-  /// cost of squaring its condition-dependent convergence constant.
-  bool gershgorin_shift = false;
-};
 
 struct DistributedResult {
   std::vector<double> eigenvalues;  ///< ascending

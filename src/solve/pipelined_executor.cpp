@@ -1,30 +1,13 @@
 #include "solve/pipelined_executor.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <mutex>
 
 #include "common/assert.hpp"
 #include "la/shift.hpp"
-#include "net/collectives.hpp"
-#include "net/hypercube_comm.hpp"
+#include "solve/block_layout.hpp"
+#include "solve/mpi_transport.hpp"
 
 namespace jmh::solve {
-
-namespace {
-
-// Messages are tagged by the global transition index so packets from
-// different steps/sweeps can never be confused even when neighboring nodes
-// run several stages apart. HypercubeComm shifts tags by 6 bits under a
-// 1<<24 base, so the global step must stay below ~2^24.
-int global_step_tag(int sweep, std::size_t steps_per_sweep, std::size_t step) {
-  const std::uint64_t tag =
-      static_cast<std::uint64_t>(sweep) * steps_per_sweep + step;
-  JMH_REQUIRE(tag < (std::uint64_t{1} << 17), "global step tag overflow");
-  return static_cast<int>(tag);
-}
-
-}  // namespace
 
 DistributedResult solve_mpi_pipelined(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                       const PipelinedSolveOptions& opts) {
@@ -39,125 +22,10 @@ DistributedResult solve_mpi_pipelined(const la::Matrix& a, const ord::JacobiOrde
     return r;
   }
 
-  const int d = ordering.dimension();
-  const BlockLayout layout(a.rows(), d);
+  const BlockLayout layout(a.rows(), ordering.dimension());
   const std::uint64_t q_auto =
       std::max<std::uint64_t>(1, std::min<std::uint64_t>(4, layout.block_size(0)));
-  const std::uint64_t q = opts.q == 0 ? q_auto : opts.q;
-
-  net::Universe universe(1 << d);
-  DistributedResult result;
-  std::mutex result_mu;
-
-  universe.run([&](net::Comm& comm) {
-    net::HypercubeComm hc(comm);
-    JacobiNode node(a, layout, hc.node());
-    const auto& phases = ordering.phases();
-    const std::size_t steps_per_sweep = ordering.steps_per_sweep();
-
-    const double frob2 = net::allreduce_sum(comm, node.frobenius_squared());
-
-    int sweeps = 0;
-    bool converged = false;
-    double total_rotations = 0.0;
-
-    for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
-      const auto transitions = ordering.sweep_transitions(sweep);
-      SweepStats stats = node.intra_block_pairings(opts.threshold);
-
-      for (const ord::PhaseInfo& phase : phases) {
-        if (phase.type == ord::PhaseInfo::Type::Exchange) {
-          // Pipelined exchange phase: packetize the mobile block; pair and
-          // forward packet by packet. Packets of one block are spread over
-          // consecutive path nodes, overlapping distinct links.
-          const std::size_t k = phase.num_steps;
-          auto link_of = [&](std::size_t t) { return transitions[phase.first_step + t].link; };
-          auto tag_of = [&](std::size_t t) {
-            return global_step_tag(sweep, steps_per_sweep, phase.first_step + t);
-          };
-
-          // Step 0: pair own mobile's packets and launch them.
-          std::vector<ColumnBlock> packets = node.mobile().split(q);
-          for (auto& pkt : packets) {
-            stats += node.pair_fixed_with(pkt, opts.threshold);
-            hc.send(link_of(0), pkt.serialize(), tag_of(0));
-          }
-          // Steps 1..K-1: receive, pair, forward.
-          for (std::size_t t = 1; t < k; ++t) {
-            for (std::uint64_t pi = 0; pi < q; ++pi) {
-              ColumnBlock pkt = ColumnBlock::deserialize(hc.recv(link_of(t - 1), tag_of(t - 1)));
-              stats += node.pair_fixed_with(pkt, opts.threshold);
-              hc.send(link_of(t), pkt.serialize(), tag_of(t));
-            }
-          }
-          // Collect the block arriving through the phase's final transition.
-          std::vector<ColumnBlock> incoming;
-          incoming.reserve(q);
-          for (std::uint64_t pi = 0; pi < q; ++pi)
-            incoming.push_back(ColumnBlock::deserialize(hc.recv(link_of(k - 1), tag_of(k - 1))));
-          node.install_mobile(ColumnBlock::merge(incoming));
-        } else {
-          // Division and last-transition steps: full-block, unpipelined.
-          const auto& t = transitions[phase.first_step];
-          const int tag = global_step_tag(sweep, steps_per_sweep, phase.first_step);
-          stats += node.inter_block_pairings(opts.threshold);
-          const bool low_side = (hc.node() & (cube::Node{1} << t.link)) == 0;
-          if (!t.division) {
-            const net::Payload got = hc.exchange(t.link, node.mobile().serialize(), tag);
-            node.install_mobile(ColumnBlock::deserialize(got));
-          } else if (low_side) {
-            hc.send(t.link, node.mobile().serialize(), tag);
-            node.install_mobile(ColumnBlock::deserialize(hc.recv(t.link, tag)));
-          } else {
-            hc.send(t.link, node.fixed().serialize(), tag);
-            node.promote_mobile_to_fixed();
-            node.install_mobile(ColumnBlock::deserialize(hc.recv(t.link, tag)));
-          }
-        }
-      }
-
-      const double global_rot = net::allreduce_sum(comm, static_cast<double>(stats.rotations));
-      const double global_off2 = net::allreduce_sum(comm, stats.off2);
-      total_rotations += global_rot;
-      if (opts.stop_rule == StopRule::NoRotations) {
-        if (global_rot == 0.0) {
-          converged = true;
-          break;
-        }
-      } else {
-        if (std::sqrt(2.0 * global_off2) <= opts.off_tol * std::sqrt(frob2)) {
-          converged = true;
-          break;
-        }
-      }
-      ++sweeps;
-    }
-
-    // Result collection, identical to solve_mpi.
-    net::Payload mine = node.fixed().serialize();
-    const net::Payload mobile = node.mobile().serialize();
-    mine.insert(mine.end(), mobile.begin(), mobile.end());
-    const std::vector<double> all = net::allgatherv(comm, mine);
-
-    if (comm.rank() == 0) {
-      std::vector<ColumnBlock> blocks;
-      std::size_t pos = 0;
-      while (pos < all.size()) {
-        const auto ncols = static_cast<std::size_t>(all[pos + 1]);
-        const auto rows = static_cast<std::size_t>(all[pos + 2]);
-        const std::size_t len = 3 + ncols + 2 * ncols * rows;
-        net::Payload one(all.begin() + static_cast<std::ptrdiff_t>(pos),
-                         all.begin() + static_cast<std::ptrdiff_t>(pos + len));
-        blocks.push_back(ColumnBlock::deserialize(one));
-        pos += len;
-      }
-      std::lock_guard<std::mutex> lock(result_mu);
-      result = assemble_result(std::move(blocks), a.rows(), sweeps, converged,
-                               static_cast<std::size_t>(total_rotations));
-    }
-  });
-  result.comm = universe.stats();
-  return result;
+  return solve_mpi_like(a, ordering, opts, opts.q == 0 ? q_auto : opts.q);
 }
 
 }  // namespace jmh::solve

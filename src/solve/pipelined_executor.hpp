@@ -1,24 +1,8 @@
 // Pipelined distributed one-sided Jacobi: the communication-pipelining
 // technique (paper section 2.4 / ref. [9]) actually executed, not just
-// modeled.
-//
-// During each exchange phase the mobile block is split into Q column
-// packets. A node pairs an arriving packet against its fixed block and
-// immediately forwards it along the phase's next link, so consecutive
-// packets of one block are spread across consecutive nodes of the
-// Hamiltonian path and travel on different links concurrently -- the
-// multi-port overlap the paper's orderings exist to enable, emerging here
-// from genuinely asynchronous sends on the mpi_lite threads.
-//
-// Correctness is order-independent: every (fixed column, mobile column)
-// pair still meets exactly once, each packet's rotations are sequenced by
-// its message causality, and each fixed column's rotations are sequenced
-// by its node's thread. Results agree with the unpipelined executors up to
-// floating-point reordering (verified in tests).
-//
-// Division steps and the sweep-opening intra-block pairings are not
-// pipelined, exactly as in the paper (pipelining "can be applied to every
-// exchange phase, which are the most time-consuming part").
+// modeled. A thin wrapper over the shared sweep engine with the packetized
+// exchange-phase path of MpiLiteTransport (see solve/mpi_transport.hpp for
+// the mechanism and its correctness argument).
 #pragma once
 
 #include "solve/parallel_jacobi.hpp"

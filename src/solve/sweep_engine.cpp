@@ -1,0 +1,59 @@
+#include "solve/sweep_engine.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace jmh::solve {
+
+EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering& ordering,
+                                const SolveOptions& opts) {
+  JMH_REQUIRE(!opts.gershgorin_shift,
+              "gershgorin_shift must be unwrapped by the solve_* entry points");
+  JMH_REQUIRE(ordering.dimension() == transport.dimension(),
+              "ordering/transport dimension mismatch");
+
+  double local_frob2 = 0.0;
+  transport.visit_nodes([&](JacobiNode& node) { local_frob2 += node.frobenius_squared(); });
+  const double frob2 = transport.allreduce_sum({local_frob2})[0];
+
+  const std::size_t steps_per_sweep = ordering.steps_per_sweep();
+  EngineResult out;
+  double total_rotations = 0.0;
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    SweepStats stats;
+    transport.visit_nodes(
+        [&](JacobiNode& node) { stats += node.intra_block_pairings(opts.threshold); });
+
+    const std::vector<ord::Transition> transitions = ordering.sweep_transitions(sweep);
+    for (const ord::PhaseInfo& phase : ordering.phases())
+      stats += transport.run_phase(
+          {phase, transitions, sweep, steps_per_sweep, opts.threshold});
+
+    const std::vector<double> global =
+        transport.allreduce_sum({static_cast<double>(stats.rotations), stats.off2});
+    total_rotations += global[0];
+    if (opts.stop_rule == StopRule::NoRotations) {
+      if (global[0] == 0.0) {
+        out.converged = true;
+        break;
+      }
+    } else {
+      // off2 is accumulated from pre-rotation dot products, so it measures
+      // the matrix state *entering* this sweep: when it is already below
+      // tolerance the previous sweep had converged and this one is not
+      // counted.
+      if (std::sqrt(2.0 * global[1]) <= opts.off_tol * std::sqrt(frob2)) {
+        out.converged = true;
+        break;
+      }
+    }
+    ++out.sweeps;
+  }
+
+  out.rotations = static_cast<std::size_t>(total_rotations);
+  return out;
+}
+
+}  // namespace jmh::solve

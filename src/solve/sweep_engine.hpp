@@ -1,0 +1,27 @@
+// The shared sweep engine: drives the full ordering protocol once,
+// parameterized by a Transport. Every executor (inline, mpi_lite plain and
+// pipelined, simulated) is a thin wrapper that picks a transport and calls
+// run_sweep_protocol; no executor re-implements the transition loop or the
+// convergence logic.
+#pragma once
+
+#include "solve/transport.hpp"
+
+namespace jmh::solve {
+
+/// Outcome of one protocol run, identical on every SPMD endpoint.
+struct EngineResult {
+  int sweeps = 0;       ///< sweeps that performed >= 1 rotation
+  bool converged = false;
+  std::size_t rotations = 0;  ///< global rotation count
+};
+
+/// Runs the sweep protocol to convergence (or opts.max_sweeps). Each sweep:
+/// intra-block pairings on every node, then the ordering's phases (exchange
+/// phases, division transitions, last transition) with sigma link rotation,
+/// then the global convergence vote. The Gershgorin shift is handled by the
+/// entry-point wrappers, not here.
+EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering& ordering,
+                                const SolveOptions& opts);
+
+}  // namespace jmh::solve

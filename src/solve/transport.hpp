@@ -1,0 +1,112 @@
+// Transport: the communication substrate of the distributed Jacobi sweep
+// protocol.
+//
+// The sweep state machine (intra-block pairings, exchange phases, division
+// transitions, link rotation, convergence vote) is identical across every
+// execution substrate; only *how* blocks move and votes are summed differs.
+// run_sweep_protocol (sweep_engine.hpp) drives the protocol once against
+// this interface; the concrete transports are:
+//
+//   * InlineTransport  -- all 2^d nodes owned by one object, executed
+//     sequentially in the calling thread (deterministic);
+//   * MpiLiteTransport -- an SPMD endpoint: one node per mpi_lite rank,
+//     blocks travel as real messages over the hypercube overlay, with an
+//     optional packetized pipelined exchange-phase path;
+//   * SimTransport     -- InlineTransport numerics plus modeled time: every
+//     message is charged on the sim/ event network under
+//     pipe::MachineParams, cross-checkable against pipe/cost_model.
+//
+// The engine is written as the SPMD program of one endpoint: single-owner
+// transports (inline, sim) run it once over all nodes; mpi_lite runs one
+// engine instance per rank, each seeing its own node through the same
+// interface. All global quantities flow through allreduce_sum, so every
+// endpoint observes identical control flow.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/onesided_jacobi.hpp"
+#include "ord/ordering.hpp"
+#include "solve/jacobi_node.hpp"
+
+namespace jmh::solve {
+
+/// Convergence test applied after each sweep.
+enum class StopRule {
+  /// Stop when a full sweep applies no rotation (strictest; the final
+  /// all-skip sweep is not counted).
+  NoRotations,
+  /// Stop when the off-diagonal norm observed during the sweep satisfies
+  /// sqrt(2 * sum bij^2) <= off_tol * ||A||_F (the classical off(A)
+  /// criterion; cheaper by 1-2 sweeps and the convention 1990s papers
+  /// report, see EXPERIMENTS.md Table 2 notes). The triggering sweep is
+  /// counted.
+  OffDiagonal,
+};
+
+struct SolveOptions {
+  double threshold = la::kDefaultThreshold;
+  int max_sweeps = 60;
+  StopRule stop_rule = StopRule::NoRotations;
+  double off_tol = 1e-8;  ///< used by StopRule::OffDiagonal
+
+  /// Solve A + sigma*I (sigma = Gershgorin radius) and shift the spectrum
+  /// back. Makes the working matrix positive semidefinite, which removes
+  /// the one-sided method's +/-lambda tie ambiguity (la/shift.hpp) at the
+  /// cost of squaring its condition-dependent convergence constant.
+  bool gershgorin_shift = false;
+};
+
+/// Global index of the transition at (sweep, step). Message transports
+/// derive per-step tags from it so packets from different steps/sweeps can
+/// never be confused even when neighboring endpoints run several stages
+/// apart; block-move transports ignore it.
+inline std::uint64_t global_step(int sweep, std::size_t steps_per_sweep, std::size_t step) {
+  return static_cast<std::uint64_t>(sweep) * steps_per_sweep + step;
+}
+
+/// Everything a transport needs to execute one phase of one sweep.
+struct PhaseContext {
+  const ord::PhaseInfo& phase;
+  /// Full transition list of this sweep, sigma rotation already applied.
+  const std::vector<ord::Transition>& transitions;
+  int sweep = 0;
+  std::size_t steps_per_sweep = 0;
+  double threshold = la::kDefaultThreshold;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int dimension() const = 0;
+
+  /// Applies @p fn to every JacobiNode this endpoint owns (all 2^d for the
+  /// single-owner transports, exactly one for an mpi_lite rank).
+  virtual void visit_nodes(const std::function<void(JacobiNode&)>& fn) = 0;
+
+  /// Applies one ordering transition across t.link to every owned node:
+  /// mobile <-> mobile exchange, or the asymmetric division move (the low
+  /// side sends its mobile and receives the peer's fixed; the high side
+  /// sends its fixed, keeps its mobile as the new fixed, and receives the
+  /// peer's mobile). @p step is the transition's global_step index.
+  virtual void apply_transition(const ord::Transition& t, std::uint64_t step) = 0;
+
+  /// Element-wise global sum of @p values over all endpoints, returned
+  /// everywhere (the convergence vote). Identity for single-owner
+  /// transports.
+  virtual std::vector<double> allreduce_sum(std::vector<double> values) = 0;
+
+  /// Executes one phase: default = per step, inter-block pairings on every
+  /// owned node followed by the step's transition. Transports override to
+  /// pipeline exchange phases (MpiLiteTransport) or charge modeled time
+  /// (SimTransport); overrides must visit exactly the same column pairs.
+  virtual SweepStats run_phase(const PhaseContext& ctx);
+
+  /// All 2^{d+1} final blocks, available at every endpoint. Consumes the
+  /// resident blocks; call once, after the protocol finishes.
+  virtual std::vector<ColumnBlock> collect_blocks() = 0;
+};
+
+}  // namespace jmh::solve

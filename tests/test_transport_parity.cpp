@@ -1,0 +1,101 @@
+// Transport parity: the four executors are wrappers over one sweep engine
+// (solve/sweep_engine.hpp), so for a fixed seed matrix every transport must
+// produce the same spectrum. Inline, mpi_lite and sim follow the identical
+// rotation order and agree to the last bit in exact arithmetic; the
+// pipelined path reorders floating-point operations and agrees to
+// round-off.
+#include <gtest/gtest.h>
+
+#include "la/eigen_check.hpp"
+#include "la/sym_gen.hpp"
+#include "solve/parallel_jacobi.hpp"
+#include "solve/pipelined_executor.hpp"
+#include "solve/sim_transport.hpp"
+
+namespace jmh::solve {
+namespace {
+
+la::Matrix test_matrix(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return la::random_uniform_symmetric(n, rng);
+}
+
+class TransportParityTest : public ::testing::TestWithParam<ord::OrderingKind> {};
+
+TEST_P(TransportParityTest, AllTransportsAgree) {
+  const ord::OrderingKind kind = GetParam();
+  const int d = 2;
+  const la::Matrix a = test_matrix(16, 4242);
+  const ord::JacobiOrdering ordering(kind, d);
+
+  const DistributedResult inline_r = solve_inline(a, ordering);
+  const DistributedResult mpi_r = solve_mpi(a, ordering);
+  PipelinedSolveOptions popts;
+  popts.q = 2;
+  const DistributedResult pipe_r = solve_mpi_pipelined(a, ordering, popts);
+  const SimSolveResult sim_r = solve_sim(a, ordering);
+
+  ASSERT_TRUE(inline_r.converged);
+  ASSERT_TRUE(mpi_r.converged);
+  ASSERT_TRUE(pipe_r.converged);
+  ASSERT_TRUE(sim_r.converged);
+
+  // Inline and mpi_lite run the same rotation sequence: identical sweep
+  // counts and (up to message framing) identical numbers.
+  EXPECT_EQ(mpi_r.sweeps, inline_r.sweeps);
+  EXPECT_LT(la::spectrum_distance(mpi_r.eigenvalues, inline_r.eigenvalues), 1e-12);
+  EXPECT_LT(la::Matrix::max_abs_diff(mpi_r.eigenvectors, inline_r.eigenvectors), 1e-12);
+
+  // SimTransport shares InlineTransport numerics exactly.
+  EXPECT_EQ(sim_r.sweeps, inline_r.sweeps);
+  EXPECT_LT(la::spectrum_distance(sim_r.eigenvalues, inline_r.eigenvalues), 1e-12);
+  EXPECT_LT(la::Matrix::max_abs_diff(sim_r.eigenvectors, inline_r.eigenvectors), 1e-12);
+  EXPECT_GT(sim_r.modeled_time, 0.0);
+
+  // Pipelining reorders rotations; eigenvalue sets agree to round-off.
+  EXPECT_LT(la::spectrum_distance(pipe_r.eigenvalues, inline_r.eigenvalues), 1e-10);
+  EXPECT_LT(la::eigenpair_residual(a, pipe_r.eigenvalues, pipe_r.eigenvectors), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, TransportParityTest,
+                         ::testing::Values(ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
+                                           ord::OrderingKind::Degree4,
+                                           ord::OrderingKind::MinAlpha),
+                         [](const ::testing::TestParamInfo<ord::OrderingKind>& info) {
+                           std::string name = ord::to_string(info.param);
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+TEST(TransportParity, UnevenColumnSplitAcrossTransports) {
+  // 13 columns over 8 blocks: sizes differ by one; every substrate must
+  // still cover all pairs.
+  const la::Matrix a = test_matrix(13, 77);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::PermutedBR, 2);
+  const DistributedResult inline_r = solve_inline(a, ordering);
+  const DistributedResult mpi_r = solve_mpi(a, ordering);
+  const SimSolveResult sim_r = solve_sim(a, ordering);
+  ASSERT_TRUE(inline_r.converged);
+  EXPECT_EQ(mpi_r.sweeps, inline_r.sweeps);
+  EXPECT_LT(la::spectrum_distance(mpi_r.eigenvalues, inline_r.eigenvalues), 1e-12);
+  EXPECT_LT(la::spectrum_distance(sim_r.eigenvalues, inline_r.eigenvalues), 1e-12);
+}
+
+TEST(TransportParity, GershgorinShiftThroughEveryWrapper) {
+  const la::Matrix a = test_matrix(16, 99);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::BR, 2);
+  SolveOptions opts;
+  opts.gershgorin_shift = true;
+  const DistributedResult inline_r = solve_inline(a, ordering, opts);
+  const DistributedResult mpi_r = solve_mpi(a, ordering, opts);
+  SimSolveOptions sopts;
+  sopts.gershgorin_shift = true;
+  const SimSolveResult sim_r = solve_sim(a, ordering, sopts);
+  ASSERT_TRUE(inline_r.converged);
+  EXPECT_LT(la::spectrum_distance(mpi_r.eigenvalues, inline_r.eigenvalues), 1e-12);
+  EXPECT_LT(la::spectrum_distance(sim_r.eigenvalues, inline_r.eigenvalues), 1e-12);
+}
+
+}  // namespace
+}  // namespace jmh::solve
