@@ -29,6 +29,11 @@ void run_figure(double log2_m) {
   machine.tw = 100.0;
 
   std::printf("Figure 2 (m = 2^%.0f): communication cost relative to BR\n", log2_m);
+  // The scenario each cell prices, as a replayable facade spec (solve it
+  // for real with `eigensolver_cli --spec` at a feasible m).
+  std::printf("scenario: \"backend=sim,ordering=<series>,m=%.0f,d=<d>,pipeline=auto,"
+              "ts=%.0f,tw=%.0f\"\n",
+              std::ldexp(1.0, static_cast<int>(log2_m)), machine.ts, machine.tw);
   std::printf("  d |    BR  pipBR  degree-4  permuted-BR  lower-bound  pBR-mode\n");
   std::printf("----+-----------------------------------------------------------\n");
 

@@ -2,6 +2,7 @@
 // components whose throughput determines experiment wall-clock time.
 #include <benchmark/benchmark.h>
 
+#include "api/solver.hpp"
 #include "common/rng.hpp"
 #include "la/rotation.hpp"
 #include "la/sym_gen.hpp"
@@ -154,6 +155,55 @@ void BM_MpiSolvePipelined(benchmark::State& state) {
     benchmark::DoNotOptimize(jmh::solve::solve_mpi_pipelined(a, ordering, opts));
 }
 BENCHMARK(BM_MpiSolvePipelined)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// --- api facade: plan construction vs. reuse ---------------------------------
+// The facade exists to amortize expensive setup (ordering sequences, sweep
+// schedule, auto pipelining degree) across many solves. These three cases
+// price that claim: building a plan, solving with a reused plan, and
+// rebuilding the plan for every solve (what the legacy free functions do).
+
+void BM_PlanConstruction(benchmark::State& state) {
+  // MinAlpha is the expensive ordering (backtracking sequence search);
+  // pipeline=auto adds the optimizer pass.
+  const auto spec = jmh::api::SolverSpec::parse(
+      "backend=inline,ordering=minalpha,m=128,d=" + std::to_string(state.range(0)) +
+      ",pipeline=auto");
+  for (auto _ : state) benchmark::DoNotOptimize(jmh::api::Solver::plan(spec));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanConstruction)->Arg(2)->Arg(4)->Arg(5)->Unit(benchmark::kMicrosecond);
+
+void BM_PlanReuseSolve(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const auto spec = jmh::api::SolverSpec::parse("backend=inline,ordering=minalpha,m=" +
+                                                std::to_string(m) + ",d=2,pipeline=auto");
+  const jmh::api::SolvePlan plan = jmh::api::Solver::plan(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.solve(a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanReuseSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_PerSolveReconstruction(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const auto spec = jmh::api::SolverSpec::parse("backend=inline,ordering=minalpha,m=" +
+                                                std::to_string(m) + ",d=2,pipeline=auto");
+  for (auto _ : state) benchmark::DoNotOptimize(jmh::api::Solver::solve(spec, a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerSolveReconstruction)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SpecRoundTrip(benchmark::State& state) {
+  const jmh::api::SolverSpec spec = jmh::api::SolverSpec::parse(
+      "backend=sim,ordering=minalpha,m=4096,d=5,pipeline=auto,stop=offdiag");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jmh::api::SolverSpec::parse(spec.to_string()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecRoundTrip);
 
 void BM_BlockSerializeRoundtrip(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

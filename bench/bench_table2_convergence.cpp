@@ -8,7 +8,6 @@
 #include <cstdio>
 
 #include "bench_env.hpp"
-
 #include "solve/convergence.hpp"
 
 namespace {
@@ -31,7 +30,12 @@ int main() {
               config.repetitions);
   std::printf("(entries uniform on [-1,1]; threshold %.0e; paper-BR column is the\n",
               config.threshold);
-  std::printf(" closest reading of the paper's scrambled table, for context)\n\n");
+  std::printf(" closest reading of the paper's scrambled table, for context)\n");
+  // Each cell replays through the facade as a named scenario.
+  std::printf("scenario: \"ordering=<col>,m=<m>,d=<log2 P>,stop=%s,off_tol=%g,"
+              "threshold=%g\"\n\n",
+              config.stop_rule == StopRule::OffDiagonal ? "offdiag" : "norot", config.off_tol,
+              config.threshold);
   std::printf("   m    P |     BR  permuted-BR  degree-4 | paper-BR(ctx)\n");
   std::printf("---------+--------------------------------+--------------\n");
 

@@ -1,13 +1,15 @@
 // Communication planner: given a machine (d, Ts, Tw, ports) and a matrix
 // size m, recommend the Jacobi ordering and per-phase pipelining degree
 // that minimize the sweep communication cost -- the decision procedure a
-// user of the paper's results would actually run.
+// user of the paper's results would actually run. The recommendation is
+// emitted as a ready-to-run api::SolverSpec string for the solver CLI.
 //
 //   $ ./comm_planner [d] [log2_m] [Ts] [Tw]      (defaults: 6 18 1000 100)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/spec.hpp"
 #include "pipe/cost_model.hpp"
 #include "pipe/execution_model.hpp"
 #include "pipe/report.hpp"
@@ -75,5 +77,17 @@ int main(int argc, char** argv) {
               exec.t_flop, er.compute, er.comm, er.total, 100.0 * er.comm_fraction);
   std::printf("parallel speedup %.1fx on %d nodes\n",
               sweep_speedup(best_kind, prob, exec), 1 << prob.d);
+
+  // The recommendation as a facade scenario: paste into
+  // `eigensolver_cli --spec ...` (backend=sim replays it on the modeled
+  // machine; pipeline=auto re-derives the optimal degree at plan time).
+  jmh::api::SolverSpec spec;
+  spec.backend = jmh::api::Backend::Sim;
+  spec.ordering = best_kind;
+  spec.m = static_cast<std::size_t>(prob.m);
+  spec.d = prob.d;
+  spec.pipelining = jmh::api::PipeliningPolicy::Auto;
+  spec.machine = machine;
+  std::printf("\nfacade spec: \"%s\"\n", spec.to_string().c_str());
   return 0;
 }

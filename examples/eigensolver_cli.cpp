@@ -1,77 +1,114 @@
-// Distributed eigensolver CLI: runs the one-sided Jacobi method with a
-// chosen ordering on mpi_lite (one OS thread per hypercube node, real
-// message exchanges over the hypercube overlay) and cross-checks against
-// the sequential reference.
+// Distributed eigensolver CLI: one --spec string names the whole scenario
+// (backend, ordering, problem size, pipelining, machine model, convergence
+// knobs); the run prints the unified api::SolveReport.
 //
-//   $ ./eigensolver_cli [m] [d] [ordering]
-//     m        matrix order (default 32)
-//     d        hypercube dimension, 2^d threads (default 3)
-//     ordering br | pbr | d4 | minalpha (default d4)
+//   $ ./eigensolver_cli [--spec "key=value,..."] [--seed N] [--check]
+//
+//     --spec   scenario, e.g. "backend=sim,ordering=minalpha,m=64,d=3,
+//              pipeline=auto" (default "backend=mpi,ordering=d4,m=32,d=3";
+//              see api/spec.hpp for the full grammar)
+//     --seed   RNG seed for the random symmetric test matrix (default 42)
+//     --check  cross-check eigenpairs against the sequential reference
+//
+// Exit status: 0 iff the solve converged (and, with --check, matches the
+// reference).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <string>
 
+#include "api/solver.hpp"
 #include "la/eigen_check.hpp"
 #include "la/sym_gen.hpp"
-#include "solve/parallel_jacobi.hpp"
 
 int main(int argc, char** argv) {
   using namespace jmh;
   using Clock = std::chrono::steady_clock;
 
-  const std::size_t m = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 32;
-  const int d = argc > 2 ? std::atoi(argv[2]) : 3;
-  ord::OrderingKind kind = ord::OrderingKind::Degree4;
-  if (argc > 3) {
-    if (!std::strcmp(argv[3], "br")) kind = ord::OrderingKind::BR;
-    else if (!std::strcmp(argv[3], "pbr")) kind = ord::OrderingKind::PermutedBR;
-    else if (!std::strcmp(argv[3], "d4")) kind = ord::OrderingKind::Degree4;
-    else if (!std::strcmp(argv[3], "minalpha")) kind = ord::OrderingKind::MinAlpha;
-    else {
-      std::fprintf(stderr, "unknown ordering '%s' (br|pbr|d4|minalpha)\n", argv[3]);
+  std::string spec_text = "backend=mpi,ordering=d4,m=32,d=3";
+  std::uint64_t seed = 42;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--spec") && i + 1 < argc) {
+      spec_text = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--check")) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--spec \"key=value,...\"] [--seed N] [--check]\n",
+                   argv[0]);
       return 2;
     }
   }
-  if (d < 1 || d > 6 || m < (std::size_t{2} << d)) {
-    std::fprintf(stderr, "need 1 <= d <= 6 and m >= 2^(d+1)\n");
+
+  api::SolverSpec spec;
+  try {
+    spec = api::SolverSpec::parse(spec_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
-  Xoshiro256 rng(42);
-  const la::Matrix a = la::random_uniform_symmetric(m, rng);
-  const ord::JacobiOrdering ordering(kind, d);
+  Xoshiro256 rng(seed);
+  const la::Matrix a = la::random_uniform_symmetric(spec.m, rng);
 
-  std::printf("solving a %zux%zu random symmetric matrix on a %d-cube (%d threads)\n", m, m,
-              d, 1 << d);
-  std::printf("ordering: %s\n\n", ord::to_string(kind).c_str());
+  std::printf("spec    : %s\n", spec.to_string().c_str());
+
+  api::SolvePlan plan = [&] {
+    try {
+      return api::Solver::plan(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "infeasible spec: %s\n", e.what());
+      std::exit(2);
+    }
+  }();
+  if (spec.pipelining == api::PipeliningPolicy::Auto)
+    std::printf("plan    : auto pipelining degree q = %llu "
+                "(modeled %.4g time units/sweep of exchange comm)\n",
+                static_cast<unsigned long long>(plan.pipelining_q()),
+                plan.planned_sweep_comm_cost());
 
   const auto t0 = Clock::now();
-  const solve::DistributedResult dist = solve::solve_mpi(a, ordering);
-  const double t_mpi = std::chrono::duration<double>(Clock::now() - t0).count();
+  const api::SolveReport r = [&] {
+    try {
+      return plan.solve(a);
+    } catch (const std::exception& e) {
+      // e.g. thread-spawn failure for backend=mpi at large d.
+      std::fprintf(stderr, "solve failed: %s\n", e.what());
+      std::exit(2);
+    }
+  }();
+  const double t_solve = std::chrono::duration<double>(Clock::now() - t0).count();
 
-  const auto t1 = Clock::now();
-  const la::JacobiResult ref = la::onesided_jacobi_cyclic(a);
-  const double t_seq = std::chrono::duration<double>(Clock::now() - t1).count();
+  std::printf("%s", r.summary().c_str());
+  std::printf("walltime : %.3fs\n", t_solve);
 
-  std::printf("mpi_lite solver : %d sweeps, %zu rotations, %.3fs, converged=%s\n",
-              dist.sweeps, dist.rotations, t_mpi, dist.converged ? "yes" : "no");
-  std::printf("sequential ref  : %d sweeps, %zu rotations, %.3fs\n\n", ref.sweeps,
-              ref.rotations, t_seq);
+  const double residual = la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors);
+  const double orth = la::orthogonality_defect(r.eigenvectors);
+  std::printf("residual : %.2e   orthogonality defect: %.2e\n", residual, orth);
 
-  const double spectrum_gap = la::spectrum_distance(dist.eigenvalues, ref.eigenvalues);
-  const double residual = la::eigenpair_residual(a, dist.eigenvalues, dist.eigenvectors);
-  const double orth = la::orthogonality_defect(dist.eigenvectors);
-  std::printf("spectrum gap vs reference : %.2e\n", spectrum_gap);
-  std::printf("max relative residual     : %.2e\n", residual);
-  std::printf("orthogonality defect      : %.2e\n", orth);
+  bool ok = r.converged && residual < 1e-8;
+  if (check) {
+    const auto t1 = Clock::now();
+    const la::JacobiResult ref = la::onesided_jacobi_cyclic(a);
+    const double t_seq = std::chrono::duration<double>(Clock::now() - t1).count();
+    const double gap = la::spectrum_distance(r.eigenvalues, ref.eigenvalues);
+    std::printf("check    : sequential ref %d sweeps in %.3fs, spectrum gap %.2e\n",
+                ref.sweeps, t_seq, gap);
+    ok = ok && gap < 1e-7;
+  }
 
-  std::printf("\nextreme eigenvalues: ");
-  const std::size_t show = std::min<std::size_t>(3, m);
-  for (std::size_t i = 0; i < show; ++i) std::printf("%.5f ", dist.eigenvalues[i]);
-  std::printf("...");
-  for (std::size_t i = m - show; i < m; ++i) std::printf(" %.5f", dist.eigenvalues[i]);
+  const std::size_t show = std::min<std::size_t>(3, r.eigenvalues.size());
+  std::printf("extremes :");
+  for (std::size_t i = 0; i < show; ++i) std::printf(" %.5f", r.eigenvalues[i]);
+  std::printf(" ...");
+  for (std::size_t i = r.eigenvalues.size() - show; i < r.eigenvalues.size(); ++i)
+    std::printf(" %.5f", r.eigenvalues[i]);
   std::printf("\n");
 
-  return dist.converged && spectrum_gap < 1e-7 && residual < 1e-8 ? 0 : 1;
+  return ok ? 0 : 1;
 }

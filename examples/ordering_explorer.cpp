@@ -1,16 +1,26 @@
 // Ordering explorer: print and compare the exchange-phase sequences of the
-// four orderings for a chosen phase index e.
+// four orderings for a chosen phase index e, then compile an api::SolverSpec
+// scenario and show what its plan precomputes (the auto pipelining degree
+// per ordering) -- how a spec's ordering key translates into link schedules.
 //
-//   $ ./ordering_explorer [e]        (default e = 5)
+//   $ ./ordering_explorer [e] ["key=value,..."]
+//     e     phase index, 1..20 (default 5)
+//     spec  scenario whose m/machine the auto-q column uses
+//           (default "m=4096,d=5,pipeline=auto,ts=1000,tw=100")
 //
 // Shows each sequence, its alpha (deep-pipelining figure of merit), its
-// degree (shallow-pipelining figure of merit), the per-link histogram, and
-// validates the Hamiltonian-path property.
+// degree (shallow-pipelining figure of merit), the per-link histogram,
+// validates the Hamiltonian-path property, and prints the sweep-level
+// pipelining degree the facade's Auto policy would pick for each ordering.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
+#include "api/spec.hpp"
 #include "ord/bounds.hpp"
 #include "ord/ordering.hpp"
+#include "pipe/optimizer.hpp"
 
 namespace {
 
@@ -32,7 +42,15 @@ int main(int argc, char** argv) {
   using namespace jmh::ord;
   const int e = argc > 1 ? std::atoi(argv[1]) : 5;
   if (e < 1 || e > 20) {
-    std::fprintf(stderr, "usage: %s [e in 1..20]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [e in 1..20] [\"key=value,...\"]\n", argv[0]);
+    return 2;
+  }
+  jmh::api::SolverSpec spec;
+  try {
+    spec = jmh::api::SolverSpec::parse(argc > 2 ? argv[2]
+                                               : "m=4096,d=5,pipeline=auto,ts=1000,tw=100");
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "bad spec: %s\n", ex.what());
     return 2;
   }
 
@@ -51,6 +69,24 @@ int main(int argc, char** argv) {
 
   std::printf("Reading guide: alpha bounds the deep-pipelining kernel cost\n");
   std::printf("(e*Ts + alpha*S*Tw); the degree is the number of messages a node can\n");
-  std::printf("push in parallel under shallow pipelining. BR: alpha = 2^{e-1}, degree 2.\n");
+  std::printf("push in parallel under shallow pipelining. BR: alpha = 2^{e-1}, degree 2.\n\n");
+
+  // What the facade's Auto policy makes of these sequences: the sweep-wide
+  // degree of pipe::find_optimal_sweep_q for the scenario's m and machine.
+  const std::uint64_t q_max =
+      std::max<std::uint64_t>(1, spec.m / (std::uint64_t{2} << spec.d));
+  std::printf("Auto pipelining for \"m=%zu,d=%d,ts=%g,tw=%g\" (Qmax = %llu):\n", spec.m, spec.d,
+              spec.machine.ts, spec.machine.tw, static_cast<unsigned long long>(q_max));
+  std::printf("  ordering      auto-Q   per-sweep exchange cost\n");
+  for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4,
+                    OrderingKind::MinAlpha}) {
+    const JacobiOrdering ordering(kind, spec.d);
+    const auto best = jmh::pipe::find_optimal_sweep_q(
+        ordering, static_cast<double>(spec.m), spec.machine, q_max);
+    char q_label[24];
+    std::snprintf(q_label, sizeof q_label, "%llu%s",
+                  static_cast<unsigned long long>(best.q), best.deep ? " (deep)" : "");
+    std::printf("  %-12s %-11s %14.4g\n", to_string(kind).c_str(), q_label, best.cost);
+  }
   return 0;
 }

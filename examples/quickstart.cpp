@@ -1,20 +1,20 @@
-// Quickstart: solve a symmetric eigenproblem on a simulated 2-cube (4
-// nodes) with the degree-4 Jacobi ordering, and verify the answer.
+// Quickstart: the library's front door in three lines -- name a scenario as
+// a spec string, compile it into a plan, solve.
 //
 //   $ ./quickstart
 //
-// Walks through the three core objects of the library:
-//   1. ord::JacobiOrdering -- the parallel Jacobi ordering (which column
-//      blocks meet when, and which hypercube links the transitions use);
-//   2. solve::solve_inline -- the distributed one-sided Jacobi solver
-//      (here executed as a deterministic in-process simulation);
-//   3. la verification helpers -- residuals and orthogonality.
+//   1. api::SolverSpec  -- a textual, declarative scenario description
+//      (matrix order, cube dimension, ordering, backend, pipelining);
+//   2. api::Solver::plan -- compiles the spec once (ordering sequences,
+//      sweep schedule, block layout, auto pipelining degree) into an
+//      immutable plan you reuse for every matrix of that shape;
+//   3. plan.solve       -- runs the distributed one-sided Jacobi method on
+//      the chosen backend and returns one unified SolveReport.
 #include <cstdio>
 
+#include "api/solver.hpp"
 #include "la/eigen_check.hpp"
 #include "la/sym_gen.hpp"
-#include "ord/ordering.hpp"
-#include "solve/parallel_jacobi.hpp"
 
 int main() {
   using namespace jmh;
@@ -22,23 +22,26 @@ int main() {
   // A random 16x16 symmetric matrix with entries uniform on [-1, 1] -- the
   // same workload as the paper's convergence experiments.
   Xoshiro256 rng(2026);
-  const std::size_t m = 16;
-  const la::Matrix a = la::random_uniform_symmetric(m, rng);
+  const la::Matrix a = la::random_uniform_symmetric(16, rng);
 
-  // The degree-4 ordering on a d=2 hypercube (4 nodes, 8 column blocks).
-  const int d = 2;
-  const ord::JacobiOrdering ordering(ord::OrderingKind::Degree4, d);
-  std::printf("ordering: %s on a %d-cube (%zu blocks, %zu steps/sweep)\n",
-              ord::to_string(ordering.kind()).c_str(), d, ordering.num_blocks(),
-              ordering.steps_per_sweep());
+  // The whole scenario as one string: degree-4 ordering on a 2-cube
+  // (4 nodes, 8 column blocks), solved in-process.
+  const api::SolverSpec spec =
+      api::SolverSpec::parse("backend=inline,ordering=d4,m=16,d=2");
+  std::printf("spec: %s\n\n", spec.to_string().c_str());
 
-  // Solve. solve_inline simulates the 4 nodes sequentially; solve_mpi would
-  // run them as real threads exchanging messages.
-  const solve::DistributedResult r = solve::solve_inline(a, ordering);
-  std::printf("converged: %s after %d sweeps (%zu rotations)\n",
-              r.converged ? "yes" : "no", r.sweeps, r.rotations);
+  // Compile once, solve many. The plan is immutable and thread-shareable;
+  // plan.solve(b) for any other 16x16 symmetric matrix reuses the same
+  // precomputed ordering and schedule.
+  const api::SolvePlan plan = api::Solver::plan(spec);
+  std::printf("plan: %s ordering, %zu blocks, %zu steps/sweep\n\n",
+              ord::to_string(plan.ordering().kind()).c_str(), plan.ordering().num_blocks(),
+              plan.ordering().steps_per_sweep());
 
-  std::printf("\neigenvalues:\n ");
+  const api::SolveReport r = plan.solve(a);
+  std::printf("%s\n", r.summary().c_str());
+
+  std::printf("eigenvalues:\n ");
   for (double ev : r.eigenvalues) std::printf(" %8.4f", ev);
   std::printf("\n\n");
 
@@ -48,5 +51,15 @@ int main() {
   std::printf("max relative residual ||Av - lv||/||A||_F : %.2e\n", residual);
   std::printf("orthogonality defect  ||V^T V - I||_max   : %.2e\n", orth);
 
-  return residual < 1e-9 && orth < 1e-10 ? 0 : 1;
+  // Same spec, different backend: one key changes the substrate, nothing
+  // else. backend=mpi runs the nodes as real threads; backend=sim adds the
+  // paper's modeled communication time.
+  api::SolverSpec sim_spec = spec;
+  sim_spec.backend = api::Backend::Sim;
+  sim_spec.pipelining = api::PipeliningPolicy::Auto;
+  const api::SolveReport sim_r = api::Solver::solve(sim_spec, a);
+  std::printf("\nsame scenario on the simulated machine (pipeline=auto):\n%s",
+              sim_r.summary().c_str());
+
+  return r.converged && sim_r.converged && residual < 1e-9 && orth < 1e-10 ? 0 : 1;
 }

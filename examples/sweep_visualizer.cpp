@@ -1,32 +1,33 @@
 // Sweep visualizer: print, step by step, which column blocks meet on which
 // node during one sweep of a chosen ordering on a small hypercube --
 // exactly the table one draws when checking a Jacobi ordering by hand
-// (every block pair must appear exactly once).
+// (every block pair must appear exactly once). The scenario is named by an
+// api::SolverSpec string, the same format the solver CLI and benches use.
 //
-//   $ ./sweep_visualizer [d] [ordering]    (defaults: d = 2, br)
+//   $ ./sweep_visualizer ["key=value,..."]   (default "ordering=br,d=2";
+//                                             only ordering and d are used)
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <exception>
 
+#include "api/spec.hpp"
 #include "ord/schedule.hpp"
 
 int main(int argc, char** argv) {
   using namespace jmh::ord;
 
-  const int d = argc > 1 ? std::atoi(argv[1]) : 2;
-  OrderingKind kind = OrderingKind::BR;
-  if (argc > 2) {
-    if (!std::strcmp(argv[2], "br")) kind = OrderingKind::BR;
-    else if (!std::strcmp(argv[2], "pbr")) kind = OrderingKind::PermutedBR;
-    else if (!std::strcmp(argv[2], "d4")) kind = OrderingKind::Degree4;
-    else if (!std::strcmp(argv[2], "minalpha")) kind = OrderingKind::MinAlpha;
-    else {
-      std::fprintf(stderr, "unknown ordering '%s' (br|pbr|d4|minalpha)\n", argv[2]);
-      return 2;
-    }
+  jmh::api::SolverSpec spec;
+  try {
+    spec = jmh::api::SolverSpec::parse(argc > 1 ? argv[1] : "ordering=br,d=2");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage: %s [\"ordering=br|pbr|d4|minalpha,d=1..4\"]\n%s\n", argv[0],
+                 e.what());
+    return 2;
   }
-  if (d < 1 || d > 4) {
-    std::fprintf(stderr, "usage: %s [d in 1..4] [br|pbr|d4|minalpha]\n", argv[0]);
+  const OrderingKind kind = spec.ordering;
+  const int d = spec.d;
+  if (d > 4) {
+    std::fprintf(stderr, "d > 4 prints unwieldy tables; pick d in 1..4\n");
     return 2;
   }
 

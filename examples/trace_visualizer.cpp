@@ -1,12 +1,20 @@
 // Trace visualizer: simulate a pipelined exchange phase for each ordering
 // and render stage timelines and per-dimension link utilization -- the
 // paper's core diagnosis made visible: BR saturates dimension 0 and leaves
-// the rest idle; the new orderings spread the load.
+// the rest idle; the new orderings spread the load. Machine parameters and
+// the pipelining degree come from an api::SolverSpec string; pipeline=auto
+// shows each ordering at its own pipe::find_optimal_q optimum.
 //
-//   $ ./trace_visualizer [e] [Q]     (defaults: e = 5, Q = 4)
+//   $ ./trace_visualizer [e] ["key=value,..."]
+//     e     exchange-phase index, 4..12 (default 5)
+//     spec  default "pipeline=4,ts=1000,tw=100"; uses pipeline, ts, tw
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <string>
 
+#include "api/spec.hpp"
+#include "pipe/optimizer.hpp"
 #include "sim/programs.hpp"
 #include "sim/trace.hpp"
 
@@ -14,28 +22,50 @@ int main(int argc, char** argv) {
   using namespace jmh;
 
   const int e = argc > 1 ? std::atoi(argv[1]) : 5;
-  const std::uint64_t q = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 4;
-  if (e < 4 || e > 12 || q < 1) {
-    std::fprintf(stderr, "usage: %s [e in 4..12] [Q >= 1]\n", argv[0]);
+  api::SolverSpec spec;
+  try {
+    spec = api::SolverSpec::parse(argc > 2 ? argv[2] : "pipeline=4,ts=1000,tw=100");
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "usage: %s [e in 4..12] [\"pipeline=<q>|auto,ts=...,tw=...\"]\n%s\n",
+                 argv[0], ex.what());
     return 2;
   }
+  if (e < 4 || e > 12) {
+    std::fprintf(stderr, "usage: %s [e in 4..12] [\"pipeline=<q>|auto,ts=...,tw=...\"]\n",
+                 argv[0]);
+    return 2;
+  }
+  // A spec without (or with an Off) pipeline key falls back to Q = 4: an
+  // unpipelined phase has no stage structure to visualize.
+  if (spec.pipelining == api::PipeliningPolicy::Off) {
+    spec.pipelining = api::PipeliningPolicy::Fixed;
+    spec.q = 4;
+  }
+  const bool auto_q = spec.pipelining == api::PipeliningPolicy::Auto;
 
   sim::SimConfig cfg;
-  cfg.machine.ts = 1000.0;
-  cfg.machine.tw = 100.0;
+  cfg.machine = spec.machine;
   const double s = 1 << 12;
 
-  std::printf("pipelined exchange phase e = %d, Q = %llu, S = %.0f, Ts = %.0f, Tw = %.0f\n\n",
-              e, static_cast<unsigned long long>(q), s, cfg.machine.ts, cfg.machine.tw);
+  const std::string q_label = auto_q ? "auto" : std::to_string(spec.q);
+  std::printf("pipelined exchange phase e = %d, Q = %s, S = %.0f, Ts = %.0f, Tw = %.0f\n\n", e,
+              q_label.c_str(), s, cfg.machine.ts, cfg.machine.tw);
+
+  auto degree_for = [&](const ord::LinkSequence& seq) {
+    if (!auto_q) return spec.q;
+    return pipe::find_optimal_q(seq, s, cfg.machine, std::uint64_t{1} << 16).q;
+  };
 
   for (auto kind : {ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
                     ord::OrderingKind::Degree4}) {
     const auto seq = ord::make_exchange_sequence(kind, e);
+    const std::uint64_t q = degree_for(seq);
     const sim::Network net(e, cfg);
     const sim::SimResult r =
         net.run_program(sim::build_pipelined_phase_program(seq, q, s, e));
 
-    std::printf("=== %s ===\n", ord::to_string(kind).c_str());
+    std::printf("=== %s (Q = %llu) ===\n", ord::to_string(kind).c_str(),
+                static_cast<unsigned long long>(q));
     std::printf("%s", sim::render_link_utilization(r, e).c_str());
     std::printf("makespan: %.0f   mean utilization: %.1f%%   peak: %.1f%%\n\n", r.makespan,
                 100.0 * r.mean_link_utilization(), 100.0 * r.peak_link_utilization());
@@ -44,7 +74,8 @@ int main(int argc, char** argv) {
   // Detailed timeline for the degree-4 run (first 12 stages).
   const auto seq = ord::make_exchange_sequence(ord::OrderingKind::Degree4, e);
   const sim::Network net(e, cfg);
-  sim::SimResult r = net.run_program(sim::build_pipelined_phase_program(seq, q, s, e));
+  sim::SimResult r =
+      net.run_program(sim::build_pipelined_phase_program(seq, degree_for(seq), s, e));
   if (r.stage_times.size() > 12) r.stage_times.resize(12);
   std::printf("degree-4 stage timeline (first stages; prologue ramps up, kernel steady):\n%s",
               sim::render_stage_timeline(r).c_str());

@@ -1,0 +1,53 @@
+#include "api/report.hpp"
+
+#include <cstdio>
+
+namespace jmh::api {
+
+double SolveReport::mean_link_utilization() const {
+  if (!has_model || modeled_time <= 0.0 || link_busy.empty()) return 0.0;
+  double total = 0.0;
+  for (double b : link_busy) total += b;
+  return total / (modeled_time * static_cast<double>(link_busy.size()));
+}
+
+std::string SolveReport::summary() const {
+  char line[256];
+  std::string out;
+
+  const std::string pipe_str = pipelining_q == 0 ? "off" : std::to_string(pipelining_q);
+  std::snprintf(line, sizeof line, "scenario : backend=%s ordering=%s m=%zu pipeline=%s\n",
+                api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
+                eigenvalues.size(), pipe_str.c_str());
+  out += line;
+
+  std::snprintf(line, sizeof line, "solve    : %s after %d sweeps, %zu rotations\n",
+                converged ? "converged" : "NOT CONVERGED", sweeps, rotations);
+  out += line;
+
+  if (!eigenvalues.empty()) {
+    std::snprintf(line, sizeof line, "spectrum : [%.6g, %.6g]\n", eigenvalues.front(),
+                  eigenvalues.back());
+    out += line;
+  }
+
+  if (backend == Backend::MpiLite) {
+    std::snprintf(line, sizeof line,
+                  "traffic  : %llu messages, %llu elements, %llu barriers\n",
+                  static_cast<unsigned long long>(comm.messages),
+                  static_cast<unsigned long long>(comm.elements),
+                  static_cast<unsigned long long>(comm.barriers));
+    out += line;
+  }
+
+  if (has_model) {
+    std::snprintf(line, sizeof line,
+                  "model    : %.4g time units over %d sweeps (vote %.4g), "
+                  "mean link utilization %.1f%%\n",
+                  modeled_time, modeled_sweeps, vote_time, 100.0 * mean_link_utilization());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace jmh::api

@@ -1,0 +1,54 @@
+// SolveReport: the one result type of the api facade. Subsumes the legacy
+// per-executor results (solve::DistributedResult, solve::SimSolveResult):
+// eigenpairs and convergence counters always, mpi_lite traffic counters for
+// the MpiLite backend, and the modeled-time / link-utilization section for
+// the Sim backend -- so callers switch backends without switching result
+// handling, in the spirit of standardized benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "la/matrix.hpp"
+#include "net/universe.hpp"
+
+namespace jmh::api {
+
+struct SolveReport {
+  // -- scenario echo ---------------------------------------------------------
+  Backend backend = Backend::Inline;
+  ord::OrderingKind ordering = ord::OrderingKind::Degree4;
+  /// Packets per block actually used by the run's exchange phases
+  /// (0 = unpipelined; the Inline backend always executes unpipelined).
+  std::uint64_t pipelining_q = 0;
+
+  // -- solution (every backend) ----------------------------------------------
+  std::vector<double> eigenvalues;  ///< ascending
+  la::Matrix eigenvectors;          ///< column k pairs with eigenvalues[k]
+  int sweeps = 0;                   ///< sweeps that performed >= 1 rotation
+  bool converged = false;
+  std::size_t rotations = 0;
+
+  // -- traffic (MpiLite backend; zeros otherwise) ----------------------------
+  net::CommStats comm;
+
+  // -- modeled time (Sim backend) --------------------------------------------
+  bool has_model = false;     ///< true iff the fields below are meaningful
+  double modeled_time = 0.0;  ///< total modeled communication time
+  double vote_time = 0.0;     ///< part spent in convergence allreduces
+  int modeled_sweeps = 0;     ///< sweeps charged (incl. the final all-skip one)
+  /// Busy time of each directed channel, indexed node * d + link.
+  std::vector<double> link_busy;
+
+  /// Mean busy fraction over channels and the modeled makespan (0 without a
+  /// model section).
+  double mean_link_utilization() const;
+
+  /// Human-readable multi-line rendering (scenario, convergence, traffic,
+  /// and -- when present -- the modeled-time section).
+  std::string summary() const;
+};
+
+}  // namespace jmh::api

@@ -1,0 +1,143 @@
+#include "api/solver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "la/shift.hpp"
+#include "pipe/optimizer.hpp"
+#include "solve/inline_transport.hpp"
+#include "solve/mpi_transport.hpp"
+#include "solve/parallel_jacobi.hpp"
+#include "solve/sim_transport.hpp"
+#include "solve/sweep_engine.hpp"
+
+namespace jmh::api {
+
+namespace {
+
+/// Moves the executor-agnostic solution fields into a report.
+void fill_solution(SolveReport& report, solve::DistributedResult&& dr) {
+  report.eigenvalues = std::move(dr.eigenvalues);
+  report.eigenvectors = std::move(dr.eigenvectors);
+  report.sweeps = dr.sweeps;
+  report.converged = dr.converged;
+  report.rotations = dr.rotations;
+  report.comm = dr.comm;
+}
+
+}  // namespace
+
+SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
+    : spec_(spec), ordering_(std::move(ordering)), layout_(spec.m, spec.d) {
+  JMH_REQUIRE(ordering_.dimension() == spec_.d, "ordering dimension must match spec.d");
+  JMH_REQUIRE(ordering_.kind() == spec_.ordering, "ordering kind must match spec.ordering");
+  switch (spec_.pipelining) {
+    case PipeliningPolicy::Off:
+      q_ = 0;
+      break;
+    case PipeliningPolicy::Fixed:
+      JMH_REQUIRE(spec_.q >= 1, "PipeliningPolicy::Fixed needs q >= 1");
+      q_ = spec_.q;
+      break;
+    case PipeliningPolicy::Auto: {
+      // Qmax = columns a block can be split into; uneven layouts bound by
+      // the smallest block so no phase degenerates to empty packets.
+      std::uint64_t q_max = layout_.block_size(0);
+      for (ord::BlockId b = 1; b < layout_.num_blocks(); ++b)
+        q_max = std::min<std::uint64_t>(q_max, layout_.block_size(b));
+      q_max = std::max<std::uint64_t>(1, q_max);
+      const pipe::OptimalQ best = pipe::find_optimal_sweep_q(
+          ordering_, static_cast<double>(spec_.m), spec_.machine, q_max);
+      q_ = best.q;
+      planned_cost_ = best.cost;
+      break;
+    }
+  }
+}
+
+SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
+  const solve::SolveOptions opts = [&] {
+    solve::SolveOptions o = spec_.solve_options();
+    o.gershgorin_shift = false;  // unwrapped by solve()
+    return o;
+  }();
+
+  SolveReport report;
+  report.backend = spec_.backend;
+  report.ordering = spec_.ordering;
+
+  switch (spec_.backend) {
+    case Backend::Inline: {
+      // Pipelining reschedules messages; with no messages to schedule the
+      // inline substrate always executes unpipelined.
+      solve::InlineTransport transport(a, spec_.d);
+      const solve::EngineResult er = run_sweep_protocol(transport, ordering_, opts);
+      fill_solution(report, solve::assemble_result(transport.collect_blocks(), a.rows(),
+                                                   er.sweeps, er.converged, er.rotations));
+      break;
+    }
+    case Backend::MpiLite: {
+      report.pipelining_q = q_;
+      fill_solution(report, solve::solve_mpi_like(a, ordering_, opts, q_));
+      break;
+    }
+    case Backend::Sim: {
+      report.pipelining_q = q_;
+      solve::SimSolveOptions sopts;
+      static_cast<solve::SolveOptions&>(sopts) = opts;
+      sopts.machine = spec_.machine;
+      sopts.overlap_startup = spec_.overlap_startup;
+      sopts.pipelined_q = q_;
+      solve::SimTransport transport(a, spec_.d, sopts);
+      const solve::EngineResult er = run_sweep_protocol(transport, ordering_, sopts);
+      fill_solution(report, solve::assemble_result(transport.collect_blocks(), a.rows(),
+                                                   er.sweeps, er.converged, er.rotations));
+      report.has_model = true;
+      report.modeled_time = transport.modeled_time();
+      report.vote_time = transport.vote_time();
+      report.modeled_sweeps = transport.modeled_sweeps();
+      report.link_busy = transport.clock().link_busy;
+      break;
+    }
+  }
+  return report;
+}
+
+SolveReport SolvePlan::solve(const la::Matrix& a) const {
+  JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
+  JMH_REQUIRE(a.rows() == spec_.m, "matrix order must match the plan's spec.m");
+  if (!spec_.gershgorin_shift) return solve_prepared(a);
+
+  // Solve A + sigma*I (positive semidefinite by Gershgorin), shift back.
+  const double sigma = la::gershgorin_radius(a);
+  SolveReport report = solve_prepared(la::add_diagonal_shift(a, sigma));
+  for (double& ev : report.eigenvalues) ev -= sigma;
+  return report;
+}
+
+std::vector<SolveReport> SolvePlan::solve_batch(const std::vector<la::Matrix>& as) const {
+  std::vector<SolveReport> reports;
+  reports.reserve(as.size());
+  for (const la::Matrix& a : as) reports.push_back(solve(a));
+  return reports;
+}
+
+SolvePlan Solver::plan(const SolverSpec& spec) {
+  JMH_REQUIRE(spec.ordering != ord::OrderingKind::Custom,
+              "custom orderings carry their own sequences; use plan(spec, ordering)");
+  return plan(spec, ord::JacobiOrdering(spec.ordering, spec.d));
+}
+
+SolvePlan Solver::plan(const SolverSpec& spec, ord::JacobiOrdering ordering) {
+  JMH_REQUIRE(spec.d >= 1, "hypercube dimension must be >= 1");
+  JMH_REQUIRE(spec.m >= (std::size_t{2} << spec.d),
+              "need at least one column per block (m >= 2^(d+1))");
+  return SolvePlan(spec, std::move(ordering));
+}
+
+SolveReport Solver::solve(const SolverSpec& spec, const la::Matrix& a) {
+  return plan(spec).solve(a);
+}
+
+}  // namespace jmh::api

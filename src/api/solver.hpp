@@ -1,0 +1,84 @@
+// The api facade: one front door for every execution substrate.
+//
+//   SolverSpec spec = SolverSpec::parse("backend=sim,ordering=minalpha,"
+//                                       "m=64,d=3,pipeline=auto");
+//   SolvePlan plan = Solver::plan(spec);   // expensive setup, done once
+//   SolveReport r  = plan.solve(a);        // cheap per matrix
+//
+// Solver::plan compiles a SolverSpec into an immutable SolvePlan: the
+// ordering's exchange sequences (for MinAlpha this is the paper's
+// backtracking search), the sweep phase skeleton, the column-block layout,
+// and -- for PipeliningPolicy::Auto -- the optimizer-chosen pipelining
+// degree (pipe::find_optimal_sweep_q) are all computed here and amortized
+// over every subsequent solve. A SolvePlan has no mutable state: concurrent
+// plan.solve calls from different threads are safe (each run builds its own
+// Transport), which is the hot-path shape the ROADMAP's many-scenario
+// serving target needs.
+//
+// The legacy free functions (solve_inline / solve_mpi / solve_mpi_pipelined
+// / solve_sim) survive as deprecated thin wrappers that build a one-shot
+// plan and delegate here.
+#pragma once
+
+#include <vector>
+
+#include "api/report.hpp"
+#include "api/spec.hpp"
+#include "solve/block_layout.hpp"
+
+namespace jmh::api {
+
+/// Immutable compiled form of a SolverSpec. Create via Solver::plan.
+class SolvePlan {
+ public:
+  const SolverSpec& spec() const noexcept { return spec_; }
+  const ord::JacobiOrdering& ordering() const noexcept { return ordering_; }
+  const solve::BlockLayout& layout() const noexcept { return layout_; }
+
+  /// Resolved exchange-phase packetization: 0 for Off, spec().q for Fixed,
+  /// the pipe::find_optimal_sweep_q degree for Auto.
+  std::uint64_t pipelining_q() const noexcept { return q_; }
+
+  /// For Auto: the optimizer's modeled per-sweep exchange communication
+  /// time at pipelining_q() under spec().machine; 0 otherwise.
+  double planned_sweep_comm_cost() const noexcept { return planned_cost_; }
+
+  /// Runs the solve on spec().backend through the Transport machinery.
+  /// @p a must be square of order spec().m. Thread-safe.
+  SolveReport solve(const la::Matrix& a) const;
+
+  /// Solves several matrices with one plan (the amortization the facade
+  /// exists for). Reports are returned in input order.
+  std::vector<SolveReport> solve_batch(const std::vector<la::Matrix>& as) const;
+
+ private:
+  friend class Solver;
+  SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering);
+
+  /// The backend dispatch; Gershgorin shift already unwrapped by solve().
+  SolveReport solve_prepared(const la::Matrix& a) const;
+
+  SolverSpec spec_;
+  ord::JacobiOrdering ordering_;
+  solve::BlockLayout layout_;
+  std::uint64_t q_ = 0;
+  double planned_cost_ = 0.0;
+};
+
+class Solver {
+ public:
+  /// Compiles @p spec into a reusable plan. Validates the spec (d >= 1,
+  /// at least one column per block, ordering != Custom).
+  static SolvePlan plan(const SolverSpec& spec);
+
+  /// Same, around a prebuilt ordering -- the route for Custom orderings
+  /// (and for callers that already paid the ordering construction).
+  /// Requires ordering.kind() == spec.ordering and
+  /// ordering.dimension() == spec.d.
+  static SolvePlan plan(const SolverSpec& spec, ord::JacobiOrdering ordering);
+
+  /// One-shot convenience: plan + solve. Prefer a reused plan on hot paths.
+  static SolveReport solve(const SolverSpec& spec, const la::Matrix& a);
+};
+
+}  // namespace jmh::api

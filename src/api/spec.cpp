@@ -1,0 +1,195 @@
+#include "api/spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace jmh::api {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("SolverSpec::parse: " + what);
+}
+
+std::string lower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+// %.17g round-trips any double exactly through strtod.
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::uint64_t parse_uint(std::string_view key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || value.empty() || value[0] == '-')
+    fail("key '" + std::string(key) + "' needs a non-negative integer, got '" + value + "'");
+  return v;
+}
+
+double parse_double(std::string_view key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() || value.empty())
+    fail("key '" + std::string(key) + "' needs a number, got '" + value + "'");
+  return v;
+}
+
+bool parse_bool(std::string_view key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "yes" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "no" || value == "off") return false;
+  fail("key '" + std::string(key) + "' needs 0|1, got '" + value + "'");
+}
+
+}  // namespace
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::Inline: return "inline";
+    case Backend::MpiLite: return "mpi";
+    case Backend::Sim: return "sim";
+  }
+  return "?";
+}
+
+bool parse_backend(std::string_view text, Backend& out) {
+  const std::string norm = lower(text);
+  if (norm == "inline") out = Backend::Inline;
+  else if (norm == "mpi" || norm == "mpilite" || norm == "mpi_lite" || norm == "mpi-lite")
+    out = Backend::MpiLite;
+  else if (norm == "sim") out = Backend::Sim;
+  else return false;
+  return true;
+}
+
+solve::SolveOptions SolverSpec::solve_options() const {
+  solve::SolveOptions opts;
+  opts.threshold = threshold;
+  opts.max_sweeps = max_sweeps;
+  opts.stop_rule = stop_rule;
+  opts.off_tol = off_tol;
+  opts.gershgorin_shift = gershgorin_shift;
+  return opts;
+}
+
+std::string SolverSpec::to_string() const {
+  std::string out;
+  out += "backend=" + api::to_string(backend);
+  out += ",ordering=" + ord::spec_token(ordering);
+  out += ",m=" + std::to_string(m);
+  out += ",d=" + std::to_string(d);
+  out += ",pipeline=";
+  switch (pipelining) {
+    case PipeliningPolicy::Off: out += "off"; break;
+    case PipeliningPolicy::Auto: out += "auto"; break;
+    case PipeliningPolicy::Fixed: out += std::to_string(q); break;
+  }
+  out += ",ts=" + format_double(machine.ts);
+  out += ",tw=" + format_double(machine.tw);
+  out += ",ports=" + (machine.all_port() ? std::string("all") : std::to_string(machine.ports));
+  out += ",overlap=" + std::string(overlap_startup ? "1" : "0");
+  out += ",threshold=" + format_double(threshold);
+  out += ",max_sweeps=" + std::to_string(max_sweeps);
+  out += ",stop=" + std::string(stop_rule == solve::StopRule::OffDiagonal ? "offdiag" : "norot");
+  out += ",off_tol=" + format_double(off_tol);
+  out += ",shift=" + std::string(gershgorin_shift ? "1" : "0");
+  return out;
+}
+
+SolverSpec SolverSpec::parse(const std::string& text) {
+  SolverSpec spec;
+  std::string_view rest = trim(text);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view token =
+        trim(comma == std::string_view::npos ? rest : rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos)
+      fail("token '" + std::string(token) + "' is not key=value");
+    const std::string_view key = trim(token.substr(0, eq));
+    const std::string value = lower(trim(token.substr(eq + 1)));
+    if (key.empty() || value.empty())
+      fail("token '" + std::string(token) + "' has an empty key or value");
+
+    if (key == "backend") {
+      if (!parse_backend(value, spec.backend))
+        fail("unknown backend '" + value + "' (inline|mpi|sim)");
+    } else if (key == "ordering") {
+      if (!ord::parse_ordering_kind(value, spec.ordering))
+        fail("unknown ordering '" + value + "' (br|pbr|d4|minalpha)");
+      if (spec.ordering == ord::OrderingKind::Custom)
+        fail("ordering=custom needs programmatic sequences; use Solver::plan(spec, ordering)");
+    } else if (key == "m") {
+      spec.m = static_cast<std::size_t>(parse_uint(key, value));
+      if (spec.m == 0) fail("m must be >= 1");
+    } else if (key == "d") {
+      spec.d = static_cast<int>(parse_uint(key, value));
+      if (spec.d < 1) fail("d must be >= 1");
+    } else if (key == "pipeline") {
+      if (value == "off") {
+        spec.pipelining = PipeliningPolicy::Off;
+      } else if (value == "auto") {
+        spec.pipelining = PipeliningPolicy::Auto;
+      } else {
+        spec.pipelining = PipeliningPolicy::Fixed;
+        spec.q = parse_uint(key, value);
+        if (spec.q < 1) fail("pipeline=<q> needs q >= 1 (or off|auto)");
+      }
+    } else if (key == "ts") {
+      spec.machine.ts = parse_double(key, value);
+      if (spec.machine.ts < 0.0) fail("ts must be >= 0");
+    } else if (key == "tw") {
+      spec.machine.tw = parse_double(key, value);
+      if (spec.machine.tw < 0.0) fail("tw must be >= 0");
+    } else if (key == "ports") {
+      if (value == "all") {
+        spec.machine.ports = pipe::MachineParams::kAllPort;
+      } else {
+        spec.machine.ports = static_cast<int>(parse_uint(key, value));
+        if (spec.machine.ports < 1) fail("ports must be >= 1 or 'all'");
+      }
+    } else if (key == "overlap") {
+      spec.overlap_startup = parse_bool(key, value);
+    } else if (key == "threshold") {
+      spec.threshold = parse_double(key, value);
+      if (spec.threshold <= 0.0) fail("threshold must be > 0");
+    } else if (key == "max_sweeps") {
+      spec.max_sweeps = static_cast<int>(parse_uint(key, value));
+      if (spec.max_sweeps < 1) fail("max_sweeps must be >= 1");
+    } else if (key == "stop") {
+      if (value == "norot") spec.stop_rule = solve::StopRule::NoRotations;
+      else if (value == "offdiag") spec.stop_rule = solve::StopRule::OffDiagonal;
+      else fail("unknown stop rule '" + value + "' (norot|offdiag)");
+    } else if (key == "off_tol") {
+      spec.off_tol = parse_double(key, value);
+      if (spec.off_tol <= 0.0) fail("off_tol must be > 0");
+    } else if (key == "shift") {
+      spec.gershgorin_shift = parse_bool(key, value);
+    } else {
+      fail("unknown key '" + std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace jmh::api

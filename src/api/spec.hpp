@@ -1,0 +1,90 @@
+// SolverSpec: the declarative scenario description behind the api facade.
+//
+// One value object names everything a solve needs -- problem geometry
+// (m, d), the Jacobi ordering, the execution backend, the pipelining
+// policy, the machine model, and the convergence knobs -- so a scenario is
+// data, not wiring code. Solver::plan (api/solver.hpp) compiles a spec once
+// into a reusable SolvePlan; to_string/parse give every spec a canonical
+// textual name (comma-separated key=value) that round-trips exactly, so the
+// CLI, benches and CI can pass scenarios as strings.
+//
+// Key=value grammar (all keys optional; unlisted keys keep their defaults):
+//   backend=inline|mpi|sim     execution substrate (default inline)
+//   ordering=br|pbr|d4|minalpha   exchange-sequence family (default d4)
+//   m=<n>                      matrix order (default 32)
+//   d=<n>                      hypercube dimension (default 2)
+//   pipeline=off|auto|<q>      exchange-phase packetization (default off);
+//                              auto = pipe::find_optimal_sweep_q
+//   ts=<f> tw=<f> ports=all|<n>   machine model (Sim charging + Auto choice)
+//   overlap=0|1                sim overlapped-startup hardware (default 0)
+//   threshold=<f>              rotation threshold
+//   max_sweeps=<n>             sweep cap (default 60)
+//   stop=norot|offdiag         StopRule (default norot)
+//   off_tol=<f>                off-diagonal tolerance (stop=offdiag)
+//   shift=0|1                  Gershgorin shift (default 0)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ord/ordering.hpp"
+#include "pipe/machine.hpp"
+#include "solve/transport.hpp"
+
+namespace jmh::api {
+
+/// Execution substrate of a solve (see the Transport table in
+/// ARCHITECTURE.md; each backend maps onto one Transport implementation).
+enum class Backend {
+  Inline,   ///< all nodes in the calling thread (InlineTransport)
+  MpiLite,  ///< one thread per node, real messages (MpiLiteTransport)
+  Sim,      ///< inline numerics + modeled per-link time (SimTransport)
+};
+
+std::string to_string(Backend backend);
+bool parse_backend(std::string_view text, Backend& out);
+
+/// Exchange-phase packetization policy.
+enum class PipeliningPolicy {
+  Off,    ///< full-block transitions
+  Fixed,  ///< q packets per block, q from SolverSpec::q
+  Auto,   ///< q chosen by pipe::find_optimal_sweep_q at plan time
+};
+
+struct SolverSpec {
+  std::size_t m = 32;                                     ///< matrix order
+  int d = 2;                                              ///< hypercube dimension
+  ord::OrderingKind ordering = ord::OrderingKind::Degree4;
+  Backend backend = Backend::Inline;
+  PipeliningPolicy pipelining = PipeliningPolicy::Off;
+  std::uint64_t q = 1;          ///< packets per block (Fixed policy only)
+  pipe::MachineParams machine;  ///< Sim charging and Auto optimization
+  bool overlap_startup = false; ///< sim::SimConfig::overlap_startup
+  double threshold = la::kDefaultThreshold;
+  int max_sweeps = 60;
+  solve::StopRule stop_rule = solve::StopRule::NoRotations;
+  double off_tol = 1e-8;
+  bool gershgorin_shift = false;
+
+  /// The convergence-knob slice as the executors consume it.
+  solve::SolveOptions solve_options() const;
+
+  /// Canonical textual name: every key in a fixed order, doubles printed
+  /// round-trip exactly. parse(to_string(s)) == s for every parseable spec;
+  /// the one exception is ordering = Custom, which renders as
+  /// "ordering=custom" for display but cannot be parsed back (custom
+  /// sequences only exist programmatically).
+  std::string to_string() const;
+
+  /// Parses a key=value spec (see grammar above), starting from defaults.
+  /// Throws std::invalid_argument on unknown keys, malformed tokens, or
+  /// invalid values (including ordering=custom: custom orderings carry
+  /// their own sequences and must be supplied programmatically to
+  /// Solver::plan).
+  static SolverSpec parse(const std::string& text);
+
+  bool operator==(const SolverSpec&) const = default;
+};
+
+}  // namespace jmh::api

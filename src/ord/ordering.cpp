@@ -1,5 +1,7 @@
 #include "ord/ordering.hpp"
 
+#include <cctype>
+
 #include "common/assert.hpp"
 #include "ord/br.hpp"
 #include "ord/degree4.hpp"
@@ -17,6 +19,33 @@ std::string to_string(OrderingKind kind) {
     case OrderingKind::Custom: return "custom";
   }
   return "?";
+}
+
+std::string spec_token(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::BR: return "br";
+    case OrderingKind::PermutedBR: return "pbr";
+    case OrderingKind::Degree4: return "d4";
+    case OrderingKind::MinAlpha: return "minalpha";
+    case OrderingKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+bool parse_ordering_kind(std::string_view text, OrderingKind& out) {
+  std::string norm;
+  norm.reserve(text.size());
+  for (char c : text) {
+    if (c == '-' || c == '_') continue;
+    norm.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (norm == "br") out = OrderingKind::BR;
+  else if (norm == "pbr" || norm == "permutedbr") out = OrderingKind::PermutedBR;
+  else if (norm == "d4" || norm == "degree4") out = OrderingKind::Degree4;
+  else if (norm == "minalpha") out = OrderingKind::MinAlpha;
+  else if (norm == "custom") out = OrderingKind::Custom;
+  else return false;
+  return true;
 }
 
 LinkSequence make_exchange_sequence(OrderingKind kind, int e) {

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ord/sequence.hpp"
@@ -47,6 +48,15 @@ enum class OrderingKind {
 };
 
 std::string to_string(OrderingKind kind);
+
+/// Short machine-friendly token ("br" | "pbr" | "d4" | "minalpha" |
+/// "custom"), the form used by api::SolverSpec key=value strings.
+std::string spec_token(OrderingKind kind);
+
+/// Parses @p text into a kind. Accepts both the spec tokens and the
+/// to_string names, case-insensitively and ignoring '-'/'_'. Returns false
+/// on unknown names ("custom" parses: callers decide whether to accept it).
+bool parse_ordering_kind(std::string_view text, OrderingKind& out);
 
 /// One transition of the sweep schedule.
 struct Transition {

@@ -24,6 +24,8 @@ struct MachineParams {
   static constexpr int kAllPort = -1;  ///< every link usable simultaneously
 
   bool all_port() const noexcept { return ports == kAllPort; }
+
+  bool operator==(const MachineParams&) const = default;
 };
 
 /// Cost of one communication operation in which a node sends, for each link

@@ -102,6 +102,45 @@ OptimalQ find_optimal_q(const ord::LinkSequence& seq, double step_elems,
   return best;
 }
 
+OptimalQ find_optimal_sweep_q(const ord::JacobiOrdering& ordering, double m,
+                              const MachineParams& machine, std::uint64_t q_max) {
+  JMH_REQUIRE(q_max >= 1, "q_max must be >= 1");
+  JMH_REQUIRE(m > 0.0, "matrix order must be positive");
+  const int d = ordering.dimension();
+  const double step_elems = 2.0 * m * (m / std::ldexp(1.0, d + 1));
+
+  const auto sweep_exchange_cost = [&](std::uint64_t q) {
+    double total = 0.0;
+    for (int e = d; e >= 1; --e)
+      total += phase_cost_pipelined(ordering.exchange_sequence(e), q, step_elems, machine);
+    return total;
+  };
+
+  std::set<std::uint64_t> candidates;
+  for (std::uint64_t q = 1; q <= std::min<std::uint64_t>(q_max, 32); ++q) candidates.insert(q);
+  for (std::uint64_t q = 1;; q *= 2) {
+    candidates.insert(q);
+    if (q > q_max / 2) break;
+  }
+  candidates.insert(q_max);
+  for (int e = d; e >= 1; --e)
+    candidates.insert(find_optimal_q(ordering.exchange_sequence(e), step_elems, machine, q_max).q);
+
+  OptimalQ best;
+  best.q = 1;
+  best.cost = sweep_exchange_cost(1);
+  for (std::uint64_t q : candidates) {
+    if (q < 1 || q > q_max) continue;
+    const double c = sweep_exchange_cost(q);
+    if (c < best.cost) {
+      best.q = q;
+      best.cost = c;
+    }
+  }
+  best.deep = best.q > (std::uint64_t{1} << d) - 1;
+  return best;
+}
+
 OptimalQ find_optimal_q_ideal(int e, double step_elems, const MachineParams& machine,
                               std::uint64_t q_max) {
   JMH_REQUIRE(q_max >= 1, "q_max must be >= 1");

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "ord/ordering.hpp"
 #include "ord/sequence.hpp"
 #include "pipe/machine.hpp"
 
@@ -34,5 +35,19 @@ OptimalQ find_optimal_q(const ord::LinkSequence& seq, double step_elems,
 /// phase_cost_ideal).
 OptimalQ find_optimal_q_ideal(int e, double step_elems, const MachineParams& machine,
                               std::uint64_t q_max);
+
+/// Single sweep-wide pipelining degree for an executor that packetizes every
+/// exchange phase at the same q (solve_mpi_pipelined, the api facade's Auto
+/// policy): the q in [1, q_max] minimizing the summed pipelined cost of all
+/// exchange phases e = d..1 of @p ordering for an m x m matrix. Candidates
+/// are each phase's own find_optimal_q optimum plus a dense small-q /
+/// power-of-two grid, every one evaluated exactly, so the returned q is the
+/// argmin of the summed phase costs over that candidate set (exhaustive for
+/// q_max <= 32). Cost is link-relabeling invariant, so the inter-sweep sigma
+/// rotation does not change the choice. `cost` is the per-sweep exchange
+/// communication time at the chosen q; `deep` means q exceeds the largest
+/// phase's 2^d - 1 transitions.
+OptimalQ find_optimal_sweep_q(const ord::JacobiOrdering& ordering, double m,
+                              const MachineParams& machine, std::uint64_t q_max);
 
 }  // namespace jmh::pipe

@@ -1,0 +1,43 @@
+// Internal glue for the deprecated free-function entry points (solve_inline,
+// solve_mpi, solve_mpi_pipelined, solve_sim): translates a legacy call into
+// the api::SolverSpec it is equivalent to, and a SolveReport back into the
+// legacy result structs. New code should use api::Solver directly.
+#pragma once
+
+#include <utility>
+
+#include "api/solver.hpp"
+#include "solve/parallel_jacobi.hpp"
+
+namespace jmh::solve::legacy {
+
+/// Spec equivalent of a legacy (matrix, ordering, options, backend) call.
+/// Pipelining and machine-model fields are left at their defaults; the
+/// per-wrapper code fills them.
+inline api::SolverSpec spec_for(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                                const SolveOptions& opts, api::Backend backend) {
+  api::SolverSpec spec;
+  spec.m = a.rows();
+  spec.d = ordering.dimension();
+  spec.ordering = ordering.kind();
+  spec.backend = backend;
+  spec.threshold = opts.threshold;
+  spec.max_sweeps = opts.max_sweeps;
+  spec.stop_rule = opts.stop_rule;
+  spec.off_tol = opts.off_tol;
+  spec.gershgorin_shift = opts.gershgorin_shift;
+  return spec;
+}
+
+inline DistributedResult to_distributed(api::SolveReport&& report) {
+  DistributedResult out;
+  out.eigenvalues = std::move(report.eigenvalues);
+  out.eigenvectors = std::move(report.eigenvectors);
+  out.sweeps = report.sweeps;
+  out.converged = report.converged;
+  out.rotations = report.rotations;
+  out.comm = report.comm;
+  return out;
+}
+
+}  // namespace jmh::solve::legacy

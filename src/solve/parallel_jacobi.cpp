@@ -5,8 +5,7 @@
 #include <numeric>
 
 #include "common/assert.hpp"
-#include "la/shift.hpp"
-#include "solve/inline_transport.hpp"
+#include "solve/legacy_bridge.hpp"
 #include "solve/mpi_transport.hpp"
 #include "solve/sweep_engine.hpp"
 
@@ -53,34 +52,11 @@ DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m
   return out;
 }
 
-namespace {
-
-// Shared shift wrapper: solve A + sigma*I, shift the spectrum back.
-template <typename Solver>
-DistributedResult solve_with_shift(const la::Matrix& a, const SolveOptions& opts,
-                                   Solver&& solver) {
-  const double sigma = la::gershgorin_radius(a);
-  SolveOptions inner = opts;
-  inner.gershgorin_shift = false;
-  DistributedResult r = solver(la::add_diagonal_shift(a, sigma), inner);
-  for (double& ev : r.eigenvalues) ev -= sigma;
-  return r;
-}
-
-}  // namespace
-
 DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                const SolveOptions& opts) {
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
-  if (opts.gershgorin_shift) {
-    return solve_with_shift(a, opts, [&](const la::Matrix& shifted, const SolveOptions& o) {
-      return solve_inline(shifted, ordering, o);
-    });
-  }
-  InlineTransport transport(a, ordering.dimension());
-  const EngineResult er = run_sweep_protocol(transport, ordering, opts);
-  return assemble_result(transport.collect_blocks(), a.rows(), er.sweeps, er.converged,
-                         er.rotations);
+  const api::SolverSpec spec = legacy::spec_for(a, ordering, opts, api::Backend::Inline);
+  return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
 }
 
 DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
@@ -107,12 +83,8 @@ DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering&
 DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                             const SolveOptions& opts) {
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
-  if (opts.gershgorin_shift) {
-    return solve_with_shift(a, opts, [&](const la::Matrix& shifted, const SolveOptions& o) {
-      return solve_mpi(shifted, ordering, o);
-    });
-  }
-  return solve_mpi_like(a, ordering, opts, /*q=*/0);
+  const api::SolverSpec spec = legacy::spec_for(a, ordering, opts, api::Backend::MpiLite);
+  return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
 }
 
 }  // namespace jmh::solve

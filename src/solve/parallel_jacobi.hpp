@@ -1,5 +1,10 @@
 // Distributed one-sided Jacobi eigensolver driven by a JacobiOrdering.
 //
+// NOTE: the free functions here (and in pipelined_executor.hpp /
+// sim_transport.hpp) are the LEGACY entry points, kept as thin wrappers
+// over the api facade; new code should describe the scenario with an
+// api::SolverSpec and reuse an api::SolvePlan (api/solver.hpp).
+//
 // All executors share one sweep engine (solve/sweep_engine.hpp) and differ
 // only in the Transport they plug into it:
 //   * solve_inline: InlineTransport -- the 2^d nodes simulated sequentially
@@ -36,10 +41,14 @@ struct DistributedResult {
 };
 
 /// Sequentially-simulated distributed solve on a d-cube.
+/// DEPRECATED: thin wrapper over the api facade -- builds a one-shot
+/// api::SolverSpec per call. New code should compile an api::SolvePlan once
+/// and reuse it (api/solver.hpp).
 DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                const SolveOptions& opts = {});
 
 /// Thread-per-node distributed solve over mpi_lite.
+/// DEPRECATED: thin wrapper over the api facade (see solve_inline note).
 DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                             const SolveOptions& opts = {});
 

@@ -1,31 +1,22 @@
 #include "solve/pipelined_executor.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
-#include "la/shift.hpp"
-#include "solve/block_layout.hpp"
-#include "solve/mpi_transport.hpp"
+#include "solve/legacy_bridge.hpp"
 
 namespace jmh::solve {
 
 DistributedResult solve_mpi_pipelined(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                       const PipelinedSolveOptions& opts) {
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
-  if (opts.gershgorin_shift) {
-    const double sigma = la::gershgorin_radius(a);
-    PipelinedSolveOptions inner = opts;
-    inner.gershgorin_shift = false;
-    DistributedResult r =
-        solve_mpi_pipelined(la::add_diagonal_shift(a, sigma), ordering, inner);
-    for (double& ev : r.eigenvalues) ev -= sigma;
-    return r;
+  api::SolverSpec spec = legacy::spec_for(a, ordering, opts, api::Backend::MpiLite);
+  spec.machine = opts.machine;
+  if (opts.q == 0) {
+    spec.pipelining = api::PipeliningPolicy::Auto;
+  } else {
+    spec.pipelining = api::PipeliningPolicy::Fixed;
+    spec.q = opts.q;
   }
-
-  const BlockLayout layout(a.rows(), ordering.dimension());
-  const std::uint64_t q_auto =
-      std::max<std::uint64_t>(1, std::min<std::uint64_t>(4, layout.block_size(0)));
-  return solve_mpi_like(a, ordering, opts, opts.q == 0 ? q_auto : opts.q);
+  return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
 }
 
 }  // namespace jmh::solve

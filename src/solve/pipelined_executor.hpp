@@ -3,20 +3,28 @@
 // modeled. A thin wrapper over the shared sweep engine with the packetized
 // exchange-phase path of MpiLiteTransport (see solve/mpi_transport.hpp for
 // the mechanism and its correctness argument).
+//
+// DEPRECATED entry point: delegates to the api facade. New code should use
+// api::Solver with backend=mpi and a pipelining policy (api/solver.hpp).
 #pragma once
 
+#include "pipe/machine.hpp"
 #include "solve/parallel_jacobi.hpp"
 
 namespace jmh::solve {
 
 struct PipelinedSolveOptions : SolveOptions {
-  /// Packets per mobile block during exchange phases. 0 = auto (min(4,
-  /// columns per block) -- the degree-4 sweet spot). Values larger than a
-  /// block's column count degrade gracefully to empty packets.
+  /// Packets per mobile block during exchange phases. 0 = auto: the
+  /// pipe::find_optimal_sweep_q degree for this ordering and machine (the
+  /// paper's optimizer, minimizing the summed exchange-phase cost). Values
+  /// larger than a block's column count degrade gracefully to empty packets.
   std::uint64_t q = 0;
+  /// Machine model the auto mode optimizes for (ignored when q >= 1).
+  pipe::MachineParams machine;
 };
 
 /// Thread-per-node solve with packetized, overlapped exchange phases.
+/// DEPRECATED: thin wrapper over the api facade (see header note).
 DistributedResult solve_mpi_pipelined(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                       const PipelinedSolveOptions& opts = {});
 

@@ -3,8 +3,8 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "la/shift.hpp"
 #include "sim/programs.hpp"
+#include "solve/legacy_bridge.hpp"
 #include "solve/sweep_engine.hpp"
 
 namespace jmh::solve {
@@ -85,25 +85,21 @@ std::vector<double> SimTransport::allreduce_sum(std::vector<double> values) {
 SimSolveResult solve_sim(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                          const SimSolveOptions& opts) {
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
-  if (opts.gershgorin_shift) {
-    const double sigma = la::gershgorin_radius(a);
-    SimSolveOptions inner = opts;
-    inner.gershgorin_shift = false;
-    SimSolveResult r = solve_sim(la::add_diagonal_shift(a, sigma), ordering, inner);
-    for (double& ev : r.eigenvalues) ev -= sigma;
-    return r;
+  api::SolverSpec spec = legacy::spec_for(a, ordering, opts, api::Backend::Sim);
+  spec.machine = opts.machine;
+  spec.overlap_startup = opts.overlap_startup;
+  if (opts.pipelined_q >= 1) {
+    spec.pipelining = api::PipeliningPolicy::Fixed;
+    spec.q = opts.pipelined_q;
   }
-
-  SimTransport transport(a, ordering.dimension(), opts);
-  const EngineResult er = run_sweep_protocol(transport, ordering, opts);
+  api::SolveReport report = api::Solver::plan(spec, ordering).solve(a);
 
   SimSolveResult out;
-  static_cast<DistributedResult&>(out) = assemble_result(
-      transport.collect_blocks(), a.rows(), er.sweeps, er.converged, er.rotations);
-  out.modeled_time = transport.modeled_time();
-  out.vote_time = transport.vote_time();
-  out.modeled_sweeps = transport.modeled_sweeps();
-  out.link_busy = transport.clock().link_busy;
+  out.modeled_time = report.modeled_time;
+  out.vote_time = report.vote_time;
+  out.modeled_sweeps = report.modeled_sweeps;
+  out.link_busy = std::move(report.link_busy);
+  static_cast<DistributedResult&>(out) = legacy::to_distributed(std::move(report));
   return out;
 }
 

@@ -69,6 +69,8 @@ class SimTransport : public InlineTransport {
 
 /// Solves on the simulated machine: eigenpairs identical to solve_inline,
 /// plus the modeled communication time of the run.
+/// DEPRECATED: thin wrapper over the api facade -- new code should use
+/// api::Solver with backend=sim (api/solver.hpp).
 SimSolveResult solve_sim(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                          const SimSolveOptions& opts = {});
 

@@ -1,0 +1,332 @@
+// The api facade: SolverSpec round-tripping, plan compilation (including
+// the optimizer-backed Auto pipelining policy), plan reuse across matrices
+// and backends against the legacy entry points, batching, and thread
+// shareability of one immutable plan.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "api/solver.hpp"
+#include "la/eigen_check.hpp"
+#include "la/sym_gen.hpp"
+#include "pipe/cost_model.hpp"
+#include "pipe/optimizer.hpp"
+#include "solve/parallel_jacobi.hpp"
+#include "solve/pipelined_executor.hpp"
+#include "solve/sim_transport.hpp"
+
+namespace jmh::api {
+namespace {
+
+la::Matrix test_matrix(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return la::random_uniform_symmetric(n, rng);
+}
+
+TEST(SolverSpec, DefaultRoundTrips) {
+  const SolverSpec spec;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+}
+
+TEST(SolverSpec, EveryFieldRoundTrips) {
+  SolverSpec spec;
+  spec.m = 48;
+  spec.d = 3;
+  spec.ordering = ord::OrderingKind::MinAlpha;
+  spec.backend = Backend::Sim;
+  spec.pipelining = PipeliningPolicy::Fixed;
+  spec.q = 7;
+  spec.machine.ts = 123.5;
+  spec.machine.tw = 0.25;
+  spec.machine.ports = 2;
+  spec.overlap_startup = true;
+  spec.threshold = 3.5e-13;
+  spec.max_sweeps = 17;
+  spec.stop_rule = solve::StopRule::OffDiagonal;
+  spec.off_tol = 1e-7;
+  spec.gershgorin_shift = true;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+
+  // q is serialized inside the pipeline key, so it only round-trips for the
+  // Fixed policy; Off/Auto specs carry the default q.
+  spec.q = SolverSpec{}.q;
+  spec.pipelining = PipeliningPolicy::Auto;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+  spec.pipelining = PipeliningPolicy::Off;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+}
+
+TEST(SolverSpec, PartialStringsKeepDefaults) {
+  const SolverSpec defaults;
+  const SolverSpec spec = SolverSpec::parse("backend=sim, ordering=min_alpha ,d=4");
+  EXPECT_EQ(spec.backend, Backend::Sim);
+  EXPECT_EQ(spec.ordering, ord::OrderingKind::MinAlpha);
+  EXPECT_EQ(spec.d, 4);
+  EXPECT_EQ(spec.m, defaults.m);
+  EXPECT_EQ(spec.pipelining, defaults.pipelining);
+  EXPECT_EQ(spec.machine, defaults.machine);
+
+  EXPECT_EQ(SolverSpec::parse(""), defaults);
+  EXPECT_EQ(SolverSpec::parse("  "), defaults);
+}
+
+TEST(SolverSpec, OrderingAliasesAndCase) {
+  EXPECT_EQ(SolverSpec::parse("ordering=minalpha").ordering, ord::OrderingKind::MinAlpha);
+  EXPECT_EQ(SolverSpec::parse("ordering=MIN-ALPHA").ordering, ord::OrderingKind::MinAlpha);
+  EXPECT_EQ(SolverSpec::parse("ordering=degree4").ordering, ord::OrderingKind::Degree4);
+  EXPECT_EQ(SolverSpec::parse("ordering=permuted-br").ordering, ord::OrderingKind::PermutedBR);
+  EXPECT_EQ(SolverSpec::parse("pipeline=12").q, 12u);
+  EXPECT_EQ(SolverSpec::parse("pipeline=12").pipelining, PipeliningPolicy::Fixed);
+}
+
+TEST(SolverSpec, RejectsMalformedInput) {
+  EXPECT_THROW(SolverSpec::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("backend"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("backend="), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("=inline"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("backend=quantum"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("ordering=custom"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("d=three"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("d=0"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("m=-4"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("pipeline=0"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("pipeline=fast"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("ts=cheap"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("ts=-1000"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("tw=-100"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("threshold=0"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("threshold=-1e-12"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("off_tol=-1e-8"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("ports=0"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("stop=never"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("shift=maybe"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("max_sweeps=0"), std::invalid_argument);
+}
+
+TEST(SolverPlan, RejectsInfeasibleSpecs) {
+  SolverSpec spec;
+  spec.m = 4;  // 2-cube needs >= 8 columns
+  spec.d = 2;
+  EXPECT_THROW(Solver::plan(spec), std::invalid_argument);
+  spec.ordering = ord::OrderingKind::Custom;
+  EXPECT_THROW(Solver::plan(spec), std::invalid_argument);
+}
+
+TEST(SolverPlan, SolveRejectsWrongOrder) {
+  const SolvePlan plan = Solver::plan(SolverSpec::parse("m=16,d=2"));
+  EXPECT_THROW(plan.solve(test_matrix(12, 1)), std::invalid_argument);
+}
+
+// One plan, several distinct matrices, every backend: results must be
+// bit-for-bit identical to the legacy free functions (which now route
+// through one-shot plans -- the point is that REUSING a plan changes
+// nothing about the numerics).
+TEST(SolverPlan, ReuseAcrossMatricesMatchesLegacyBitForBit) {
+  const std::size_t m = 16;
+  const ord::JacobiOrdering ordering(ord::OrderingKind::Degree4, 2);
+
+  SolverSpec base = SolverSpec::parse("ordering=d4,m=16,d=2");
+  SolverSpec mpi = base;
+  mpi.backend = Backend::MpiLite;
+  SolverSpec sim = base;
+  sim.backend = Backend::Sim;
+
+  const SolvePlan inline_plan = Solver::plan(base);
+  const SolvePlan mpi_plan = Solver::plan(mpi);
+  const SolvePlan sim_plan = Solver::plan(sim);
+
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const la::Matrix a = test_matrix(m, seed);
+    const solve::DistributedResult ref_inline = solve::solve_inline(a, ordering);
+    const solve::DistributedResult ref_mpi = solve::solve_mpi(a, ordering);
+    const solve::SimSolveResult ref_sim = solve::solve_sim(a, ordering);
+
+    const SolveReport r_inline = inline_plan.solve(a);
+    const SolveReport r_mpi = mpi_plan.solve(a);
+    const SolveReport r_sim = sim_plan.solve(a);
+
+    ASSERT_TRUE(r_inline.converged);
+    EXPECT_EQ(r_inline.eigenvalues, ref_inline.eigenvalues) << "seed " << seed;
+    EXPECT_EQ(la::Matrix::max_abs_diff(r_inline.eigenvectors, ref_inline.eigenvectors), 0.0);
+    EXPECT_EQ(r_inline.sweeps, ref_inline.sweeps);
+    EXPECT_EQ(r_inline.rotations, ref_inline.rotations);
+
+    EXPECT_EQ(r_mpi.eigenvalues, ref_mpi.eigenvalues) << "seed " << seed;
+    EXPECT_EQ(la::Matrix::max_abs_diff(r_mpi.eigenvectors, ref_mpi.eigenvectors), 0.0);
+    EXPECT_EQ(r_mpi.comm.messages, ref_mpi.comm.messages);
+    EXPECT_EQ(r_mpi.comm.elements, ref_mpi.comm.elements);
+
+    EXPECT_EQ(r_sim.eigenvalues, ref_sim.eigenvalues) << "seed " << seed;
+    EXPECT_EQ(la::Matrix::max_abs_diff(r_sim.eigenvectors, ref_sim.eigenvectors), 0.0);
+    ASSERT_TRUE(r_sim.has_model);
+    EXPECT_EQ(r_sim.modeled_time, ref_sim.modeled_time);
+    EXPECT_EQ(r_sim.vote_time, ref_sim.vote_time);
+    EXPECT_EQ(r_sim.modeled_sweeps, ref_sim.modeled_sweeps);
+    EXPECT_EQ(r_sim.link_busy, ref_sim.link_busy);
+  }
+}
+
+// The acceptance-criterion cross-backend check: one spec, three backends,
+// identical eigenvalues on the same input.
+TEST(SolverPlan, BackendsAgreeOnTheSameInput) {
+  const la::Matrix a = test_matrix(16, 4242);
+  SolverSpec spec = SolverSpec::parse("ordering=pbr,m=16,d=2");
+
+  spec.backend = Backend::Inline;
+  const SolveReport r_inline = Solver::solve(spec, a);
+  spec.backend = Backend::MpiLite;
+  const SolveReport r_mpi = Solver::solve(spec, a);
+  spec.backend = Backend::Sim;
+  const SolveReport r_sim = Solver::solve(spec, a);
+
+  ASSERT_TRUE(r_inline.converged && r_mpi.converged && r_sim.converged);
+  EXPECT_EQ(r_mpi.eigenvalues, r_inline.eigenvalues);
+  EXPECT_EQ(r_sim.eigenvalues, r_inline.eigenvalues);
+  EXPECT_GT(r_sim.modeled_time, 0.0);
+  EXPECT_GT(r_mpi.comm.messages, 0u);
+}
+
+// Auto pipelining picks the pipe::find_optimal_sweep_q degree, and that
+// degree is the true argmin of the summed exchange-phase cost (brute-forced
+// over the full 1..q_max range, which the small case makes exhaustive).
+TEST(SolverPlan, AutoPicksOptimizerQ) {
+  SolverSpec spec = SolverSpec::parse("backend=mpi,ordering=d4,m=64,d=2,pipeline=auto");
+  const SolvePlan plan = Solver::plan(spec);
+
+  const std::uint64_t q_max = 64 / 8;  // columns per block
+  const pipe::OptimalQ best =
+      pipe::find_optimal_sweep_q(plan.ordering(), 64.0, spec.machine, q_max);
+  EXPECT_EQ(plan.pipelining_q(), best.q);
+  EXPECT_GT(plan.pipelining_q(), 0u);
+  EXPECT_DOUBLE_EQ(plan.planned_sweep_comm_cost(), best.cost);
+
+  // Brute-force argmin over every feasible q.
+  const double step_elems = 2.0 * 64.0 * 8.0;
+  double best_cost = 0.0;
+  std::uint64_t best_q = 0;
+  for (std::uint64_t q = 1; q <= q_max; ++q) {
+    double total = 0.0;
+    for (int e = plan.ordering().dimension(); e >= 1; --e)
+      total += pipe::phase_cost_pipelined(plan.ordering().exchange_sequence(e), q, step_elems,
+                                          spec.machine);
+    if (best_q == 0 || total < best_cost) {
+      best_q = q;
+      best_cost = total;
+    }
+  }
+  EXPECT_EQ(plan.pipelining_q(), best_q);
+  EXPECT_DOUBLE_EQ(plan.planned_sweep_comm_cost(), best_cost);
+}
+
+// solve_mpi_pipelined's q == 0 auto mode uses the same optimizer degree:
+// its message counters must match an explicit run at the optimizer's q.
+TEST(SolverPlan, LegacyPipelinedAutoUsesOptimizer) {
+  const la::Matrix a = test_matrix(64, 5);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::Degree4, 2);
+
+  solve::PipelinedSolveOptions auto_opts;  // q = 0 -> auto
+  const solve::DistributedResult auto_r = solve::solve_mpi_pipelined(a, ordering, auto_opts);
+
+  const pipe::OptimalQ best = pipe::find_optimal_sweep_q(ordering, 64.0, auto_opts.machine, 8);
+  solve::PipelinedSolveOptions fixed_opts;
+  fixed_opts.q = best.q;
+  const solve::DistributedResult fixed_r = solve::solve_mpi_pipelined(a, ordering, fixed_opts);
+
+  ASSERT_TRUE(auto_r.converged && fixed_r.converged);
+  EXPECT_EQ(auto_r.sweeps, fixed_r.sweeps);
+  EXPECT_EQ(auto_r.comm.messages, fixed_r.comm.messages);
+  EXPECT_EQ(auto_r.comm.elements, fixed_r.comm.elements);
+}
+
+// An Auto sim plan charges the pipelined schedule at the optimizer's q and
+// keeps inline-identical numerics.
+TEST(SolverPlan, AutoSimPipeliningKeepsNumerics) {
+  const la::Matrix a = test_matrix(32, 8);
+  const SolveReport plain =
+      Solver::solve(SolverSpec::parse("backend=sim,ordering=pbr,m=32,d=2"), a);
+  const SolveReport piped =
+      Solver::solve(SolverSpec::parse("backend=sim,ordering=pbr,m=32,d=2,pipeline=auto"), a);
+  ASSERT_TRUE(plain.converged && piped.converged);
+  EXPECT_EQ(piped.eigenvalues, plain.eigenvalues);
+  EXPECT_GT(piped.pipelining_q, 0u);
+  EXPECT_GT(piped.modeled_time, 0.0);
+  // Pipelining at the optimal degree cannot cost more than unpipelined.
+  EXPECT_LE(piped.modeled_time - piped.vote_time, plain.modeled_time - plain.vote_time);
+}
+
+TEST(SolverPlan, GershgorinShiftMatchesLegacy) {
+  const la::Matrix a = test_matrix(16, 99);
+  const ord::JacobiOrdering ordering(ord::OrderingKind::BR, 2);
+  solve::SolveOptions opts;
+  opts.gershgorin_shift = true;
+  const solve::DistributedResult ref = solve::solve_inline(a, ordering, opts);
+
+  const SolveReport r = Solver::solve(SolverSpec::parse("ordering=br,m=16,d=2,shift=1"), a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.eigenvalues, ref.eigenvalues);
+}
+
+TEST(SolverPlan, SolveBatchMatchesIndividualSolves) {
+  const SolvePlan plan = Solver::plan(SolverSpec::parse("ordering=d4,m=16,d=2"));
+  std::vector<la::Matrix> batch;
+  for (std::uint64_t seed : {1u, 2u, 3u}) batch.push_back(test_matrix(16, seed));
+
+  const std::vector<SolveReport> reports = plan.solve_batch(batch);
+  ASSERT_EQ(reports.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SolveReport single = plan.solve(batch[i]);
+    EXPECT_EQ(reports[i].eigenvalues, single.eigenvalues);
+    EXPECT_EQ(reports[i].sweeps, single.sweeps);
+  }
+}
+
+// One immutable plan, solved from several threads concurrently.
+TEST(SolverPlan, ThreadShareable) {
+  const SolvePlan plan = Solver::plan(SolverSpec::parse("ordering=pbr,m=16,d=2"));
+  const la::Matrix a = test_matrix(16, 7);
+  const SolveReport ref = plan.solve(a);
+
+  std::vector<SolveReport> reports(4);
+  std::vector<std::thread> threads;
+  for (auto& slot : reports)
+    threads.emplace_back([&plan, &a, &slot] { slot = plan.solve(a); });
+  for (auto& t : threads) t.join();
+
+  for (const SolveReport& r : reports) {
+    EXPECT_EQ(r.eigenvalues, ref.eigenvalues);
+    EXPECT_EQ(r.sweeps, ref.sweeps);
+  }
+}
+
+TEST(SolveReport, SummaryMentionsScenarioAndModel) {
+  const la::Matrix a = test_matrix(16, 3);
+  const SolveReport r =
+      Solver::solve(SolverSpec::parse("backend=sim,ordering=d4,m=16,d=2,pipeline=2"), a);
+  const std::string text = r.summary();
+  EXPECT_NE(text.find("backend=sim"), std::string::npos);
+  EXPECT_NE(text.find("converged"), std::string::npos);
+  EXPECT_NE(text.find("model"), std::string::npos);
+  EXPECT_NE(text.find("pipeline=2"), std::string::npos);
+}
+
+TEST(SolverPlan, CustomOrderingThroughTheFacade) {
+  // A custom ordering (BR sequences supplied explicitly) runs through
+  // plan(spec, ordering) and matches the built-in BR result.
+  const int d = 2;
+  std::vector<ord::LinkSequence> seqs;
+  for (int e = 1; e <= d; ++e) seqs.push_back(ord::make_exchange_sequence(ord::OrderingKind::BR, e));
+  ord::JacobiOrdering custom(std::move(seqs));
+
+  SolverSpec spec = SolverSpec::parse("m=16,d=2");
+  spec.ordering = ord::OrderingKind::Custom;
+  const la::Matrix a = test_matrix(16, 21);
+  const SolveReport r = Solver::plan(spec, custom).solve(a);
+
+  const SolveReport ref = Solver::solve(SolverSpec::parse("ordering=br,m=16,d=2"), a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.eigenvalues, ref.eigenvalues);
+}
+
+}  // namespace
+}  // namespace jmh::api

@@ -1,18 +1,16 @@
-// Transport parity: the four executors are wrappers over one sweep engine
-// (solve/sweep_engine.hpp), so for a fixed seed matrix every transport must
-// produce the same spectrum. Inline, mpi_lite and sim follow the identical
-// rotation order and agree to the last bit in exact arithmetic; the
-// pipelined path reorders floating-point operations and agrees to
-// round-off.
+// Transport parity through the api facade: every backend of one SolverSpec
+// is a different Transport plugged into the same sweep engine, so for a
+// fixed seed matrix every backend must produce the same spectrum. Inline,
+// mpi_lite and sim follow the identical rotation order and agree to the
+// last bit in exact arithmetic; the pipelined path reorders floating-point
+// operations and agrees to round-off.
 #include <gtest/gtest.h>
 
+#include "api/solver.hpp"
 #include "la/eigen_check.hpp"
 #include "la/sym_gen.hpp"
-#include "solve/parallel_jacobi.hpp"
-#include "solve/pipelined_executor.hpp"
-#include "solve/sim_transport.hpp"
 
-namespace jmh::solve {
+namespace jmh::api {
 namespace {
 
 la::Matrix test_matrix(std::size_t n, std::uint64_t seed) {
@@ -20,20 +18,26 @@ la::Matrix test_matrix(std::size_t n, std::uint64_t seed) {
   return la::random_uniform_symmetric(n, rng);
 }
 
+SolveReport solve_with_backend(SolverSpec spec, Backend backend, const la::Matrix& a) {
+  spec.backend = backend;
+  return Solver::plan(spec).solve(a);
+}
+
 class TransportParityTest : public ::testing::TestWithParam<ord::OrderingKind> {};
 
-TEST_P(TransportParityTest, AllTransportsAgree) {
-  const ord::OrderingKind kind = GetParam();
-  const int d = 2;
+TEST_P(TransportParityTest, AllBackendsAgree) {
   const la::Matrix a = test_matrix(16, 4242);
-  const ord::JacobiOrdering ordering(kind, d);
+  SolverSpec spec = SolverSpec::parse("m=16,d=2");
+  spec.ordering = GetParam();
 
-  const DistributedResult inline_r = solve_inline(a, ordering);
-  const DistributedResult mpi_r = solve_mpi(a, ordering);
-  PipelinedSolveOptions popts;
-  popts.q = 2;
-  const DistributedResult pipe_r = solve_mpi_pipelined(a, ordering, popts);
-  const SimSolveResult sim_r = solve_sim(a, ordering);
+  const SolveReport inline_r = solve_with_backend(spec, Backend::Inline, a);
+  const SolveReport mpi_r = solve_with_backend(spec, Backend::MpiLite, a);
+  const SolveReport sim_r = solve_with_backend(spec, Backend::Sim, a);
+
+  SolverSpec piped = spec;
+  piped.pipelining = PipeliningPolicy::Fixed;
+  piped.q = 2;
+  const SolveReport pipe_r = solve_with_backend(piped, Backend::MpiLite, a);
 
   ASSERT_TRUE(inline_r.converged);
   ASSERT_TRUE(mpi_r.converged);
@@ -50,9 +54,11 @@ TEST_P(TransportParityTest, AllTransportsAgree) {
   EXPECT_EQ(sim_r.sweeps, inline_r.sweeps);
   EXPECT_LT(la::spectrum_distance(sim_r.eigenvalues, inline_r.eigenvalues), 1e-12);
   EXPECT_LT(la::Matrix::max_abs_diff(sim_r.eigenvectors, inline_r.eigenvectors), 1e-12);
+  ASSERT_TRUE(sim_r.has_model);
   EXPECT_GT(sim_r.modeled_time, 0.0);
 
   // Pipelining reorders rotations; eigenvalue sets agree to round-off.
+  EXPECT_EQ(pipe_r.pipelining_q, 2u);
   EXPECT_LT(la::spectrum_distance(pipe_r.eigenvalues, inline_r.eigenvalues), 1e-10);
   EXPECT_LT(la::eigenpair_residual(a, pipe_r.eigenvalues, pipe_r.eigenvectors), 1e-9);
 }
@@ -68,34 +74,30 @@ INSTANTIATE_TEST_SUITE_P(AllOrderings, TransportParityTest,
                            return name;
                          });
 
-TEST(TransportParity, UnevenColumnSplitAcrossTransports) {
+TEST(TransportParity, UnevenColumnSplitAcrossBackends) {
   // 13 columns over 8 blocks: sizes differ by one; every substrate must
   // still cover all pairs.
   const la::Matrix a = test_matrix(13, 77);
-  const ord::JacobiOrdering ordering(ord::OrderingKind::PermutedBR, 2);
-  const DistributedResult inline_r = solve_inline(a, ordering);
-  const DistributedResult mpi_r = solve_mpi(a, ordering);
-  const SimSolveResult sim_r = solve_sim(a, ordering);
+  const SolverSpec spec = SolverSpec::parse("ordering=pbr,m=13,d=2");
+  const SolveReport inline_r = solve_with_backend(spec, Backend::Inline, a);
+  const SolveReport mpi_r = solve_with_backend(spec, Backend::MpiLite, a);
+  const SolveReport sim_r = solve_with_backend(spec, Backend::Sim, a);
   ASSERT_TRUE(inline_r.converged);
   EXPECT_EQ(mpi_r.sweeps, inline_r.sweeps);
   EXPECT_LT(la::spectrum_distance(mpi_r.eigenvalues, inline_r.eigenvalues), 1e-12);
   EXPECT_LT(la::spectrum_distance(sim_r.eigenvalues, inline_r.eigenvalues), 1e-12);
 }
 
-TEST(TransportParity, GershgorinShiftThroughEveryWrapper) {
+TEST(TransportParity, GershgorinShiftThroughEveryBackend) {
   const la::Matrix a = test_matrix(16, 99);
-  const ord::JacobiOrdering ordering(ord::OrderingKind::BR, 2);
-  SolveOptions opts;
-  opts.gershgorin_shift = true;
-  const DistributedResult inline_r = solve_inline(a, ordering, opts);
-  const DistributedResult mpi_r = solve_mpi(a, ordering, opts);
-  SimSolveOptions sopts;
-  sopts.gershgorin_shift = true;
-  const SimSolveResult sim_r = solve_sim(a, ordering, sopts);
+  const SolverSpec spec = SolverSpec::parse("ordering=br,m=16,d=2,shift=1");
+  const SolveReport inline_r = solve_with_backend(spec, Backend::Inline, a);
+  const SolveReport mpi_r = solve_with_backend(spec, Backend::MpiLite, a);
+  const SolveReport sim_r = solve_with_backend(spec, Backend::Sim, a);
   ASSERT_TRUE(inline_r.converged);
   EXPECT_LT(la::spectrum_distance(mpi_r.eigenvalues, inline_r.eigenvalues), 1e-12);
   EXPECT_LT(la::spectrum_distance(sim_r.eigenvalues, inline_r.eigenvalues), 1e-12);
 }
 
 }  // namespace
-}  // namespace jmh::solve
+}  // namespace jmh::api
