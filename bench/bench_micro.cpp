@@ -4,6 +4,7 @@
 
 #include "api/solver.hpp"
 #include "common/rng.hpp"
+#include "la/kernels.hpp"
 #include "la/rotation.hpp"
 #include "la/sym_gen.hpp"
 #include "ord/bounds.hpp"
@@ -35,6 +36,22 @@ void BM_RotationKernel(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(4 * n * 8));
 }
 BENCHMARK(BM_RotationKernel)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_GramKernel(benchmark::State& state) {
+  // The single-pass (bii, bjj, bij) kernel alone: the read half of a pair.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(1);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    const auto g = jmh::la::kernels::gram3(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(2 * n * 8));
+}
+BENCHMARK(BM_GramKernel)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_BrGeneration(benchmark::State& state) {
   const int e = static_cast<int>(state.range(0));
@@ -217,6 +234,25 @@ void BM_BlockSerializeRoundtrip(benchmark::State& state) {
                           static_cast<std::int64_t>(blk.serialize().size() * 8));
 }
 BENCHMARK(BM_BlockSerializeRoundtrip)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BlockSerializeInto(benchmark::State& state) {
+  // The allocation-free round trip the steady-state exchange loop runs:
+  // serialize into a reused payload, parse back into a reused block.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const jmh::solve::BlockLayout layout(m, 2);
+  const jmh::solve::ColumnBlock blk = jmh::solve::extract_block(a, layout, 0);
+  jmh::net::Payload buf;
+  jmh::solve::ColumnBlock back;
+  for (auto _ : state) {
+    blk.serialize_into(buf);
+    back.assign_from(buf);
+    benchmark::DoNotOptimize(back.b.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size() * 8));
+}
+BENCHMARK(BM_BlockSerializeInto)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_SequentialCyclicSolve(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

@@ -2,10 +2,17 @@
 //
 // JMH_REQUIRE(cond, msg)  -- precondition; always checked, throws std::invalid_argument.
 // JMH_CHECK(cond, msg)    -- internal invariant; always checked, throws std::logic_error.
+// JMH_DASSERT(cond, msg)  -- hot-path precondition; checked in debug builds
+//                            (throws std::invalid_argument), compiled out
+//                            under NDEBUG.
 //
-// Both are kept enabled in release builds: the library is a research
-// reproduction where silent corruption of a schedule or sequence would
-// invalidate results, and the checks are never on a hot inner loop.
+// REQUIRE/CHECK are kept enabled in release builds: the library is a
+// research reproduction where silent corruption of a schedule or sequence
+// would invalidate results. They belong on protocol, schedule, and API
+// boundaries -- code that runs once per phase or per call, never per
+// element. DASSERT is for per-element checks on measured hot paths
+// (matrix indexing, kernel span sizes): full checking in debug builds,
+// zero cost in release.
 #pragma once
 
 #include <sstream>
@@ -45,3 +52,9 @@ namespace detail {
   do {                                                                      \
     if (!(cond)) ::jmh::detail::throw_check(#cond, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+#ifdef NDEBUG
+#define JMH_DASSERT(cond, msg) ((void)0)
+#else
+#define JMH_DASSERT(cond, msg) JMH_REQUIRE(cond, msg)
+#endif

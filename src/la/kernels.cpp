@@ -1,0 +1,52 @@
+#include "la/kernels.hpp"
+
+namespace jmh::la::kernels {
+
+Gram gram3(const double* __restrict x, const double* __restrict y, std::size_t n) noexcept {
+  double xx0 = 0.0, xx1 = 0.0, xx2 = 0.0, xx3 = 0.0;
+  double yy0 = 0.0, yy1 = 0.0, yy2 = 0.0, yy3 = 0.0;
+  double xy0 = 0.0, xy1 = 0.0, xy2 = 0.0, xy3 = 0.0;
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const double x0 = x[r], x1 = x[r + 1], x2 = x[r + 2], x3 = x[r + 3];
+    const double y0 = y[r], y1 = y[r + 1], y2 = y[r + 2], y3 = y[r + 3];
+    xx0 += x0 * x0;
+    xx1 += x1 * x1;
+    xx2 += x2 * x2;
+    xx3 += x3 * x3;
+    yy0 += y0 * y0;
+    yy1 += y1 * y1;
+    yy2 += y2 * y2;
+    yy3 += y3 * y3;
+    xy0 += x0 * y0;
+    xy1 += x1 * y1;
+    xy2 += x2 * y2;
+    xy3 += x3 * y3;
+  }
+  for (; r < n; ++r) {  // unroll tail folds into lane 0
+    xx0 += x[r] * x[r];
+    yy0 += y[r] * y[r];
+    xy0 += x[r] * y[r];
+  }
+  Gram g;
+  g.xx = (xx0 + xx1) + (xx2 + xx3);
+  g.yy = (yy0 + yy1) + (yy2 + yy3);
+  g.xy = (xy0 + xy1) + (xy2 + xy3);
+  return g;
+}
+
+void fused_rotate(double* __restrict bi, double* __restrict bj, double* __restrict vi,
+                  double* __restrict vj, std::size_t n, double c, double s) noexcept {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double br = bi[r];
+    const double bs = bj[r];
+    bi[r] = c * br - s * bs;
+    bj[r] = s * br + c * bs;
+    const double vr = vi[r];
+    const double vs = vj[r];
+    vi[r] = c * vr - s * vs;
+    vj[r] = s * vr + c * vs;
+  }
+}
+
+}  // namespace jmh::la::kernels

@@ -1,0 +1,46 @@
+// Fused, vectorization-friendly inner kernels of the one-sided Jacobi
+// sweep.
+//
+// The hot pair operation needs three dot products of a column pair and, if
+// the pair rotates, a plane rotation of the B columns and the matching V
+// columns. Written naively (three `dot` calls + two `apply_rotation`
+// calls) that streams the column data through memory five times per pair.
+// These kernels collapse the traversal count to two:
+//
+//   * gram3          -- (bi.bi, bj.bj, bi.bj) in ONE pass over the pair,
+//                       with `__restrict`-qualified pointers and 4-way
+//                       independent accumulators so the compiler can keep
+//                       the reduction in vector registers;
+//   * fused_rotate   -- the plane rotation applied to (bi, bj) and
+//                       (vi, vj) in ONE loop (elementwise identical to two
+//                       consecutive apply_rotation calls).
+//
+// Accumulation order is part of gram3's contract: lane k sums elements
+// k, k+4, k+8, ... and the lanes combine as (l0+l1) + (l2+l3), with the
+// tail (n % 4 trailing elements) folded into lane 0. Tests pin this down
+// bit-for-bit against a scalar reference so the kernel can be rewritten
+// (e.g. with intrinsics) without silently changing results.
+#pragma once
+
+#include <cstddef>
+
+namespace jmh::la::kernels {
+
+/// The three pairwise dot products of columns (x, y).
+struct Gram {
+  double xx = 0.0;
+  double yy = 0.0;
+  double xy = 0.0;
+};
+
+/// Single-pass Gram kernel: returns (x.x, y.y, x.y) for two length-n
+/// columns. See the header comment for the pinned accumulation order.
+Gram gram3(const double* __restrict x, const double* __restrict y, std::size_t n) noexcept;
+
+/// Fused plane rotation: applies [u, w] <- [c*u - s*w, s*u + c*w] to both
+/// the B pair (bi, bj) and the V pair (vi, vj), all length n, in one loop.
+/// Elementwise identical to rotating the two pairs separately.
+void fused_rotate(double* __restrict bi, double* __restrict bj, double* __restrict vi,
+                  double* __restrict vj, std::size_t n, double c, double s) noexcept;
+
+}  // namespace jmh::la::kernels

@@ -23,21 +23,24 @@ class Matrix {
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
 
+  // Bounds checks are JMH_DASSERT: element and column access sit on
+  // measured hot paths (kernels, extraction, assembly), so release builds
+  // must not pay a branch per element. Debug builds check fully.
   double& operator()(std::size_t r, std::size_t c) {
-    JMH_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    JMH_DASSERT(r < rows_ && c < cols_, "matrix index out of range");
     return data_[c * rows_ + r];
   }
   double operator()(std::size_t r, std::size_t c) const {
-    JMH_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    JMH_DASSERT(r < rows_ && c < cols_, "matrix index out of range");
     return data_[c * rows_ + r];
   }
 
   std::span<double> col(std::size_t c) {
-    JMH_REQUIRE(c < cols_, "column index out of range");
+    JMH_DASSERT(c < cols_, "column index out of range");
     return {data_.data() + c * rows_, rows_};
   }
   std::span<const double> col(std::size_t c) const {
-    JMH_REQUIRE(c < cols_, "column index out of range");
+    JMH_DASSERT(c < cols_, "column index out of range");
     return {data_.data() + c * rows_, rows_};
   }
 

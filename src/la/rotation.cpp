@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "la/kernels.hpp"
+
 namespace jmh::la {
 
 RotationDecision compute_rotation(double bii, double bjj, double bij, double threshold) {
@@ -29,14 +31,18 @@ void apply_rotation(std::span<double> x, std::span<double> y, double c, double s
 
 PairOutcome pair_columns_stats(std::span<double> bi, std::span<double> bj,
                                std::span<double> vi, std::span<double> vj, double threshold) {
+  // O(1) once per pairing (the kernels are O(n)), so this public API
+  // boundary keeps the always-on check.
+  JMH_REQUIRE(bi.size() == bj.size() && vi.size() == vj.size() && bi.size() == vi.size(),
+              "pairing column size mismatch");
   PairOutcome out;
-  out.bii = dot(bi, bi);
-  out.bjj = dot(bj, bj);
-  out.bij = dot(bi, bj);
+  const kernels::Gram g = kernels::gram3(bi.data(), bj.data(), bi.size());
+  out.bii = g.xx;
+  out.bjj = g.yy;
+  out.bij = g.xy;
   const RotationDecision d = compute_rotation(out.bii, out.bjj, out.bij, threshold);
   if (!d.rotate) return out;
-  apply_rotation(bi, bj, d.c, d.s);
-  apply_rotation(vi, vj, d.c, d.s);
+  kernels::fused_rotate(bi.data(), bj.data(), vi.data(), vj.data(), bi.size(), d.c, d.s);
   out.rotated = true;
   return out;
 }

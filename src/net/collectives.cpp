@@ -52,6 +52,11 @@ double allreduce_sum(Comm& comm, double value) {
 }
 
 std::vector<double> allreduce_sum(Comm& comm, std::vector<double> values) {
+  allreduce_sum_inplace(comm, values);
+  return values;
+}
+
+void allreduce_sum_inplace(Comm& comm, std::span<double> values) {
   if (is_pow2(static_cast<std::uint64_t>(comm.size()))) {
     for (int bit = 1; bit < comm.size(); bit <<= 1) {
       const int peer = comm.rank() ^ bit;
@@ -59,7 +64,7 @@ std::vector<double> allreduce_sum(Comm& comm, std::vector<double> values) {
       JMH_CHECK(got.size() == values.size(), "allreduce length mismatch across ranks");
       for (std::size_t i = 0; i < values.size(); ++i) values[i] += got[i];
     }
-    return values;
+    return;
   }
   if (comm.rank() == 0) {
     for (int r = 1; r < comm.size(); ++r) {
@@ -68,10 +73,12 @@ std::vector<double> allreduce_sum(Comm& comm, std::vector<double> values) {
       for (std::size_t i = 0; i < values.size(); ++i) values[i] += got[i];
     }
     for (int r = 1; r < comm.size(); ++r) comm.send(r, kTagReduce + 1, values);
-    return values;
+    return;
   }
   comm.send(0, kTagReduce, values);
-  return comm.recv(0, kTagReduce + 1);
+  const Payload got = comm.recv(0, kTagReduce + 1);
+  JMH_CHECK(got.size() == values.size(), "allreduce length mismatch across ranks");
+  std::copy(got.begin(), got.end(), values.begin());
 }
 
 double allreduce_max(Comm& comm, double value) {

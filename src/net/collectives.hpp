@@ -21,6 +21,11 @@ double allreduce_sum(Comm& comm, double value);
 /// paying per-scalar message startups.
 std::vector<double> allreduce_sum(Comm& comm, std::vector<double> values);
 
+/// Element-wise sum over all ranks, accumulated in place into @p values.
+/// Same semantics as the vector overload without allocating result
+/// vectors -- the per-sweep convergence vote path.
+void allreduce_sum_inplace(Comm& comm, std::span<double> values);
+
 /// Max of @p value over all ranks, returned on every rank.
 double allreduce_max(Comm& comm, double value);
 

@@ -24,6 +24,7 @@ class InlineTransport : public Transport {
 
   /// Single owner: the local values already are the global sums.
   std::vector<double> allreduce_sum(std::vector<double> values) override { return values; }
+  void allreduce_sum(std::span<double> /*values*/) override {}
 
   std::vector<ColumnBlock> collect_blocks() override;
 

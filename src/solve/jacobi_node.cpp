@@ -9,51 +9,72 @@ namespace jmh::solve {
 
 net::Payload ColumnBlock::serialize() const {
   net::Payload p;
-  p.reserve(3 + cols.size() + b.size() + v.size());
-  p.push_back(static_cast<double>(id));
-  p.push_back(static_cast<double>(num_cols()));
-  p.push_back(static_cast<double>(rows));
-  for (std::size_t c : cols) p.push_back(static_cast<double>(c));
-  p.insert(p.end(), b.begin(), b.end());
-  p.insert(p.end(), v.begin(), v.end());
+  serialize_into(p);
   return p;
 }
 
-ColumnBlock ColumnBlock::deserialize(const net::Payload& payload) {
+void ColumnBlock::serialize_into(net::Payload& out) const {
+  out.clear();
+  out.reserve(3 + cols.size() + b.size() + v.size());
+  out.push_back(static_cast<double>(id));
+  out.push_back(static_cast<double>(num_cols()));
+  out.push_back(static_cast<double>(rows));
+  for (std::size_t c : cols) out.push_back(static_cast<double>(c));
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+void ColumnBlock::assign_from(std::span<const double> payload) {
+  // Validate before mutating: a malformed payload must leave this block
+  // exactly as it was (it may be a node's live mobile block).
   JMH_REQUIRE(payload.size() >= 3, "truncated block payload");
-  ColumnBlock out;
-  out.id = static_cast<ord::BlockId>(payload[0]);
   const auto ncols = static_cast<std::size_t>(payload[1]);
-  out.rows = static_cast<std::size_t>(payload[2]);
-  JMH_REQUIRE(payload.size() == 3 + ncols + 2 * ncols * out.rows, "block payload size mismatch");
-  out.cols.resize(ncols);
-  for (std::size_t i = 0; i < ncols; ++i) out.cols[i] = static_cast<std::size_t>(payload[3 + i]);
-  const auto* base = payload.data() + 3 + ncols;
-  out.b.assign(base, base + ncols * out.rows);
-  out.v.assign(base + ncols * out.rows, base + 2 * ncols * out.rows);
+  const auto nrows = static_cast<std::size_t>(payload[2]);
+  JMH_REQUIRE(payload.size() == 3 + ncols + 2 * ncols * nrows, "block payload size mismatch");
+  id = static_cast<ord::BlockId>(payload[0]);
+  rows = nrows;
+  cols.resize(ncols);
+  for (std::size_t i = 0; i < ncols; ++i) cols[i] = static_cast<std::size_t>(payload[3 + i]);
+  const double* base = payload.data() + 3 + ncols;
+  b.assign(base, base + ncols * rows);
+  v.assign(base + ncols * rows, base + 2 * ncols * rows);
+}
+
+ColumnBlock ColumnBlock::deserialize(std::span<const double> payload) {
+  ColumnBlock out;
+  out.assign_from(payload);
   return out;
+}
+
+ColumnBlock ColumnBlock::deserialize(const net::Payload& payload) {
+  return deserialize(std::span<const double>(payload));
 }
 
 std::vector<ColumnBlock> ColumnBlock::deserialize_stream(const net::Payload& payload) {
   std::vector<ColumnBlock> blocks;
+  const std::span<const double> stream(payload);
   std::size_t pos = 0;
-  while (pos < payload.size()) {
-    JMH_REQUIRE(payload.size() - pos >= 3, "truncated block stream");
-    const auto ncols = static_cast<std::size_t>(payload[pos + 1]);
-    const auto rows = static_cast<std::size_t>(payload[pos + 2]);
+  while (pos < stream.size()) {
+    JMH_REQUIRE(stream.size() - pos >= 3, "truncated block stream");
+    const auto ncols = static_cast<std::size_t>(stream[pos + 1]);
+    const auto rows = static_cast<std::size_t>(stream[pos + 2]);
     const std::size_t len = 3 + ncols + 2 * ncols * rows;
-    JMH_REQUIRE(payload.size() - pos >= len, "truncated block in stream");
-    net::Payload one(payload.begin() + static_cast<std::ptrdiff_t>(pos),
-                     payload.begin() + static_cast<std::ptrdiff_t>(pos + len));
-    blocks.push_back(deserialize(one));
+    JMH_REQUIRE(stream.size() - pos >= len, "truncated block in stream");
+    blocks.push_back(deserialize(stream.subspan(pos, len)));
     pos += len;
   }
   return blocks;
 }
 
 std::vector<ColumnBlock> ColumnBlock::split(std::size_t q) const {
+  std::vector<ColumnBlock> packets;
+  split_into(q, packets);
+  return packets;
+}
+
+void ColumnBlock::split_into(std::size_t q, std::vector<ColumnBlock>& packets) const {
   JMH_REQUIRE(q >= 1, "packet count must be positive");
-  std::vector<ColumnBlock> packets(q);
+  packets.resize(q);
   const std::size_t n = num_cols();
   for (std::size_t p = 0; p < q; ++p) {
     const std::size_t begin = p * n / q;
@@ -68,21 +89,27 @@ std::vector<ColumnBlock> ColumnBlock::split(std::size_t q) const {
     pkt.v.assign(v.begin() + static_cast<std::ptrdiff_t>(begin * rows),
                  v.begin() + static_cast<std::ptrdiff_t>(end * rows));
   }
-  return packets;
 }
 
 ColumnBlock ColumnBlock::merge(const std::vector<ColumnBlock>& packets) {
-  JMH_REQUIRE(!packets.empty(), "cannot merge zero packets");
   ColumnBlock out;
+  merge_into(packets, out);
+  return out;
+}
+
+void ColumnBlock::merge_into(const std::vector<ColumnBlock>& packets, ColumnBlock& out) {
+  JMH_REQUIRE(!packets.empty(), "cannot merge zero packets");
   out.id = packets.front().id;
   out.rows = packets.front().rows;
+  out.cols.clear();
+  out.b.clear();
+  out.v.clear();
   for (const auto& pkt : packets) {
     JMH_REQUIRE(pkt.id == out.id && pkt.rows == out.rows, "packets from different blocks");
     out.cols.insert(out.cols.end(), pkt.cols.begin(), pkt.cols.end());
     out.b.insert(out.b.end(), pkt.b.begin(), pkt.b.end());
     out.v.insert(out.v.end(), pkt.v.begin(), pkt.v.end());
   }
-  return out;
 }
 
 ColumnBlock extract_block(const la::Matrix& a, const BlockLayout& layout, ord::BlockId id) {
@@ -111,14 +138,51 @@ JacobiNode::JacobiNode(const la::Matrix& a, const BlockLayout& layout, cube::Nod
 
 namespace {
 
+// Cache-blocking tile side for the i x j pairing loops. A pairing streams
+// both columns of B and V, so a TxT tile keeps 2T columns of each matrix
+// live: 4 * kPairTile * rows doubles. With T = 8 that is 256 KiB at
+// rows = 1024 -- L2-resident, so each column loaded into cache is paired
+// against T partners before eviction instead of 1. Any visit order covers
+// every pair exactly once, so tiling only reorders the (valid) sweep.
+constexpr std::size_t kPairTile = 8;
+
+inline void pair_one(ColumnBlock& bi_blk, std::size_t i, ColumnBlock& bj_blk, std::size_t j,
+                     double threshold, SweepStats& stats) {
+  const la::PairOutcome o = la::pair_columns_stats(bi_blk.col_b(i), bj_blk.col_b(j),
+                                                   bi_blk.col_v(i), bj_blk.col_v(j), threshold);
+  stats.rotations += o.rotated ? 1 : 0;
+  stats.off2 += o.bij * o.bij;
+}
+
 SweepStats pair_within_block(ColumnBlock& blk, double threshold) {
   SweepStats stats;
-  for (std::size_t i = 0; i + 1 < blk.num_cols(); ++i) {
-    for (std::size_t j = i + 1; j < blk.num_cols(); ++j) {
-      const la::PairOutcome o = la::pair_columns_stats(blk.col_b(i), blk.col_b(j),
-                                                       blk.col_v(i), blk.col_v(j), threshold);
-      stats.rotations += o.rotated ? 1 : 0;
-      stats.off2 += o.bij * o.bij;
+  const std::size_t n = blk.num_cols();
+  for (std::size_t it = 0; it < n; it += kPairTile) {
+    const std::size_t iend = std::min(n, it + kPairTile);
+    // Diagonal tile: the triangular i < j pairs inside [it, iend).
+    for (std::size_t i = it; i < iend; ++i)
+      for (std::size_t j = i + 1; j < iend; ++j) pair_one(blk, i, blk, j, threshold, stats);
+    // Off-diagonal tiles: full iend x kPairTile rectangles to the right.
+    for (std::size_t jt = iend; jt < n; jt += kPairTile) {
+      const std::size_t jend = std::min(n, jt + kPairTile);
+      for (std::size_t i = it; i < iend; ++i)
+        for (std::size_t j = jt; j < jend; ++j) pair_one(blk, i, blk, j, threshold, stats);
+    }
+  }
+  return stats;
+}
+
+/// Every (fixed column, other column) cross pair, tiled.
+SweepStats pair_across_blocks(ColumnBlock& fixed, ColumnBlock& other, double threshold) {
+  SweepStats stats;
+  const std::size_t ni = fixed.num_cols();
+  const std::size_t nj = other.num_cols();
+  for (std::size_t it = 0; it < ni; it += kPairTile) {
+    const std::size_t iend = std::min(ni, it + kPairTile);
+    for (std::size_t jt = 0; jt < nj; jt += kPairTile) {
+      const std::size_t jend = std::min(nj, jt + kPairTile);
+      for (std::size_t i = it; i < iend; ++i)
+        for (std::size_t j = jt; j < jend; ++j) pair_one(fixed, i, other, j, threshold, stats);
     }
   }
   return stats;
@@ -133,30 +197,12 @@ SweepStats JacobiNode::intra_block_pairings(double threshold) {
 }
 
 SweepStats JacobiNode::inter_block_pairings(double threshold) {
-  SweepStats stats;
-  for (std::size_t i = 0; i < fixed_.num_cols(); ++i) {
-    for (std::size_t j = 0; j < mobile_.num_cols(); ++j) {
-      const la::PairOutcome o = la::pair_columns_stats(
-          fixed_.col_b(i), mobile_.col_b(j), fixed_.col_v(i), mobile_.col_v(j), threshold);
-      stats.rotations += o.rotated ? 1 : 0;
-      stats.off2 += o.bij * o.bij;
-    }
-  }
-  return stats;
+  return pair_across_blocks(fixed_, mobile_, threshold);
 }
 
 SweepStats JacobiNode::pair_fixed_with(ColumnBlock& packet, double threshold) {
   JMH_REQUIRE(packet.rows == fixed_.rows, "packet row count mismatch");
-  SweepStats stats;
-  for (std::size_t i = 0; i < fixed_.num_cols(); ++i) {
-    for (std::size_t j = 0; j < packet.num_cols(); ++j) {
-      const la::PairOutcome o = la::pair_columns_stats(
-          fixed_.col_b(i), packet.col_b(j), fixed_.col_v(i), packet.col_v(j), threshold);
-      stats.rotations += o.rotated ? 1 : 0;
-      stats.off2 += o.bij * o.bij;
-    }
-  }
-  return stats;
+  return pair_across_blocks(fixed_, packet, threshold);
 }
 
 double JacobiNode::frobenius_squared() const {

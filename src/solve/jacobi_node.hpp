@@ -32,10 +32,22 @@ struct ColumnBlock {
 
   /// Flattens to an mpi_lite payload: [id, ncols, rows, cols..., b..., v...].
   net::Payload serialize() const;
+
+  /// Flattens into @p out, reusing its capacity (cleared first). The
+  /// allocation-free path of the steady-state exchange loop: after the
+  /// first sweep the buffer never reallocates.
+  void serialize_into(net::Payload& out) const;
+
+  /// Parses a serialized block into this block, reusing the existing
+  /// cols/b/v storage when capacities suffice.
+  void assign_from(std::span<const double> payload);
+
+  static ColumnBlock deserialize(std::span<const double> payload);
   static ColumnBlock deserialize(const net::Payload& payload);
 
   /// Parses a concatenation of serialized blocks (e.g. an allgatherv of
-  /// per-rank payloads) back into blocks, in order.
+  /// per-rank payloads) back into blocks, in order. Each block is parsed
+  /// in place from its span of the stream; no per-block payload copies.
   static std::vector<ColumnBlock> deserialize_stream(const net::Payload& payload);
 
   /// Splits into @p q column packets (contiguous groups, sizes differing by
@@ -43,8 +55,17 @@ struct ColumnBlock {
   /// keep the block id. Used by the pipelined executor.
   std::vector<ColumnBlock> split(std::size_t q) const;
 
+  /// split() into caller-owned scratch: @p packets is resized to @p q and
+  /// each packet's storage reused. The pipelined exchange path calls this
+  /// once per phase with the same scratch, so steady-state sweeps allocate
+  /// nothing.
+  void split_into(std::size_t q, std::vector<ColumnBlock>& packets) const;
+
   /// Reassembles packets produced by split (in order).
   static ColumnBlock merge(const std::vector<ColumnBlock>& packets);
+
+  /// merge() into caller-owned scratch, reusing @p out's storage.
+  static void merge_into(const std::vector<ColumnBlock>& packets, ColumnBlock& out);
 };
 
 /// Extracts block @p id of (B=A, V=I) from the input matrix.

@@ -1,5 +1,7 @@
 #include "solve/mpi_transport.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 #include "net/collectives.hpp"
 
@@ -26,20 +28,27 @@ void MpiLiteTransport::apply_transition(const ord::Transition& t, std::uint64_t 
   const int tag = message_tag(step);
   const bool low_side = (hc_.node() & (cube::Node{1} << t.link)) == 0;
   if (!t.division) {
-    const net::Payload got = hc_.exchange(t.link, node_.mobile().serialize(), tag);
-    node_.install_mobile(ColumnBlock::deserialize(got));
+    node_.mobile().serialize_into(send_scratch_);
+    const net::Payload got = hc_.exchange(t.link, send_scratch_, tag);
+    node_.mobile().assign_from(got);
   } else if (low_side) {
-    hc_.send(t.link, node_.mobile().serialize(), tag);
-    node_.install_mobile(ColumnBlock::deserialize(hc_.recv(t.link, tag)));
+    node_.mobile().serialize_into(send_scratch_);
+    hc_.send(t.link, send_scratch_, tag);
+    node_.mobile().assign_from(hc_.recv(t.link, tag));
   } else {
-    hc_.send(t.link, node_.fixed().serialize(), tag);
+    node_.fixed().serialize_into(send_scratch_);
+    hc_.send(t.link, send_scratch_, tag);
     node_.promote_mobile_to_fixed();  // kept mobile becomes the new fixed
-    node_.install_mobile(ColumnBlock::deserialize(hc_.recv(t.link, tag)));
+    node_.mobile().assign_from(hc_.recv(t.link, tag));
   }
 }
 
 std::vector<double> MpiLiteTransport::allreduce_sum(std::vector<double> values) {
   return net::allreduce_sum(hc_.raw(), values);
+}
+
+void MpiLiteTransport::allreduce_sum(std::span<double> values) {
+  net::allreduce_sum_inplace(hc_.raw(), values);
 }
 
 SweepStats MpiLiteTransport::run_phase(const PhaseContext& ctx) {
@@ -57,25 +66,27 @@ SweepStats MpiLiteTransport::run_phase(const PhaseContext& ctx) {
   };
 
   // Step 0: pair own mobile's packets and launch them.
-  std::vector<ColumnBlock> packets = node_.mobile().split(q_);
-  for (ColumnBlock& pkt : packets) {
+  node_.mobile().split_into(q_, split_scratch_);
+  for (ColumnBlock& pkt : split_scratch_) {
     stats += node_.pair_fixed_with(pkt, ctx.threshold);
-    hc_.send(link_of(0), pkt.serialize(), tag_of(0));
+    pkt.serialize_into(send_scratch_);
+    hc_.send(link_of(0), send_scratch_, tag_of(0));
   }
   // Steps 1..K-1: receive, pair, forward.
   for (std::size_t t = 1; t < k; ++t) {
     for (std::uint64_t pi = 0; pi < q_; ++pi) {
-      ColumnBlock pkt = ColumnBlock::deserialize(hc_.recv(link_of(t - 1), tag_of(t - 1)));
-      stats += node_.pair_fixed_with(pkt, ctx.threshold);
-      hc_.send(link_of(t), pkt.serialize(), tag_of(t));
+      packet_scratch_.assign_from(hc_.recv(link_of(t - 1), tag_of(t - 1)));
+      stats += node_.pair_fixed_with(packet_scratch_, ctx.threshold);
+      packet_scratch_.serialize_into(send_scratch_);
+      hc_.send(link_of(t), send_scratch_, tag_of(t));
     }
   }
   // Collect the block arriving through the phase's final transition.
-  std::vector<ColumnBlock> incoming;
-  incoming.reserve(q_);
+  incoming_scratch_.resize(q_);
   for (std::uint64_t pi = 0; pi < q_; ++pi)
-    incoming.push_back(ColumnBlock::deserialize(hc_.recv(link_of(k - 1), tag_of(k - 1))));
-  node_.install_mobile(ColumnBlock::merge(incoming));
+    incoming_scratch_[pi].assign_from(hc_.recv(link_of(k - 1), tag_of(k - 1)));
+  ColumnBlock::merge_into(incoming_scratch_, merge_scratch_);
+  std::swap(node_.mobile(), merge_scratch_);  // old mobile becomes next merge scratch
   return stats;
 }
 

@@ -42,6 +42,7 @@ class MpiLiteTransport : public Transport {
   void apply_transition(const ord::Transition& t, std::uint64_t step) override;
 
   std::vector<double> allreduce_sum(std::vector<double> values) override;
+  void allreduce_sum(std::span<double> values) override;
 
   /// Pipelined exchange phases when q >= 1; the base implementation
   /// otherwise.
@@ -55,6 +56,17 @@ class MpiLiteTransport : public Transport {
   BlockLayout layout_;
   JacobiNode node_;
   std::uint64_t q_;
+
+  // Scratch arenas of the steady-state sweep loop. Serialization,
+  // packetization, and merge all reuse these buffers across steps and
+  // sweeps, so after the first exchange of a solve the transport itself
+  // performs no allocations (the mailbox still copies message payloads --
+  // that is the wire, not the endpoint).
+  net::Payload send_scratch_;
+  ColumnBlock packet_scratch_;
+  std::vector<ColumnBlock> split_scratch_;
+  std::vector<ColumnBlock> incoming_scratch_;
+  ColumnBlock merge_scratch_;
 };
 
 /// Shared executor core of solve_mpi / solve_mpi_pipelined: spins up an

@@ -68,19 +68,25 @@ SweepStats SimTransport::run_phase(const PhaseContext& ctx) {
   return stats;
 }
 
-std::vector<double> SimTransport::allreduce_sum(std::vector<double> values) {
+void SimTransport::charge_vote(std::size_t num_values) {
   // Single owner: the values already are the global sums; charge the
   // recursive-doubling vote the distributed run would pay.
   const double before = clock_.makespan;
-  const double elems = static_cast<double>(values.size());
+  const double elems = static_cast<double>(num_values);
   for (int bit = 0; bit < dimension(); ++bit) {
     const std::vector<sim::NodeStage> stage(nodes_.size(),
                                             sim::NodeStage{{cube::Link{bit}, elems}});
     network_.accumulate_stage(stage, clock_);
   }
   vote_time_ += clock_.makespan - before;
+}
+
+std::vector<double> SimTransport::allreduce_sum(std::vector<double> values) {
+  charge_vote(values.size());
   return values;
 }
+
+void SimTransport::allreduce_sum(std::span<double> values) { charge_vote(values.size()); }
 
 SimSolveResult solve_sim(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                          const SimSolveOptions& opts) {

@@ -52,6 +52,7 @@ class SimTransport : public InlineTransport {
   void apply_transition(const ord::Transition& t, std::uint64_t step) override;
   SweepStats run_phase(const PhaseContext& ctx) override;
   std::vector<double> allreduce_sum(std::vector<double> values) override;
+  void allreduce_sum(std::span<double> values) override;
 
   double modeled_time() const noexcept { return clock_.makespan; }
   double vote_time() const noexcept { return vote_time_; }
@@ -59,6 +60,8 @@ class SimTransport : public InlineTransport {
   const sim::SimResult& clock() const noexcept { return clock_; }
 
  private:
+  void charge_vote(std::size_t num_values);
+
   sim::Network network_;
   std::uint64_t pipelined_q_;
   sim::SimResult clock_;

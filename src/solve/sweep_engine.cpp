@@ -1,5 +1,6 @@
 #include "solve/sweep_engine.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -13,9 +14,9 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
   JMH_REQUIRE(ordering.dimension() == transport.dimension(),
               "ordering/transport dimension mismatch");
 
-  double local_frob2 = 0.0;
-  transport.visit_nodes([&](JacobiNode& node) { local_frob2 += node.frobenius_squared(); });
-  const double frob2 = transport.allreduce_sum({local_frob2})[0];
+  double frob2 = 0.0;
+  transport.visit_nodes([&](JacobiNode& node) { frob2 += node.frobenius_squared(); });
+  transport.allreduce_sum(std::span<double>(&frob2, 1));
 
   const std::size_t steps_per_sweep = ordering.steps_per_sweep();
   EngineResult out;
@@ -31,8 +32,9 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
       stats += transport.run_phase(
           {phase, transitions, sweep, steps_per_sweep, opts.threshold});
 
-    const std::vector<double> global =
-        transport.allreduce_sum({static_cast<double>(stats.rotations), stats.off2});
+    // The vote is a fixed two-scalar array: no per-sweep vector allocation.
+    std::array<double, 2> global = {static_cast<double>(stats.rotations), stats.off2};
+    transport.allreduce_sum(std::span<double>(global));
     total_rotations += global[0];
     if (opts.stop_rule == StopRule::NoRotations) {
       if (global[0] == 0.0) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "la/onesided_jacobi.hpp"
@@ -97,6 +98,13 @@ class Transport {
   /// everywhere (the convergence vote). Identity for single-owner
   /// transports.
   virtual std::vector<double> allreduce_sum(std::vector<double> values) = 0;
+
+  /// Small-fixed-array overload: sums @p values in place across all
+  /// endpoints. The per-sweep convergence vote (two scalars) goes through
+  /// this so the steady-state sweep loop allocates no vote vectors;
+  /// single-owner transports override it to a pure identity. The default
+  /// round-trips through the vector overload.
+  virtual void allreduce_sum(std::span<double> values);
 
   /// Executes one phase: default = per step, inter-block pairings on every
   /// owned node followed by the step's transition. Transports override to

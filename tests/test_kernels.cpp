@@ -1,0 +1,207 @@
+// The fused kernels (la/kernels.hpp) against their naive references.
+//
+// gram3's accumulation order is pinned by contract (4 lanes, tail into
+// lane 0, (l0+l1)+(l2+l3) combine), so a scalar transcription of that
+// contract must match the library kernel BIT-FOR-BIT -- the library builds
+// with -ffp-contract=off precisely so vectorization cannot change
+// rounding. fused_rotate is elementwise, so it must match two consecutive
+// apply_rotation calls bit-for-bit with no caveats.
+//
+// This file also smoke-tests the allocation-free serialize path: the
+// global operator new is instrumented (per-TU override, counting only), so
+// steady-state serialize_into / assign_from / split_into / merge_into
+// round trips can be asserted to allocate nothing.
+#include "la/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "la/rotation.hpp"
+#include "la/sym_gen.hpp"
+#include "solve/block_layout.hpp"
+#include "solve/jacobi_node.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace jmh::la {
+namespace {
+
+// Scalar transcription of gram3's pinned accumulation order.
+kernels::Gram gram3_reference(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double xx[4] = {0, 0, 0, 0}, yy[4] = {0, 0, 0, 0}, xy[4] = {0, 0, 0, 0};
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      xx[k] += x[r + k] * x[r + k];
+      yy[k] += y[r + k] * y[r + k];
+      xy[k] += x[r + k] * y[r + k];
+    }
+  }
+  for (; r < n; ++r) {
+    xx[0] += x[r] * x[r];
+    yy[0] += y[r] * y[r];
+    xy[0] += x[r] * y[r];
+  }
+  kernels::Gram g;
+  g.xx = (xx[0] + xx[1]) + (xx[2] + xx[3]);
+  g.yy = (yy[0] + yy[1]) + (yy[2] + yy[3]);
+  g.xy = (xy[0] + xy[1]) + (xy[2] + xy[3]);
+  return g;
+}
+
+std::vector<double> random_column(std::size_t n, Xoshiro256& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+// Sizes chosen to exercise every unroll-tail length (n % 4 in {0,1,2,3})
+// at small, vector-width, and cache-relevant scales.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 100, 1021, 1024};
+
+TEST(GramKernel, MatchesPinnedOrderReferenceBitForBit) {
+  Xoshiro256 rng(11);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_column(n, rng);
+    const auto y = random_column(n, rng);
+    const kernels::Gram got = kernels::gram3(x.data(), y.data(), n);
+    const kernels::Gram want = gram3_reference(x, y);
+    EXPECT_EQ(got.xx, want.xx) << "n=" << n;
+    EXPECT_EQ(got.yy, want.yy) << "n=" << n;
+    EXPECT_EQ(got.xy, want.xy) << "n=" << n;
+  }
+}
+
+TEST(GramKernel, AgreesWithSequentialDot) {
+  // Different accumulation order than la::dot, so equality is approximate:
+  // both are within a few ulps of the exact sum.
+  Xoshiro256 rng(13);
+  for (const std::size_t n : kSizes) {
+    if (n == 0) continue;
+    const auto x = random_column(n, rng);
+    const auto y = random_column(n, rng);
+    const kernels::Gram g = kernels::gram3(x.data(), y.data(), n);
+    const double tol = 1e-13 * static_cast<double>(n);
+    EXPECT_NEAR(g.xx, dot(x, x), tol * g.xx);
+    EXPECT_NEAR(g.yy, dot(y, y), tol * g.yy);
+    EXPECT_NEAR(g.xy, dot(x, y), tol * (std::abs(g.xy) + 1.0));
+  }
+}
+
+TEST(FusedRotate, MatchesTwoApplyRotationsBitForBit) {
+  Xoshiro256 rng(17);
+  const double c = 0.8, s = 0.6;
+  for (const std::size_t n : kSizes) {
+    auto bi = random_column(n, rng), bj = random_column(n, rng);
+    auto vi = random_column(n, rng), vj = random_column(n, rng);
+    auto bi_ref = bi, bj_ref = bj, vi_ref = vi, vj_ref = vj;
+
+    kernels::fused_rotate(bi.data(), bj.data(), vi.data(), vj.data(), n, c, s);
+    apply_rotation(bi_ref, bj_ref, c, s);
+    apply_rotation(vi_ref, vj_ref, c, s);
+
+    EXPECT_EQ(bi, bi_ref) << "n=" << n;
+    EXPECT_EQ(bj, bj_ref) << "n=" << n;
+    EXPECT_EQ(vi, vi_ref) << "n=" << n;
+    EXPECT_EQ(vj, vj_ref) << "n=" << n;
+  }
+}
+
+TEST(FusedPairing, PairColumnsStatsComposesTheKernels) {
+  // pair_columns_stats must be exactly gram3 -> compute_rotation ->
+  // fused_rotate; no hidden extra arithmetic.
+  Xoshiro256 rng(19);
+  for (const std::size_t n : {5ul, 16ul, 33ul}) {
+    auto bi = random_column(n, rng), bj = random_column(n, rng);
+    auto vi = random_column(n, rng), vj = random_column(n, rng);
+    auto bi2 = bi, bj2 = bj, vi2 = vi, vj2 = vj;
+
+    const PairOutcome o = pair_columns_stats(bi, bj, vi, vj, 1e-14);
+
+    const kernels::Gram g = kernels::gram3(bi2.data(), bj2.data(), n);
+    EXPECT_EQ(o.bii, g.xx);
+    EXPECT_EQ(o.bjj, g.yy);
+    EXPECT_EQ(o.bij, g.xy);
+    const RotationDecision d = compute_rotation(g.xx, g.yy, g.xy, 1e-14);
+    ASSERT_EQ(o.rotated, d.rotate);
+    if (d.rotate)
+      kernels::fused_rotate(bi2.data(), bj2.data(), vi2.data(), vj2.data(), n, d.c, d.s);
+    EXPECT_EQ(bi, bi2);
+    EXPECT_EQ(bj, bj2);
+    EXPECT_EQ(vi, vi2);
+    EXPECT_EQ(vj, vj2);
+  }
+}
+
+}  // namespace
+}  // namespace jmh::la
+
+namespace jmh::solve {
+namespace {
+
+ColumnBlock sample_block(std::size_t m) {
+  Xoshiro256 rng(23);
+  const la::Matrix a = la::random_uniform_symmetric(m, rng);
+  const BlockLayout layout(m, 2);
+  return extract_block(a, layout, 1);
+}
+
+TEST(AllocationFree, SteadyStateSerializeRoundTrip) {
+  const ColumnBlock blk = sample_block(32);
+  net::Payload buf;
+  ColumnBlock back;
+  // Warm-up sizes every buffer; steady state must then reuse capacity.
+  blk.serialize_into(buf);
+  back.assign_from(buf);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 32; ++i) {
+    blk.serialize_into(buf);
+    back.assign_from(buf);
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+      << "serialize_into/assign_from allocated in steady state";
+  EXPECT_EQ(back.cols, blk.cols);
+  EXPECT_EQ(back.b, blk.b);
+  EXPECT_EQ(back.v, blk.v);
+}
+
+TEST(AllocationFree, SteadyStateSplitMerge) {
+  const ColumnBlock blk = sample_block(32);
+  std::vector<ColumnBlock> packets;
+  ColumnBlock merged;
+  blk.split_into(4, packets);
+  ColumnBlock::merge_into(packets, merged);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 32; ++i) {
+    blk.split_into(4, packets);
+    ColumnBlock::merge_into(packets, merged);
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+      << "split_into/merge_into allocated in steady state";
+  EXPECT_EQ(merged.cols, blk.cols);
+  EXPECT_EQ(merged.b, blk.b);
+  EXPECT_EQ(merged.v, blk.v);
+}
+
+}  // namespace
+}  // namespace jmh::solve

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_micro JSON against a committed baseline.
+
+Compares google-benchmark JSON outputs case by case and fails (exit 1) when
+any hot case regresses beyond the allowed fraction:
+
+    regression = fresh_time / baseline_time - 1  >  --max-regression
+
+Usage:
+    bench_micro --benchmark_out=fresh.json --benchmark_out_format=json \
+                --benchmark_filter='...'
+    tools/bench_compare.py BENCH_kernels.json fresh.json
+
+Only cases matching --filter (default: the named hot kernels of PERF.md)
+and present in BOTH files are gated; everything else is reported
+informationally. Baselines are machine-specific: gate with the default 15%
+only against a baseline recorded on the same machine (see PERF.md). Across
+machines (e.g. CI runners vs the baseline host) use a coarse
+--max-regression to catch order-of-magnitude regressions -- an accidental
+O(n^2) or a reintroduced per-step allocation -- rather than micro drift.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# The hot cases this repo's perf work is gated on (PERF.md). BM_GramKernel
+# and BM_BlockSerializeInto price the two fused paths directly;
+# BM_RotationKernel and the solve benches are the headline numbers.
+DEFAULT_FILTER = (
+    r"^(BM_RotationKernel|BM_GramKernel|BM_InlineSolve|BM_MpiSolve(Pipelined)?|"
+    r"BM_BlockSerializeInto|BM_BlockSerializeRoundtrip|BM_SequentialCyclicSolve)/"
+)
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_cases(path):
+    """name -> real_time in ns, aggregates (mean/median/stddev rows) skipped."""
+    with open(path) as f:
+        doc = json.load(f)
+    cases = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS[b.get("time_unit", "ns")]
+        cases[b["name"]] = float(b["real_time"]) * unit
+    return cases
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="committed baseline JSON (e.g. BENCH_kernels.json)")
+    ap.add_argument("fresh", help="freshly recorded bench_micro JSON")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="allowed fractional slowdown on gated cases (default 0.15)")
+    ap.add_argument("--filter", default=DEFAULT_FILTER,
+                    help="regex naming the gated hot cases (default: PERF.md hot set)")
+    args = ap.parse_args()
+
+    base = load_cases(args.baseline)
+    fresh = load_cases(args.fresh)
+    gate = re.compile(args.filter)
+
+    rows = []
+    failures = []
+    for name in sorted(set(base) & set(fresh)):
+        ratio = fresh[name] / base[name] if base[name] > 0 else float("inf")
+        gated = bool(gate.search(name))
+        rows.append((name, base[name], fresh[name], ratio, gated))
+        if gated and ratio - 1.0 > args.max_regression:
+            failures.append((name, ratio))
+
+    if not rows:
+        print("bench_compare: no common cases between baseline and fresh run", file=sys.stderr)
+        return 2
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'case':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>7}  gated")
+    for name, b, f, ratio, gated in rows:
+        print(f"{name:<{width}}  {b:>10.0f}ns  {f:>10.0f}ns  {ratio:>6.2f}x  {'*' if gated else ''}")
+
+    gated_missing = [n for n in base if gate.search(n) and n not in fresh]
+    if gated_missing:
+        print(f"\nWARNING: gated cases missing from fresh run: {', '.join(sorted(gated_missing))}",
+              file=sys.stderr)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} hot case(s) regressed beyond "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+
+    print(f"\nOK: no gated case regressed beyond {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
