@@ -19,6 +19,7 @@
 #include "sim/programs.hpp"
 #include "solve/parallel_jacobi.hpp"
 #include "solve/pipelined_executor.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -253,6 +254,41 @@ void BM_BlockSerializeInto(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size() * 8));
 }
 BENCHMARK(BM_BlockSerializeInto)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- svc: service throughput vs worker count ---------------------------------
+// The serving-layer headline: a same-spec inline workload (the cache-hot,
+// compute-bound case) pushed through the SolverService at 1/2/4 workers.
+// Real time is the metric -- the work happens on the pool, not the bench
+// thread. Per-iteration cost includes service construction + teardown, so
+// kJobs is large enough that steady-state solving dominates.
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  constexpr std::size_t kJobs = 32;
+  const std::string spec = "backend=inline,ordering=d4,m=32,d=2";
+  std::vector<jmh::la::Matrix> matrices;
+  for (std::uint64_t seed = 1; seed <= kJobs; ++seed) {
+    jmh::Xoshiro256 rng(seed);
+    matrices.push_back(jmh::la::random_uniform_symmetric(32, rng));
+  }
+  for (auto _ : state) {
+    jmh::svc::ServiceConfig cfg;
+    cfg.workers = static_cast<std::size_t>(state.range(0));
+    cfg.queue_capacity = kJobs;
+    cfg.cache_capacity = 4;
+    jmh::svc::SolverService service(cfg);
+    std::vector<std::future<jmh::api::SolveReport>> futures;
+    futures.reserve(kJobs);
+    for (const auto& a : matrices) futures.push_back(service.submit(spec, a));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kJobs));
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_SequentialCyclicSolve(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

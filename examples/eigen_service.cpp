@@ -1,0 +1,194 @@
+// eigen_service: replay a workload of spec strings + seeds through the
+// svc::SolverService and print a throughput/latency report -- the repo's
+// "serve heavy traffic" harness in one binary.
+//
+//   $ ./eigen_service [--workload FILE] [--workers N] [--queue N] [--cache N]
+//                     [--coalesce N] [--repeat K] [--shed] [--json]
+//
+//     --workload FILE  replayable workload: one job per line,
+//                        <seed> <spec-string>
+//                      '#' starts a comment, blank lines are skipped
+//                      (default: a built-in mixed-scenario workload)
+//     --workers N      service worker threads (default: hardware pick)
+//     --queue N        JobQueue capacity -- the backpressure bound (default 64)
+//     --cache N        PlanCache capacity (default 32)
+//     --coalesce N     max same-spec jobs coalesced per worker pull (default 4)
+//     --repeat K       replay the workload K times (default 1)
+//     --shed           use try_submit and count shed jobs instead of blocking
+//     --json           also print one api::report_to_json line per job, in
+//                      submission order
+//
+// Exit status: 0 iff every job was served and converged.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "common/rng.hpp"
+#include "la/sym_gen.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+struct WorkItem {
+  std::uint64_t seed = 0;
+  std::string spec;
+};
+
+// The default mixed workload: repeated scenarios (so the plan cache pays
+// off) across all three backends, sized to finish in seconds.
+std::vector<WorkItem> builtin_workload() {
+  std::vector<WorkItem> items;
+  const std::vector<std::string> specs = {
+      "backend=inline,ordering=d4,m=32,d=2",
+      "backend=inline,ordering=minalpha,m=32,d=2,pipeline=auto",
+      "backend=mpi,ordering=d4,m=16,d=2",
+      "backend=sim,ordering=pbr,m=24,d=2,pipeline=auto",
+  };
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    for (const std::string& spec : specs) items.push_back({seed, spec});
+  return items;
+}
+
+std::vector<WorkItem> load_workload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "eigen_service: cannot open workload file '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<WorkItem> items;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // A non-blank line MUST parse: silently dropping a typo'd job would
+    // let the driver exit 0 while claiming every job was served.
+    std::istringstream ls(line);
+    WorkItem item;
+    if (!(ls >> item.seed >> item.spec)) {
+      std::fprintf(stderr, "eigen_service: %s:%zu: expected '<seed> <spec>'\n", path.c_str(),
+                   lineno);
+      std::exit(2);
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jmh;
+  using Clock = std::chrono::steady_clock;
+
+  std::string workload_path;
+  svc::ServiceConfig cfg;
+  cfg.queue_capacity = 64;
+  cfg.cache_capacity = 32;
+  cfg.max_coalesce = 4;
+  int repeat = 1;
+  bool shed = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next_arg = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "eigen_service: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) workload_path = next_arg("--workload");
+    else if (!std::strcmp(argv[i], "--workers"))
+      cfg.workers = static_cast<std::size_t>(std::atoll(next_arg("--workers")));
+    else if (!std::strcmp(argv[i], "--queue"))
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(next_arg("--queue")));
+    else if (!std::strcmp(argv[i], "--cache"))
+      cfg.cache_capacity = static_cast<std::size_t>(std::atoll(next_arg("--cache")));
+    else if (!std::strcmp(argv[i], "--coalesce"))
+      cfg.max_coalesce = static_cast<std::size_t>(std::atoll(next_arg("--coalesce")));
+    else if (!std::strcmp(argv[i], "--repeat")) repeat = std::atoi(next_arg("--repeat"));
+    else if (!std::strcmp(argv[i], "--shed")) shed = true;
+    else if (!std::strcmp(argv[i], "--json")) json = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--workload FILE] [--workers N] [--queue N] [--cache N]\n"
+                   "          [--coalesce N] [--repeat K] [--shed] [--json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<WorkItem> base =
+      workload_path.empty() ? builtin_workload() : load_workload(workload_path);
+  if (base.empty()) {
+    std::fprintf(stderr, "eigen_service: empty workload\n");
+    return 2;
+  }
+
+  std::vector<WorkItem> items;
+  items.reserve(base.size() * static_cast<std::size_t>(std::max(1, repeat)));
+  for (int k = 0; k < std::max(1, repeat); ++k)
+    items.insert(items.end(), base.begin(), base.end());
+
+  svc::SolverService service(cfg);
+  std::vector<std::future<api::SolveReport>> futures;
+  futures.reserve(items.size());
+  std::size_t shed_jobs = 0;
+
+  const auto t0 = Clock::now();
+  for (const WorkItem& item : items) {
+    // The matrix order comes from the spec; a bad spec still gets submitted
+    // so the failure surfaces uniformly through the job's future.
+    std::size_t m = 32;
+    try {
+      m = api::SolverSpec::parse(item.spec).m;
+    } catch (const std::exception&) {
+    }
+    Xoshiro256 rng(item.seed);
+    la::Matrix a = la::random_uniform_symmetric(m, rng);
+    if (shed) {
+      auto f = service.try_submit(item.spec, std::move(a));
+      if (f) futures.push_back(std::move(*f));
+      else ++shed_jobs;
+    } else {
+      futures.push_back(service.submit(item.spec, std::move(a)));
+    }
+  }
+  service.drain();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::size_t served = 0;
+  std::size_t failed = 0;
+  std::size_t unconverged = 0;
+  for (auto& f : futures) {
+    try {
+      const api::SolveReport r = f.get();
+      ++served;
+      if (!r.converged) ++unconverged;
+      if (json) std::printf("%s\n", api::report_to_json(r).c_str());
+    } catch (const std::exception& e) {
+      ++failed;
+      std::fprintf(stderr, "job failed: %s\n", e.what());
+    }
+  }
+
+  const svc::Metrics m = service.metrics();
+  std::printf("workload : %zu jobs (%zu scenarios x %d replays)%s\n", items.size(),
+              base.size(), std::max(1, repeat), shed ? " [shedding]" : "");
+  std::printf("%s", m.summary().c_str());
+  std::printf("wall     : %.3fs  ->  %.1f jobs/s\n", wall_s,
+              wall_s > 0 ? static_cast<double>(served) / wall_s : 0.0);
+  if (shed) std::printf("shed     : %zu jobs rejected at admission\n", shed_jobs);
+  if (failed || unconverged)
+    std::printf("errors   : %zu failed, %zu unconverged\n", failed, unconverged);
+
+  return failed == 0 && unconverged == 0 ? 0 : 1;
+}

@@ -2,13 +2,16 @@
 // (backend, ordering, problem size, pipelining, machine model, convergence
 // knobs); the run prints the unified api::SolveReport.
 //
-//   $ ./eigensolver_cli [--spec "key=value,..."] [--seed N] [--check]
+//   $ ./eigensolver_cli [--spec "key=value,..."] [--seed N] [--check] [--json]
 //
 //     --spec   scenario, e.g. "backend=sim,ordering=minalpha,m=64,d=3,
 //              pipeline=auto" (default "backend=mpi,ordering=d4,m=32,d=3";
 //              see api/spec.hpp for the full grammar)
 //     --seed   RNG seed for the random symmetric test matrix (default 42)
 //     --check  cross-check eigenpairs against the sequential reference
+//     --json   print the one-line api::report_to_json rendering instead of
+//              the human report (stable field set; for scripts and the
+//              service workload driver's tooling)
 //
 // Exit status: 0 iff the solve converged (and, with --check, matches the
 // reference).
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
   std::string spec_text = "backend=mpi,ordering=d4,m=32,d=3";
   std::uint64_t seed = 42;
   bool check = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--spec") && i + 1 < argc) {
       spec_text = argv[++i];
@@ -38,8 +42,11 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (!std::strcmp(argv[i], "--check")) {
       check = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--spec \"key=value,...\"] [--seed N] [--check]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--spec \"key=value,...\"] [--seed N] [--check] [--json]\n",
                    argv[0]);
       return 2;
     }
@@ -56,7 +63,7 @@ int main(int argc, char** argv) {
   Xoshiro256 rng(seed);
   const la::Matrix a = la::random_uniform_symmetric(spec.m, rng);
 
-  std::printf("spec    : %s\n", spec.to_string().c_str());
+  if (!json) std::printf("spec    : %s\n", spec.to_string().c_str());
 
   api::SolvePlan plan = [&] {
     try {
@@ -66,7 +73,7 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   }();
-  if (spec.pipelining == api::PipeliningPolicy::Auto)
+  if (!json && spec.pipelining == api::PipeliningPolicy::Auto)
     std::printf("plan    : auto pipelining degree q = %llu "
                 "(modeled %.4g time units/sweep of exchange comm)\n",
                 static_cast<unsigned long long>(plan.pipelining_q()),
@@ -84,12 +91,15 @@ int main(int argc, char** argv) {
   }();
   const double t_solve = std::chrono::duration<double>(Clock::now() - t0).count();
 
-  std::printf("%s", r.summary().c_str());
-  std::printf("walltime : %.3fs\n", t_solve);
+  if (!json) {
+    std::printf("%s", r.summary().c_str());
+    std::printf("walltime : %.3fs\n", t_solve);
+  }
 
   const double residual = la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors);
   const double orth = la::orthogonality_defect(r.eigenvectors);
-  std::printf("residual : %.2e   orthogonality defect: %.2e\n", residual, orth);
+  if (!json)
+    std::printf("residual : %.2e   orthogonality defect: %.2e\n", residual, orth);
 
   bool ok = r.converged && residual < 1e-8;
   if (check) {
@@ -97,9 +107,15 @@ int main(int argc, char** argv) {
     const la::JacobiResult ref = la::onesided_jacobi_cyclic(a);
     const double t_seq = std::chrono::duration<double>(Clock::now() - t1).count();
     const double gap = la::spectrum_distance(r.eigenvalues, ref.eigenvalues);
-    std::printf("check    : sequential ref %d sweeps in %.3fs, spectrum gap %.2e\n",
-                ref.sweeps, t_seq, gap);
+    if (!json)
+      std::printf("check    : sequential ref %d sweeps in %.3fs, spectrum gap %.2e\n",
+                  ref.sweeps, t_seq, gap);
     ok = ok && gap < 1e-7;
+  }
+
+  if (json) {
+    std::printf("%s\n", api::report_to_json(r).c_str());
+    return ok ? 0 : 1;
   }
 
   const std::size_t show = std::min<std::size_t>(3, r.eigenvalues.size());

@@ -50,4 +50,41 @@ std::string SolveReport::summary() const {
   return out;
 }
 
+std::string report_to_json(const SolveReport& report) {
+  char buf[128];
+  std::string out = "{";
+  auto field = [&](const char* key, const std::string& rendered, bool first = false) {
+    if (!first) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += rendered;
+  };
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  auto uint = [&](std::uint64_t v) { return std::to_string(v); };
+
+  field("backend", "\"" + api::to_string(report.backend) + "\"", /*first=*/true);
+  field("ordering", "\"" + ord::spec_token(report.ordering) + "\"");
+  field("m", uint(report.eigenvalues.size()));
+  field("pipeline_q", uint(report.pipelining_q));
+  field("converged", report.converged ? "true" : "false");
+  field("sweeps", std::to_string(report.sweeps));
+  field("rotations", uint(report.rotations));
+  field("spectrum_min", num(report.eigenvalues.empty() ? 0.0 : report.eigenvalues.front()));
+  field("spectrum_max", num(report.eigenvalues.empty() ? 0.0 : report.eigenvalues.back()));
+  field("comm_messages", uint(report.comm.messages));
+  field("comm_elements", uint(report.comm.elements));
+  field("comm_barriers", uint(report.comm.barriers));
+  field("has_model", report.has_model ? "true" : "false");
+  field("modeled_time", num(report.modeled_time));
+  field("vote_time", num(report.vote_time));
+  field("modeled_sweeps", std::to_string(report.modeled_sweeps));
+  field("mean_link_utilization", num(report.mean_link_utilization()));
+  out += '}';
+  return out;
+}
+
 }  // namespace jmh::api

@@ -51,4 +51,15 @@ struct SolveReport {
   std::string summary() const;
 };
 
+/// One-line JSON rendering of a report, for machine consumers (the CLI's
+/// --json mode, the service driver's per-job output). The field set and
+/// order are STABLE -- pinned by tests/test_api_facade.cpp -- and every key
+/// is always present (traffic/model fields are zero outside their backend):
+///   backend, ordering, m, pipeline_q, converged, sweeps, rotations,
+///   spectrum_min, spectrum_max, comm_messages, comm_elements,
+///   comm_barriers, has_model, modeled_time, vote_time, modeled_sweeps,
+///   mean_link_utilization
+/// Doubles print as %.17g (exact round trip); no whitespace, no newline.
+std::string report_to_json(const SolveReport& report);
+
 }  // namespace jmh::api

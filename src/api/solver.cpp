@@ -11,6 +11,10 @@
 #include "solve/parallel_jacobi.hpp"
 #include "solve/sim_transport.hpp"
 #include "solve/sweep_engine.hpp"
+// Sanctioned upward include (svc sits above api in the layer graph, see
+// ARCHITECTURE.md): solve_batch delegates to the service layer's pool so
+// batch solves run in parallel while staying bit-identical per matrix.
+#include "svc/service.hpp"
 
 namespace jmh::api {
 
@@ -117,10 +121,7 @@ SolveReport SolvePlan::solve(const la::Matrix& a) const {
 }
 
 std::vector<SolveReport> SolvePlan::solve_batch(const std::vector<la::Matrix>& as) const {
-  std::vector<SolveReport> reports;
-  reports.reserve(as.size());
-  for (const la::Matrix& a : as) reports.push_back(solve(a));
-  return reports;
+  return svc::solve_batch_parallel(*this, as);
 }
 
 SolvePlan Solver::plan(const SolverSpec& spec) {

@@ -48,7 +48,10 @@ class SolvePlan {
   SolveReport solve(const la::Matrix& a) const;
 
   /// Solves several matrices with one plan (the amortization the facade
-  /// exists for). Reports are returned in input order.
+  /// exists for). Runs on the svc layer's transient worker pool, so batch
+  /// throughput scales with cores; each report is bit-identical to a
+  /// sequential solve() of the same matrix, and reports are returned in
+  /// input order.
   std::vector<SolveReport> solve_batch(const std::vector<la::Matrix>& as) const;
 
  private:

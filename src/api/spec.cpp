@@ -115,6 +115,20 @@ std::string SolverSpec::to_string() const {
 
 SolverSpec SolverSpec::parse(const std::string& text) {
   SolverSpec spec;
+  // A spec is a scenario NAME: silently letting a later duplicate win would
+  // give two canonical-looking strings different meanings, so duplicates
+  // are an error. One bit per known key keeps the check allocation-free
+  // (BM_SpecRoundTrip is a gated hot case).
+  enum KeyBit : std::uint32_t {
+    kBackend, kOrdering, kM, kD, kPipeline, kTs, kTw, kPorts, kOverlap,
+    kThreshold, kMaxSweeps, kStop, kOffTol, kShift,
+  };
+  std::uint32_t seen_keys = 0;
+  const auto mark_seen = [&](std::string_view key, KeyBit bit) {
+    const std::uint32_t mask = std::uint32_t{1} << bit;
+    if (seen_keys & mask) fail("duplicate key '" + std::string(key) + "'");
+    seen_keys |= mask;
+  };
   std::string_view rest = trim(text);
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');
@@ -132,20 +146,25 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       fail("token '" + std::string(token) + "' has an empty key or value");
 
     if (key == "backend") {
+      mark_seen(key, kBackend);
       if (!parse_backend(value, spec.backend))
         fail("unknown backend '" + value + "' (inline|mpi|sim)");
     } else if (key == "ordering") {
+      mark_seen(key, kOrdering);
       if (!ord::parse_ordering_kind(value, spec.ordering))
         fail("unknown ordering '" + value + "' (br|pbr|d4|minalpha)");
       if (spec.ordering == ord::OrderingKind::Custom)
         fail("ordering=custom needs programmatic sequences; use Solver::plan(spec, ordering)");
     } else if (key == "m") {
+      mark_seen(key, kM);
       spec.m = static_cast<std::size_t>(parse_uint(key, value));
       if (spec.m == 0) fail("m must be >= 1");
     } else if (key == "d") {
+      mark_seen(key, kD);
       spec.d = static_cast<int>(parse_uint(key, value));
       if (spec.d < 1) fail("d must be >= 1");
     } else if (key == "pipeline") {
+      mark_seen(key, kPipeline);
       if (value == "off") {
         spec.pipelining = PipeliningPolicy::Off;
       } else if (value == "auto") {
@@ -156,12 +175,15 @@ SolverSpec SolverSpec::parse(const std::string& text) {
         if (spec.q < 1) fail("pipeline=<q> needs q >= 1 (or off|auto)");
       }
     } else if (key == "ts") {
+      mark_seen(key, kTs);
       spec.machine.ts = parse_double(key, value);
       if (spec.machine.ts < 0.0) fail("ts must be >= 0");
     } else if (key == "tw") {
+      mark_seen(key, kTw);
       spec.machine.tw = parse_double(key, value);
       if (spec.machine.tw < 0.0) fail("tw must be >= 0");
     } else if (key == "ports") {
+      mark_seen(key, kPorts);
       if (value == "all") {
         spec.machine.ports = pipe::MachineParams::kAllPort;
       } else {
@@ -169,21 +191,27 @@ SolverSpec SolverSpec::parse(const std::string& text) {
         if (spec.machine.ports < 1) fail("ports must be >= 1 or 'all'");
       }
     } else if (key == "overlap") {
+      mark_seen(key, kOverlap);
       spec.overlap_startup = parse_bool(key, value);
     } else if (key == "threshold") {
+      mark_seen(key, kThreshold);
       spec.threshold = parse_double(key, value);
       if (spec.threshold <= 0.0) fail("threshold must be > 0");
     } else if (key == "max_sweeps") {
+      mark_seen(key, kMaxSweeps);
       spec.max_sweeps = static_cast<int>(parse_uint(key, value));
       if (spec.max_sweeps < 1) fail("max_sweeps must be >= 1");
     } else if (key == "stop") {
+      mark_seen(key, kStop);
       if (value == "norot") spec.stop_rule = solve::StopRule::NoRotations;
       else if (value == "offdiag") spec.stop_rule = solve::StopRule::OffDiagonal;
       else fail("unknown stop rule '" + value + "' (norot|offdiag)");
     } else if (key == "off_tol") {
+      mark_seen(key, kOffTol);
       spec.off_tol = parse_double(key, value);
       if (spec.off_tol <= 0.0) fail("off_tol must be > 0");
     } else if (key == "shift") {
+      mark_seen(key, kShift);
       spec.gershgorin_shift = parse_bool(key, value);
     } else {
       fail("unknown key '" + std::string(key) + "'");

@@ -30,4 +30,9 @@ class RunningStats {
 double mean_of(std::span<const double> xs) noexcept;
 double max_of(std::span<const double> xs) noexcept;
 
+/// The p-quantile (p in [0, 1]) of @p xs with linear interpolation between
+/// order statistics; 0 for an empty span. Copies and sorts internally --
+/// meant for snapshot-time summaries (latency p50/p90/p99), not hot loops.
+double quantile_of(std::span<const double> xs, double p);
+
 }  // namespace jmh

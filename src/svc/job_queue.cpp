@@ -1,0 +1,90 @@
+#include "svc/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace jmh::svc {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  JMH_REQUIRE(capacity >= 1, "JobQueue needs capacity >= 1");
+}
+
+bool JobQueue::push(Job& job) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [&] { return closed_ || jobs_.size() < capacity_; });
+  if (closed_) return false;
+  job.enqueued_at = std::chrono::steady_clock::now();
+  jobs_.push_back(std::move(job));
+  high_water_ = std::max(high_water_, jobs_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool JobQueue::try_push(Job& job) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_ || jobs_.size() >= capacity_) return false;
+    job.enqueued_at = std::chrono::steady_clock::now();
+    jobs_.push_back(std::move(job));
+    high_water_ = std::max(high_water_, jobs_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool JobQueue::pop(Job& out) {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return false;  // closed and drained
+  out = std::move(jobs_.front());
+  jobs_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+std::size_t JobQueue::pop_group(std::vector<Job>& out, std::size_t max_jobs) {
+  out.clear();
+  JMH_REQUIRE(max_jobs >= 1, "pop_group needs max_jobs >= 1");
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return 0;  // closed and drained
+  out.push_back(std::move(jobs_.front()));
+  jobs_.pop_front();
+  while (out.size() < max_jobs && !jobs_.empty() && jobs_.front().spec == out.front().spec) {
+    out.push_back(std::move(jobs_.front()));
+    jobs_.pop_front();
+  }
+  lock.unlock();
+  not_full_.notify_all();  // a group frees several slots
+  return out.size();
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+std::size_t JobQueue::high_water() const {
+  std::lock_guard lock(mu_);
+  return high_water_;
+}
+
+}  // namespace jmh::svc

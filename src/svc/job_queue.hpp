@@ -1,0 +1,81 @@
+// JobQueue: a bounded MPMC queue of solve jobs with backpressure.
+//
+// The unit of work is a Job: a spec string naming the scenario, the input
+// matrix, and the promise through which the worker delivers the
+// api::SolveReport. Producers choose their backpressure discipline --
+// push() blocks while the queue is full (admission control by waiting),
+// try_push() returns false instead (admission control by shedding).
+// Consumers pop one job, or a front run of same-spec jobs via pop_group()
+// so the service can coalesce them into one plan resolution / batch call.
+//
+// close() starts shutdown: no new jobs are admitted, but consumers keep
+// draining until the queue is empty, so every admitted promise is
+// fulfilled. All operations are thread-safe; FIFO order is preserved
+// (pop_group only ever takes a contiguous run from the front).
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "la/matrix.hpp"
+
+namespace jmh::svc {
+
+/// One unit of service work.
+struct Job {
+  std::string spec;                        ///< scenario as a spec string
+  la::Matrix matrix;                       ///< input (square, order spec.m)
+  std::promise<api::SolveReport> result;   ///< fulfilled by the worker
+  std::chrono::steady_clock::time_point enqueued_at{};  ///< set on admission
+};
+
+class JobQueue {
+ public:
+  /// @p capacity >= 1: max jobs resident before producers block / shed.
+  explicit JobQueue(std::size_t capacity);
+
+  /// Admits @p job, blocking while the queue is full. Returns false (and
+  /// leaves @p job untouched) iff the queue is closed.
+  bool push(Job& job);
+
+  /// Non-blocking admission. Returns false (and leaves @p job untouched)
+  /// when the queue is full or closed.
+  bool try_push(Job& job);
+
+  /// Pops the front job, blocking while the queue is empty and open.
+  /// Returns false iff the queue is closed and fully drained.
+  bool pop(Job& out);
+
+  /// Pops the front job plus up to @p max_jobs - 1 immediately following
+  /// jobs with the SAME spec string (a coalescable run) into @p out, which
+  /// is cleared first. Blocks like pop; returns the number of jobs taken
+  /// (0 iff closed and drained).
+  std::size_t pop_group(std::vector<Job>& out, std::size_t max_jobs);
+
+  /// Stops admission; consumers drain the remainder. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Max size() ever observed at admission time.
+  std::size_t high_water() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Job> jobs_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace jmh::svc

@@ -1,0 +1,57 @@
+#include "svc/plan_cache.hpp"
+
+#include <utility>
+
+namespace jmh::svc {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const api::SolvePlan> PlanCache::get(const api::SolverSpec& spec) {
+  const std::string key = spec.to_string();
+
+  if (capacity_ > 0) {
+    std::lock_guard lock(mu_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      return it->second.plan;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compile outside the lock: a slow ordering search (MinAlpha backtracking)
+  // must not serialize hits on unrelated keys.
+  auto plan = std::make_shared<const api::SolvePlan>(api::Solver::plan(spec));
+  if (capacity_ == 0) return plan;
+
+  std::lock_guard lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    // Lost a cold-key race; keep the incumbent so every holder shares one plan.
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.plan;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{plan, lru_.begin()});
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return plan;
+}
+
+std::shared_ptr<const api::SolvePlan> PlanCache::get(const std::string& spec_text) {
+  return get(api::SolverSpec::parse(spec_text));
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace jmh::svc

@@ -1,0 +1,70 @@
+// PlanCache: an LRU cache of compiled SolvePlans keyed by the canonical
+// SolverSpec::to_string() form.
+//
+// Solver::plan is the expensive half of the facade (ordering sequence
+// search, sweep schedule, auto pipelining optimization); plans are immutable
+// and thread-shareable by design. The cache lets every consumer that names
+// scenarios as spec strings -- the service, the CLI-driven workload driver,
+// batch replays -- pay that compilation once per distinct scenario:
+//
+//   PlanCache cache(64);
+//   auto plan = cache.get("backend=inline,ordering=minalpha,m=64,d=3");
+//   plan->solve(a);   // plan is shared_ptr<const SolvePlan>: hold it as
+//                     // long as needed, eviction cannot invalidate it
+//
+// Keys are canonicalized through SolverSpec::parse + to_string, so
+// "m=16,d=2" and "d=2, m=16" (and any default-spelled variant) hit the same
+// entry. Thread-safe; plan compilation runs OUTSIDE the lock, so a slow
+// MinAlpha search cannot stall readers of other entries (two threads racing
+// on the same cold key may both compile -- the loser's plan is dropped and
+// both get the winner's entry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/solver.hpp"
+
+namespace jmh::svc {
+
+class PlanCache {
+ public:
+  /// @p capacity = max resident plans; 0 disables caching (every get
+  /// compiles a fresh plan and counts a miss).
+  explicit PlanCache(std::size_t capacity);
+
+  /// The cached plan for @p spec, compiling and inserting on miss.
+  /// The returned pointer stays valid after eviction.
+  std::shared_ptr<const api::SolvePlan> get(const api::SolverSpec& spec);
+
+  /// Parses @p spec_text and resolves as above. Throws std::invalid_argument
+  /// on malformed text or infeasible specs (nothing is cached for them).
+  std::shared_ptr<const api::SolvePlan> get(const std::string& spec_text);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const api::SolvePlan> plan;
+    std::list<std::string>::iterator pos;  ///< position in lru_ (front = hottest)
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace jmh::svc

@@ -1,0 +1,250 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace jmh::svc {
+
+namespace {
+
+std::size_t pick_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 2;
+}
+
+}  // namespace
+
+std::string Metrics::summary() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "service  : %zu workers, queue %zu/%zu (high water %zu)\n", workers,
+                queue_depth, queue_capacity, queue_high_water);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "jobs     : %llu submitted, %llu done, %llu failed, %llu coalesced batches\n",
+                static_cast<unsigned long long>(jobs_submitted),
+                static_cast<unsigned long long>(jobs_done),
+                static_cast<unsigned long long>(jobs_failed),
+                static_cast<unsigned long long>(batches));
+  out += line;
+  std::snprintf(line, sizeof line, "plans    : %llu cache hits, %llu misses\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "latency  : mean %.3fms  p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms "
+                "(%llu jobs)\n",
+                1e3 * latency_mean_s, 1e3 * latency_p50_s, 1e3 * latency_p90_s,
+                1e3 * latency_p99_s, 1e3 * latency_max_s,
+                static_cast<unsigned long long>(latency_count));
+  out += line;
+  return out;
+}
+
+SolverService::SolverService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      queue_(config.queue_capacity) {
+  config_.workers = pick_workers(config.workers);
+  config_.max_coalesce = std::max<std::size_t>(1, config_.max_coalesce);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+std::future<api::SolveReport> SolverService::submit(std::string spec_text, la::Matrix a) {
+  Job job{std::move(spec_text), std::move(a), {}, {}};
+  std::future<api::SolveReport> future = job.result.get_future();
+  {
+    std::lock_guard lock(state_mu_);
+    ++submitted_;
+  }
+  if (!queue_.push(job)) {
+    // Closed: the job never entered the queue; fail it here. Fulfill the
+    // promise BEFORE counting the failure (the worker's order too), so
+    // drain() returning implies every future is ready.
+    job.result.set_exception(
+        std::make_exception_ptr(std::runtime_error("SolverService is shut down")));
+    record_failed();
+  }
+  return future;
+}
+
+std::optional<std::future<api::SolveReport>> SolverService::try_submit(std::string spec_text,
+                                                                       la::Matrix a) {
+  Job job{std::move(spec_text), std::move(a), {}, {}};
+  std::future<api::SolveReport> future = job.result.get_future();
+  {
+    std::lock_guard lock(state_mu_);
+    ++submitted_;
+  }
+  if (!queue_.try_push(job)) {
+    {
+      std::lock_guard lock(state_mu_);
+      --submitted_;  // shed before admission: not part of the drain set
+    }
+    idle_cv_.notify_all();  // the drain predicate just got easier to meet
+    return std::nullopt;
+  }
+  return future;
+}
+
+void SolverService::drain() {
+  std::unique_lock lock(state_mu_);
+  idle_cv_.wait(lock, [&] { return done_ + failed_ >= submitted_; });
+}
+
+void SolverService::shutdown() {
+  {
+    std::lock_guard lock(state_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();  // workers drain the remainder, then exit
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void SolverService::record_done(double latency_s) {
+  {
+    std::lock_guard lock(state_mu_);
+    ++done_;
+    latency_stats_.add(latency_s);
+    // Quantiles come from a bounded ring of recent completions, so a
+    // long-running service neither grows without bound nor sorts its whole
+    // history per metrics() call.
+    if (latency_window_.size() < kLatencyWindow) {
+      latency_window_.push_back(latency_s);
+    } else {
+      latency_window_[latency_next_] = latency_s;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+  }
+  idle_cv_.notify_all();
+}
+
+void SolverService::record_failed() {
+  {
+    std::lock_guard lock(state_mu_);
+    ++failed_;
+  }
+  idle_cv_.notify_all();
+}
+
+void SolverService::worker_loop() {
+  std::vector<Job> group;
+  while (queue_.pop_group(group, config_.max_coalesce) > 0) {
+    std::shared_ptr<const api::SolvePlan> plan;
+    try {
+      plan = cache_.get(group.front().spec);  // one resolution per group
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Job& job : group) {
+        job.result.set_exception(error);
+        record_failed();
+      }
+      continue;
+    }
+    if (group.size() > 1) {
+      std::lock_guard lock(state_mu_);
+      ++batches_;
+    }
+    // The coalesced run executes as a sequential batch on this worker --
+    // the pool provides the parallelism; per-matrix numerics are exactly
+    // plan.solve, so results are bit-identical to direct calls.
+    for (Job& job : group) {
+      try {
+        api::SolveReport report = plan->solve(job.matrix);
+        const double latency_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - job.enqueued_at)
+                .count();
+        job.result.set_value(std::move(report));
+        record_done(latency_s);
+      } catch (...) {
+        job.result.set_exception(std::current_exception());
+        record_failed();
+      }
+    }
+  }
+}
+
+Metrics SolverService::metrics() const {
+  Metrics m;
+  std::vector<double> window;
+  {
+    std::lock_guard lock(state_mu_);
+    m.jobs_submitted = submitted_;
+    m.jobs_done = done_;
+    m.jobs_failed = failed_;
+    m.batches = batches_;
+    m.latency_count = latency_stats_.count();
+    m.latency_mean_s = latency_stats_.count() > 0 ? latency_stats_.mean() : 0.0;
+    m.latency_max_s = latency_stats_.count() > 0 ? latency_stats_.max() : 0.0;
+    window = latency_window_;  // bounded copy; sort outside the lock
+  }
+  m.latency_p50_s = quantile_of(window, 0.50);
+  m.latency_p90_s = quantile_of(window, 0.90);
+  m.latency_p99_s = quantile_of(window, 0.99);
+  m.cache_hits = cache_.hits();
+  m.cache_misses = cache_.misses();
+  m.queue_depth = queue_.size();
+  m.queue_high_water = queue_.high_water();
+  m.queue_capacity = queue_.capacity();
+  m.workers = config_.workers;
+  return m;
+}
+
+std::vector<api::SolveReport> solve_batch_parallel(const api::SolvePlan& plan,
+                                                   const std::vector<la::Matrix>& as,
+                                                   std::size_t workers) {
+  std::vector<api::SolveReport> reports(as.size());
+  if (as.empty()) return reports;
+  const std::size_t pool = std::min(pick_workers(workers), as.size());
+
+  // Error semantics must not depend on the pool size (the auto pick varies
+  // by machine): every matrix is attempted, and the exception rethrown is
+  // the LOWEST-INDEX failure, not whichever finished first in wall-clock.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = as.size();
+  auto solve_one = [&](std::size_t i) {
+    try {
+      reports[i] = plan.solve(as[i]);
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (i < first_error_index) {
+        first_error_index = i;
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (pool <= 1) {
+    for (std::size_t i = 0; i < as.size(); ++i) solve_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto run = [&] {
+      for (std::size_t i = next.fetch_add(1); i < as.size(); i = next.fetch_add(1))
+        solve_one(i);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(run);
+    for (std::thread& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return reports;
+}
+
+}  // namespace jmh::svc

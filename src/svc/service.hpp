@@ -1,0 +1,148 @@
+// SolverService: the serving layer -- a worker pool over a bounded JobQueue
+// with a shared PlanCache, turning the facade's one-at-a-time SolvePlan
+// into a concurrent throughput system.
+//
+//   svc::SolverService service({.workers = 4});
+//   auto f = service.submit("backend=inline,ordering=d4,m=32,d=2", a);
+//   api::SolveReport r = f.get();         // bit-identical to plan.solve(a)
+//   service.metrics();                    // jobs, cache hits, latency p99
+//
+// Design:
+//  - submit() parses nothing and blocks only on queue backpressure; the
+//    worker resolves the spec through the PlanCache (canonicalized key), so
+//    repeated scenarios skip ordering search and plan compilation.
+//  - Workers pull with JobQueue::pop_group, so a front run of same-spec
+//    jobs is coalesced: one cache resolution, one sequential batch over the
+//    run (the pool itself is the parallelism -- per-matrix numerics are
+//    exactly plan.solve, so service results are bit-identical to direct
+//    calls).
+//  - Errors (malformed specs, infeasible plans, solve failures) surface
+//    through the job's future; the service itself keeps running.
+//  - shutdown() closes admission, drains every admitted job, and joins the
+//    pool; the destructor calls it. drain() waits for quiescence without
+//    stopping the service.
+//
+// svc sits ABOVE api in the layer graph (svc -> api). The one sanctioned
+// upward call is api::SolvePlan::solve_batch delegating to
+// svc::solve_batch_parallel (mirroring the solve/ -> api legacy bridge), so
+// batch solves inherit the pool parallelism without api knowing the
+// service's internals.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/plan_cache.hpp"
+
+namespace jmh::svc {
+
+struct ServiceConfig {
+  std::size_t workers = 0;         ///< worker threads; 0 = hardware pick
+  std::size_t queue_capacity = 256;
+  std::size_t cache_capacity = 64; ///< resident compiled plans (LRU)
+  /// Max same-spec jobs one worker coalesces into a single plan resolution
+  /// + batch execution (1 = no coalescing).
+  std::size_t max_coalesce = 1;
+};
+
+/// A point-in-time counters snapshot. Latency covers queue wait + solve,
+/// in seconds; count/mean/max are exact over every job finished so far,
+/// quantiles are computed over a bounded window of recent completions
+/// (the last SolverService::kLatencyWindow jobs), so a long-running
+/// service neither grows without bound nor stalls on snapshot.
+struct Metrics {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_done = 0;     ///< fulfilled with a report
+  std::uint64_t jobs_failed = 0;   ///< fulfilled with an exception
+  std::uint64_t batches = 0;       ///< coalesced groups of >= 2 jobs executed
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t workers = 0;
+  std::uint64_t latency_count = 0;
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p90_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+
+  /// Human-readable multi-line rendering (the driver's report section).
+  std::string summary() const;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig config = {});
+
+  /// shutdown(): drains admitted jobs, then joins the pool.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Enqueues one solve, blocking while the queue is full (backpressure).
+  /// After shutdown the returned future holds a std::runtime_error.
+  /// Spec validation happens on the worker: a malformed @p spec_text
+  /// surfaces as std::invalid_argument through the future.
+  std::future<api::SolveReport> submit(std::string spec_text, la::Matrix a);
+
+  /// Non-blocking submit: std::nullopt when the queue is full or the
+  /// service is shut down (load shedding).
+  std::optional<std::future<api::SolveReport>> try_submit(std::string spec_text, la::Matrix a);
+
+  /// Blocks until every job submitted so far has been fulfilled. The
+  /// service keeps accepting new work (call shutdown() to stop it).
+  void drain();
+
+  /// Closes admission, drains the queue, joins workers. Idempotent.
+  void shutdown();
+
+  Metrics metrics() const;
+  const PlanCache& cache() const noexcept { return cache_; }
+
+  /// Latency quantiles cover the most recent completions up to this many.
+  static constexpr std::size_t kLatencyWindow = 16384;
+
+ private:
+  void worker_loop();
+  void record_done(double latency_s);
+  void record_failed();
+
+  ServiceConfig config_;
+  PlanCache cache_;
+  JobQueue queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable idle_cv_;  ///< signaled when done + failed catches up
+  std::uint64_t submitted_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  RunningStats latency_stats_;          ///< exact count/mean/max, O(1) memory
+  std::vector<double> latency_window_;  ///< ring of recent latencies (quantiles)
+  std::size_t latency_next_ = 0;        ///< ring write position once full
+  bool stopped_ = false;
+};
+
+/// Solves @p as[i] with @p plan on a transient pool of @p workers threads
+/// (0 = hardware pick, capped at as.size(); 1 = sequential in the caller).
+/// Reports are returned in input order and are bit-identical to sequential
+/// plan.solve calls -- the plan is immutable and each solve independent, so
+/// threading only changes wall-clock. Error semantics are pool-size
+/// independent: every matrix is attempted, and the exception of the
+/// lowest-index failing solve is rethrown after all threads join.
+std::vector<api::SolveReport> solve_batch_parallel(const api::SolvePlan& plan,
+                                                   const std::vector<la::Matrix>& as,
+                                                   std::size_t workers = 0);
+
+}  // namespace jmh::svc

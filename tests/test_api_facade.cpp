@@ -80,6 +80,27 @@ TEST(SolverSpec, OrderingAliasesAndCase) {
   EXPECT_EQ(SolverSpec::parse("pipeline=12").pipelining, PipeliningPolicy::Fixed);
 }
 
+TEST(SolverSpec, RejectsDuplicateKeys) {
+  // A spec is a scenario name: last-write-wins on duplicates would let two
+  // different-looking strings mean the same thing, so they are rejected,
+  // and the error names the offending key.
+  EXPECT_THROW(SolverSpec::parse("m=16,m=32"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("backend=inline,d=2,backend=sim"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("pipeline=off,pipeline=auto"), std::invalid_argument);
+  try {
+    SolverSpec::parse("m=16,d=2,m=32");
+    FAIL() << "duplicate key must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key 'm'"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+  // The canonical form never repeats a key, so round-tripping still works.
+  SolverSpec spec;
+  spec.backend = Backend::Sim;
+  spec.pipelining = PipeliningPolicy::Auto;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+}
+
 TEST(SolverSpec, RejectsMalformedInput) {
   EXPECT_THROW(SolverSpec::parse("bogus=1"), std::invalid_argument);
   EXPECT_THROW(SolverSpec::parse("backend"), std::invalid_argument);
@@ -308,6 +329,49 @@ TEST(SolveReport, SummaryMentionsScenarioAndModel) {
   EXPECT_NE(text.find("converged"), std::string::npos);
   EXPECT_NE(text.find("model"), std::string::npos);
   EXPECT_NE(text.find("pipeline=2"), std::string::npos);
+}
+
+// The one-line JSON rendering is a STABLE machine interface (the CLI's
+// --json mode and the service driver's per-job output): this test pins the
+// exact field set and order, so any change to it is a deliberate,
+// test-visible API change.
+TEST(SolveReport, JsonFieldSetIsPinned) {
+  const la::Matrix a = test_matrix(16, 12);
+  const SolveReport r =
+      Solver::solve(SolverSpec::parse("backend=sim,ordering=d4,m=16,d=2,pipeline=2"), a);
+  const std::string json = report_to_json(r);
+
+  // Extract the keys in order of appearance.
+  std::vector<std::string> keys;
+  for (std::size_t pos = 0; (pos = json.find('"', pos)) != std::string::npos;) {
+    const std::size_t end = json.find('"', pos + 1);
+    ASSERT_NE(end, std::string::npos);
+    if (end + 1 < json.size() && json[end + 1] == ':')
+      keys.push_back(json.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  const std::vector<std::string> expected = {
+      "backend",       "ordering",      "m",           "pipeline_q",
+      "converged",     "sweeps",        "rotations",   "spectrum_min",
+      "spectrum_max",  "comm_messages", "comm_elements", "comm_barriers",
+      "has_model",     "modeled_time",  "vote_time",   "modeled_sweeps",
+      "mean_link_utilization"};
+  EXPECT_EQ(keys, expected);
+
+  // One line, no whitespace, and the scenario echo is right.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find(' '), std::string::npos);
+  EXPECT_NE(json.find("\"backend\":\"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline_q\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"m\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"has_model\":true"), std::string::npos);
+
+  // Every backend emits the same field set (zeros outside its sections).
+  const SolveReport inline_r = Solver::solve(SolverSpec::parse("m=16,d=2"), a);
+  const std::string inline_json = report_to_json(inline_r);
+  EXPECT_NE(inline_json.find("\"has_model\":false"), std::string::npos);
+  EXPECT_NE(inline_json.find("\"comm_messages\":0"), std::string::npos);
 }
 
 TEST(SolverPlan, CustomOrderingThroughTheFacade) {

@@ -1,0 +1,197 @@
+// svc::JobQueue: FIFO order, bounded backpressure (blocking push vs
+// try_push shedding), high-water tracking, same-spec group pops, close /
+// drain semantics, and an MPMC accounting smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "svc/job_queue.hpp"
+
+namespace jmh::svc {
+namespace {
+
+Job make_job(const std::string& spec, double tag = 0.0) {
+  Job job;
+  job.spec = spec;
+  job.matrix = la::Matrix(1, 1);
+  job.matrix(0, 0) = tag;
+  return job;
+}
+
+double tag_of(const Job& job) { return job.matrix(0, 0); }
+
+TEST(JobQueue, FifoOrderAndSize) {
+  JobQueue q(4);
+  for (int i = 0; i < 3; ++i) {
+    Job job = make_job("s", i);
+    ASSERT_TRUE(q.push(job));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  Job out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(tag_of(out), i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, TryPushShedsWhenFull) {
+  JobQueue q(2);
+  Job a = make_job("s", 1), b = make_job("s", 2), c = make_job("s", 3);
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));
+  EXPECT_EQ(tag_of(c), 3.0) << "a shed job must be left untouched";
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(JobQueue, PushBlocksUntilASlotFrees) {
+  JobQueue q(1);
+  Job first = make_job("s", 1);
+  ASSERT_TRUE(q.push(first));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    Job second = make_job("s", 2);
+    EXPECT_TRUE(q.push(second));  // blocks: queue is full
+    pushed = true;
+  });
+  // The producer cannot complete until a pop frees the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  Job out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(tag_of(out), 1.0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(tag_of(out), 2.0);
+}
+
+TEST(JobQueue, PopGroupTakesOnlyTheFrontSameSpecRun) {
+  JobQueue q(8);
+  for (const auto& [spec, tag] :
+       std::vector<std::pair<std::string, double>>{
+           {"a", 0}, {"a", 1}, {"b", 2}, {"a", 3}, {"a", 4}}) {
+    Job job = make_job(spec, tag);
+    ASSERT_TRUE(q.push(job));
+  }
+
+  std::vector<Job> group;
+  ASSERT_EQ(q.pop_group(group, 8), 2u) << "front run is [a, a]";
+  EXPECT_EQ(group[0].spec, "a");
+  EXPECT_EQ(tag_of(group[0]), 0.0);
+  EXPECT_EQ(tag_of(group[1]), 1.0);
+
+  ASSERT_EQ(q.pop_group(group, 8), 1u) << "'b' breaks the run";
+  EXPECT_EQ(group[0].spec, "b");
+
+  ASSERT_EQ(q.pop_group(group, 1), 1u) << "max_jobs = 1 degenerates to pop";
+  EXPECT_EQ(tag_of(group[0]), 3.0);
+  ASSERT_EQ(q.pop_group(group, 8), 1u);
+  EXPECT_EQ(tag_of(group[0]), 4.0);
+}
+
+TEST(JobQueue, CloseDrainsThenStops) {
+  JobQueue q(4);
+  Job a = make_job("s", 1), b = make_job("s", 2);
+  ASSERT_TRUE(q.push(a));
+  ASSERT_TRUE(q.push(b));
+  q.close();
+
+  Job rejected = make_job("s", 3);
+  EXPECT_FALSE(q.push(rejected));
+  EXPECT_FALSE(q.try_push(rejected));
+  EXPECT_TRUE(q.closed());
+
+  // Admitted jobs still drain in order...
+  Job out;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(tag_of(out), 1.0);
+  std::vector<Job> group;
+  EXPECT_EQ(q.pop_group(group, 4), 1u);
+  EXPECT_EQ(tag_of(group[0]), 2.0);
+  // ...then pops report shutdown instead of blocking.
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_EQ(q.pop_group(group, 4), 0u);
+}
+
+TEST(JobQueue, CloseWakesABlockedProducer) {
+  JobQueue q(1);
+  Job fill = make_job("s", 1);
+  ASSERT_TRUE(q.push(fill));
+
+  std::thread producer([&] {
+    Job job = make_job("s", 2);
+    EXPECT_FALSE(q.push(job));  // blocked on full, woken by close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+
+  // The admitted job still drains; the rejected one never entered.
+  Job out;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(tag_of(out), 1.0);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(JobQueue, CloseWakesABlockedConsumer) {
+  JobQueue q(1);
+  std::thread consumer([&] {
+    Job out;
+    EXPECT_FALSE(q.pop(out));  // blocked on empty, woken by close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(JobQueue, MpmcAccountsForEveryJob) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  JobQueue q(8);  // smaller than the job count: backpressure is exercised
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Job job = make_job("spec" + std::to_string(p), p * kPerProducer + i);
+        ASSERT_TRUE(q.push(job));
+      }
+    });
+
+  std::mutex seen_mu;
+  std::multiset<double> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c)
+    consumers.emplace_back([&] {
+      std::vector<Job> group;
+      while (q.pop_group(group, 4) > 0) {
+        std::lock_guard lock(seen_mu);
+        for (const Job& job : group) seen.insert(tag_of(job));
+      }
+    });
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v)
+    EXPECT_EQ(seen.count(static_cast<double>(v)), 1u);
+  EXPECT_GE(q.high_water(), 1u);
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+TEST(JobQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(JobQueue(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmh::svc

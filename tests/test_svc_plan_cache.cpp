@@ -1,0 +1,111 @@
+// svc::PlanCache: canonical-key hits, LRU eviction, miss-path compilation,
+// error passthrough, and concurrent resolution of one cold key.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "svc/plan_cache.hpp"
+
+namespace jmh::svc {
+namespace {
+
+TEST(PlanCache, HitsAndMissesCount) {
+  PlanCache cache(8);
+  const auto p1 = cache.get("backend=inline,ordering=d4,m=16,d=2");
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const auto p2 = cache.get("backend=inline,ordering=d4,m=16,d=2");
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(p1.get(), p2.get()) << "a hit must share the compiled plan";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, KeysAreCanonicalized) {
+  PlanCache cache(8);
+  // Same scenario spelled three ways: reordered keys, whitespace, defaults
+  // made explicit. All collapse to one SolverSpec::to_string() key.
+  const auto a = cache.get("m=16,d=2");
+  const auto b = cache.get("d=2, m=16");
+  const auto c = cache.get("backend=inline,m=16,d=2,pipeline=off");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a.get(), c.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  const std::string s1 = "ordering=d4,m=16,d=2";
+  const std::string s2 = "ordering=br,m=16,d=2";
+  const std::string s3 = "ordering=pbr,m=16,d=2";
+
+  const auto p1 = cache.get(s1);
+  cache.get(s2);
+  cache.get(s1);  // touch s1: s2 becomes the LRU victim
+  cache.get(s3);  // evicts s2
+  EXPECT_EQ(cache.size(), 2u);
+
+  const auto before = cache.misses();
+  const auto p1_again = cache.get(s1);
+  EXPECT_EQ(cache.misses(), before) << "s1 was touched, must still be resident";
+  EXPECT_EQ(p1.get(), p1_again.get());
+
+  cache.get(s2);
+  EXPECT_EQ(cache.misses(), before + 1) << "s2 was the LRU entry and must recompile";
+}
+
+TEST(PlanCache, EvictionDoesNotInvalidateHeldPlans) {
+  PlanCache cache(1);
+  const auto held = cache.get("ordering=d4,m=16,d=2");
+  cache.get("ordering=br,m=16,d=2");  // evicts the first entry
+  // The held shared_ptr keeps the evicted plan alive and usable.
+  EXPECT_EQ(held->spec().ordering, ord::OrderingKind::Degree4);
+  EXPECT_EQ(held->ordering().dimension(), 2);
+}
+
+TEST(PlanCache, ZeroCapacityIsPassthrough) {
+  PlanCache cache(0);
+  const auto a = cache.get("m=16,d=2");
+  const auto b = cache.get("m=16,d=2");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, BadSpecsThrowAndCacheNothing) {
+  PlanCache cache(8);
+  EXPECT_THROW(cache.get("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(cache.get("m=4,d=2"), std::invalid_argument);  // infeasible
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, ConcurrentColdKeyConverges) {
+  PlanCache cache(8);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const api::SolvePlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&cache, &plans, t] { plans[t] = cache.get("ordering=d4,m=16,d=2"); });
+  for (auto& th : threads) th.join();
+
+  for (const auto& p : plans) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->spec().m, 16u);
+  }
+  // Racing threads may each compile the cold key, but the cache ends with
+  // exactly one resident entry and serves it to everyone afterwards.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits() + cache.misses(), static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(cache.misses(), 1u);
+  const auto resident = cache.get("ordering=d4,m=16,d=2");
+  EXPECT_EQ(resident->spec().ordering, ord::OrderingKind::Degree4);
+}
+
+}  // namespace
+}  // namespace jmh::svc

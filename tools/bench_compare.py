@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff a fresh bench_micro JSON against a committed baseline.
+"""Diff a fresh bench_micro JSON against one or more committed baselines.
 
 Compares google-benchmark JSON outputs case by case and fails (exit 1) when
 any hot case regresses beyond the allowed fraction:
@@ -9,12 +9,21 @@ any hot case regresses beyond the allowed fraction:
 Usage:
     bench_micro --benchmark_out=fresh.json --benchmark_out_format=json \
                 --benchmark_filter='...'
+    # single baseline (positional, the original form)
     tools/bench_compare.py BENCH_kernels.json fresh.json
+    # several baselines gated in one invocation
+    tools/bench_compare.py --baseline BENCH_kernels.json \
+                           --baseline BENCH_plan_reuse.json \
+                           --baseline BENCH_service.json fresh.json
 
-Only cases matching --filter (default: the named hot kernels of PERF.md)
-and present in BOTH files are gated; everything else is reported
+Multiple --baseline files are merged into one case table (duplicate case
+names across baselines take the first file's time and print a warning), so
+one run of bench_micro gates every committed baseline at once.
+
+Only cases matching --filter (default: the named hot cases of PERF.md)
+and present in BOTH tables are gated; everything else is reported
 informationally. Baselines are machine-specific: gate with the default 15%
-only against a baseline recorded on the same machine (see PERF.md). Across
+only against baselines recorded on the same machine (see PERF.md). Across
 machines (e.g. CI runners vs the baseline host) use a coarse
 --max-regression to catch order-of-magnitude regressions -- an accidental
 O(n^2) or a reintroduced per-step allocation -- rather than micro drift.
@@ -25,12 +34,15 @@ import json
 import re
 import sys
 
-# The hot cases this repo's perf work is gated on (PERF.md). BM_GramKernel
-# and BM_BlockSerializeInto price the two fused paths directly;
-# BM_RotationKernel and the solve benches are the headline numbers.
+# The hot cases this repo's perf work is gated on (PERF.md): the fused
+# kernels and solve paths (BENCH_kernels.json), the facade plan-reuse cases
+# (BENCH_plan_reuse.json), and the service throughput cases
+# (BENCH_service.json).
 DEFAULT_FILTER = (
     r"^(BM_RotationKernel|BM_GramKernel|BM_InlineSolve|BM_MpiSolve(Pipelined)?|"
-    r"BM_BlockSerializeInto|BM_BlockSerializeRoundtrip|BM_SequentialCyclicSolve)/"
+    r"BM_BlockSerializeInto|BM_BlockSerializeRoundtrip|BM_SequentialCyclicSolve|"
+    r"BM_PlanConstruction|BM_PlanReuseSolve|BM_PerSolveReconstruction|"
+    r"BM_SpecRoundTrip|BM_ServiceThroughput)(/|$)"
 )
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -49,19 +61,45 @@ def load_cases(path):
     return cases
 
 
+def merge_baselines(paths):
+    """First occurrence of a case name wins; conflicts are warned about."""
+    merged = {}
+    for path in paths:
+        for name, time_ns in load_cases(path).items():
+            if name in merged:
+                if merged[name] != time_ns:
+                    print(f"WARNING: case '{name}' appears in several baselines; "
+                          f"keeping the first ({merged[name]:.0f}ns, ignoring "
+                          f"{path}'s {time_ns:.0f}ns)", file=sys.stderr)
+                continue
+            merged[name] = time_ns
+    return merged
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("baseline", help="committed baseline JSON (e.g. BENCH_kernels.json)")
-    ap.add_argument("fresh", help="freshly recorded bench_micro JSON")
+    ap.add_argument("files", nargs="+",
+                    help="'BASELINE FRESH' (original form) or just 'FRESH' with --baseline")
+    ap.add_argument("--baseline", action="append", default=[],
+                    help="committed baseline JSON; repeat to gate several files at once")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="allowed fractional slowdown on gated cases (default 0.15)")
     ap.add_argument("--filter", default=DEFAULT_FILTER,
                     help="regex naming the gated hot cases (default: PERF.md hot set)")
     args = ap.parse_args()
 
-    base = load_cases(args.baseline)
-    fresh = load_cases(args.fresh)
+    if args.baseline:
+        if len(args.files) != 1:
+            ap.error("with --baseline, pass exactly one fresh JSON")
+        baseline_paths, fresh_path = args.baseline, args.files[0]
+    else:
+        if len(args.files) != 2:
+            ap.error("usage: bench_compare.py BASELINE FRESH (or --baseline ... FRESH)")
+        baseline_paths, fresh_path = [args.files[0]], args.files[1]
+
+    base = merge_baselines(baseline_paths)
+    fresh = load_cases(fresh_path)
     gate = re.compile(args.filter)
 
     rows = []
@@ -74,7 +112,8 @@ def main():
             failures.append((name, ratio))
 
     if not rows:
-        print("bench_compare: no common cases between baseline and fresh run", file=sys.stderr)
+        print("bench_compare: no common cases between baseline(s) and fresh run",
+              file=sys.stderr)
         return 2
 
     width = max(len(r[0]) for r in rows)
