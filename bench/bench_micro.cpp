@@ -290,6 +290,25 @@ BENCHMARK(BM_ServiceThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- the SVD workload --------------------------------------------------------
+// task=svd through a reused plan on the inline backend: a tall 3:2
+// rectangular input factored by the same sweep machinery as the
+// eigenproblem. Gated against BENCH_svd.json.
+
+void BM_SvdSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = n + n / 2;
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform(rows, n, rng);
+  const auto spec = jmh::api::SolverSpec::parse(
+      "task=svd,backend=inline,ordering=d4,m=" + std::to_string(n) +
+      ",rows=" + std::to_string(rows) + ",d=2");
+  const jmh::api::SolvePlan plan = jmh::api::Solver::plan(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.solve(a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvdSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
 void BM_SequentialCyclicSolve(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   jmh::Xoshiro256 rng(7);

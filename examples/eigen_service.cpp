@@ -49,6 +49,7 @@ std::vector<WorkItem> builtin_workload() {
       "backend=inline,ordering=minalpha,m=32,d=2,pipeline=auto",
       "backend=mpi,ordering=d4,m=16,d=2",
       "backend=sim,ordering=pbr,m=24,d=2,pipeline=auto",
+      "task=svd,backend=inline,ordering=d4,m=24,rows=36,d=2",
   };
   for (std::uint64_t seed = 1; seed <= 6; ++seed)
     for (const std::string& spec : specs) items.push_back({seed, spec});
@@ -145,15 +146,18 @@ int main(int argc, char** argv) {
 
   const auto t0 = Clock::now();
   for (const WorkItem& item : items) {
-    // The matrix order comes from the spec; a bad spec still gets submitted
-    // so the failure surfaces uniformly through the job's future.
-    std::size_t m = 32;
+    // The input shape comes from the spec (task=evd: symmetric m x m;
+    // task=svd: general rows x m); a bad spec still gets submitted so the
+    // failure surfaces uniformly through the job's future.
+    api::SolverSpec parsed;
     try {
-      m = api::SolverSpec::parse(item.spec).m;
+      parsed = api::SolverSpec::parse(item.spec);
     } catch (const std::exception&) {
     }
     Xoshiro256 rng(item.seed);
-    la::Matrix a = la::random_uniform_symmetric(m, rng);
+    la::Matrix a = parsed.task == api::Task::Svd
+                       ? la::random_uniform(parsed.input_rows(), parsed.m, rng)
+                       : la::random_uniform_symmetric(parsed.m, rng);
     if (shed) {
       auto f = service.try_submit(item.spec, std::move(a));
       if (f) futures.push_back(std::move(*f));

@@ -5,10 +5,13 @@
 //   $ ./eigensolver_cli [--spec "key=value,..."] [--seed N] [--check] [--json]
 //
 //     --spec   scenario, e.g. "backend=sim,ordering=minalpha,m=64,d=3,
-//              pipeline=auto" (default "backend=mpi,ordering=d4,m=32,d=3";
-//              see api/spec.hpp for the full grammar)
-//     --seed   RNG seed for the random symmetric test matrix (default 42)
-//     --check  cross-check eigenpairs against the sequential reference
+//              pipeline=auto" or "task=svd,m=32,rows=48,d=2" (default
+//              "backend=mpi,ordering=d4,m=32,d=3"; see api/spec.hpp for the
+//              full grammar)
+//     --seed   RNG seed for the random test matrix: symmetric m x m for
+//              task=evd, general rows x m for task=svd (default 42)
+//     --check  cross-check eigenpairs (or singular triplets) against the
+//              sequential reference
 //     --json   print the one-line api::report_to_json rendering instead of
 //              the human report (stable field set; for scripts and the
 //              service workload driver's tooling)
@@ -25,6 +28,7 @@
 
 #include "api/solver.hpp"
 #include "la/eigen_check.hpp"
+#include "la/svd.hpp"
 #include "la/sym_gen.hpp"
 
 int main(int argc, char** argv) {
@@ -60,8 +64,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool svd = spec.task == api::Task::Svd;
   Xoshiro256 rng(seed);
-  const la::Matrix a = la::random_uniform_symmetric(spec.m, rng);
+  const la::Matrix a = svd ? la::random_uniform(spec.input_rows(), spec.m, rng)
+                           : la::random_uniform_symmetric(spec.m, rng);
 
   if (!json) std::printf("spec    : %s\n", spec.to_string().c_str());
 
@@ -96,7 +102,9 @@ int main(int argc, char** argv) {
     std::printf("walltime : %.3fs\n", t_solve);
   }
 
-  const double residual = la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors);
+  // task=svd stores V in the eigenvectors slot (see api/report.hpp).
+  const double residual = svd ? la::svd_residual(a, r.singular_values, r.u, r.eigenvectors)
+                              : la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors);
   const double orth = la::orthogonality_defect(r.eigenvectors);
   if (!json)
     std::printf("residual : %.2e   orthogonality defect: %.2e\n", residual, orth);
@@ -104,12 +112,21 @@ int main(int argc, char** argv) {
   bool ok = r.converged && residual < 1e-8;
   if (check) {
     const auto t1 = Clock::now();
-    const la::JacobiResult ref = la::onesided_jacobi_cyclic(a);
+    int ref_sweeps = 0;
+    double gap = 0.0;
+    if (svd) {
+      const la::SvdResult ref = la::onesided_jacobi_svd_cyclic(a);
+      ref_sweeps = ref.sweeps;
+      gap = la::spectrum_distance(r.singular_values, ref.singular_values);
+    } else {
+      const la::JacobiResult ref = la::onesided_jacobi_cyclic(a);
+      ref_sweeps = ref.sweeps;
+      gap = la::spectrum_distance(r.eigenvalues, ref.eigenvalues);
+    }
     const double t_seq = std::chrono::duration<double>(Clock::now() - t1).count();
-    const double gap = la::spectrum_distance(r.eigenvalues, ref.eigenvalues);
     if (!json)
       std::printf("check    : sequential ref %d sweeps in %.3fs, spectrum gap %.2e\n",
-                  ref.sweeps, t_seq, gap);
+                  ref_sweeps, t_seq, gap);
     ok = ok && gap < 1e-7;
   }
 
@@ -118,12 +135,13 @@ int main(int argc, char** argv) {
     return ok ? 0 : 1;
   }
 
-  const std::size_t show = std::min<std::size_t>(3, r.eigenvalues.size());
+  const std::vector<double>& values = svd ? r.singular_values : r.eigenvalues;
+  const std::size_t show = std::min<std::size_t>(3, values.size());
   std::printf("extremes :");
-  for (std::size_t i = 0; i < show; ++i) std::printf(" %.5f", r.eigenvalues[i]);
+  for (std::size_t i = 0; i < show; ++i) std::printf(" %.5f", values[i]);
   std::printf(" ...");
-  for (std::size_t i = r.eigenvalues.size() - show; i < r.eigenvalues.size(); ++i)
-    std::printf(" %.5f", r.eigenvalues[i]);
+  for (std::size_t i = values.size() - show; i < values.size(); ++i)
+    std::printf(" %.5f", values[i]);
   std::printf("\n");
 
   return ok ? 0 : 1;

@@ -17,6 +17,7 @@
 
 #include "api/solver.hpp"
 #include "la/eigen_check.hpp"
+#include "la/svd.hpp"
 #include "la/sym_gen.hpp"
 #include "svc/service.hpp"
 
@@ -65,6 +66,22 @@ int main() {
   std::printf("\nsame scenario on the simulated machine (pipeline=auto):\n%s",
               sim_r.summary().c_str());
 
+  // The second first-class workload: task=svd factors a rectangular input
+  // through the SAME machinery (one-sided Jacobi orthogonalizes columns
+  // either way). m counts columns, rows the input height; the report fills
+  // singular_values (descending) and u, with V in the eigenvectors slot.
+  Xoshiro256 svd_rng(7);
+  const la::Matrix rect = la::random_uniform(24, 16, svd_rng);
+  const api::SolveReport svd_r =
+      api::Solver::solve(api::SolverSpec::parse("task=svd,backend=inline,ordering=d4,"
+                                                "m=16,rows=24,d=2"),
+                         rect);
+  const double svd_res = la::svd_residual(rect, svd_r.singular_values, svd_r.u,
+                                          svd_r.eigenvectors);
+  std::printf("\ntask=svd on a 24x16 input: sigma_max %.4f, sigma_min %.4f, "
+              "residual %.2e\n",
+              svd_r.singular_values.front(), svd_r.singular_values.back(), svd_res);
+
   // Serving many solves: the svc layer. Jobs are (spec string, matrix);
   // a worker pool resolves plans through an LRU cache (one compilation for
   // all three jobs below) and fulfills futures bit-identical to
@@ -82,7 +99,8 @@ int main() {
   std::printf("\nserved through svc::SolverService:\n%s",
               service.metrics().summary().c_str());
 
-  return r.converged && sim_r.converged && served_ok && residual < 1e-9 && orth < 1e-10
+  return r.converged && sim_r.converged && svd_r.converged && served_ok && residual < 1e-9 &&
+                 orth < 1e-10 && svd_res < 1e-10
              ? 0
              : 1;
 }

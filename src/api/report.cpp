@@ -15,17 +15,28 @@ std::string SolveReport::summary() const {
   char line[256];
   std::string out;
 
+  const bool svd = task == Task::Svd;
   const std::string pipe_str = pipelining_q == 0 ? "off" : std::to_string(pipelining_q);
-  std::snprintf(line, sizeof line, "scenario : backend=%s ordering=%s m=%zu pipeline=%s\n",
-                api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
-                eigenvalues.size(), pipe_str.c_str());
+  if (svd)
+    std::snprintf(line, sizeof line,
+                  "scenario : task=svd backend=%s ordering=%s m=%zu rows=%zu pipeline=%s\n",
+                  api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
+                  singular_values.size(), u.rows(), pipe_str.c_str());
+  else
+    std::snprintf(line, sizeof line, "scenario : backend=%s ordering=%s m=%zu pipeline=%s\n",
+                  api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
+                  eigenvalues.size(), pipe_str.c_str());
   out += line;
 
   std::snprintf(line, sizeof line, "solve    : %s after %d sweeps, %zu rotations\n",
                 converged ? "converged" : "NOT CONVERGED", sweeps, rotations);
   out += line;
 
-  if (!eigenvalues.empty()) {
+  if (svd && !singular_values.empty()) {
+    std::snprintf(line, sizeof line, "singulars: [%.6g, %.6g]\n", singular_values.back(),
+                  singular_values.front());
+    out += line;
+  } else if (!eigenvalues.empty()) {
     std::snprintf(line, sizeof line, "spectrum : [%.6g, %.6g]\n", eigenvalues.front(),
                   eigenvalues.back());
     out += line;
@@ -66,15 +77,24 @@ std::string report_to_json(const SolveReport& report) {
   };
   auto uint = [&](std::uint64_t v) { return std::to_string(v); };
 
-  field("backend", "\"" + api::to_string(report.backend) + "\"", /*first=*/true);
+  // The solution vector of the report's task: eigenvalues ascending for
+  // evd, singular values descending for svd -- min/max below pick the right
+  // end either way.
+  const bool svd = report.task == Task::Svd;
+  const std::vector<double>& spectrum = svd ? report.singular_values : report.eigenvalues;
+  field("task", "\"" + api::to_string(report.task) + "\"", /*first=*/true);
+  field("backend", "\"" + api::to_string(report.backend) + "\"");
   field("ordering", "\"" + ord::spec_token(report.ordering) + "\"");
-  field("m", uint(report.eigenvalues.size()));
+  field("m", uint(spectrum.size()));
+  field("rows", uint(svd ? report.u.rows() : report.eigenvalues.size()));
   field("pipeline_q", uint(report.pipelining_q));
   field("converged", report.converged ? "true" : "false");
   field("sweeps", std::to_string(report.sweeps));
   field("rotations", uint(report.rotations));
-  field("spectrum_min", num(report.eigenvalues.empty() ? 0.0 : report.eigenvalues.front()));
-  field("spectrum_max", num(report.eigenvalues.empty() ? 0.0 : report.eigenvalues.back()));
+  field("spectrum_min",
+        num(spectrum.empty() ? 0.0 : (svd ? spectrum.back() : spectrum.front())));
+  field("spectrum_max",
+        num(spectrum.empty() ? 0.0 : (svd ? spectrum.front() : spectrum.back())));
   field("comm_messages", uint(report.comm.messages));
   field("comm_elements", uint(report.comm.elements));
   field("comm_barriers", uint(report.comm.barriers));

@@ -18,6 +18,7 @@ namespace jmh::api {
 
 struct SolveReport {
   // -- scenario echo ---------------------------------------------------------
+  Task task = Task::Evd;
   Backend backend = Backend::Inline;
   ord::OrderingKind ordering = ord::OrderingKind::Degree4;
   /// Packets per block actually used by the run's exchange phases
@@ -25,8 +26,15 @@ struct SolveReport {
   std::uint64_t pipelining_q = 0;
 
   // -- solution (every backend) ----------------------------------------------
-  std::vector<double> eigenvalues;  ///< ascending
-  la::Matrix eigenvectors;          ///< column k pairs with eigenvalues[k]
+  // task=evd fills eigenvalues + eigenvectors; task=svd fills
+  // singular_values + u and stores the right singular vectors V in
+  // `eigenvectors` (both tasks accumulate the same rotation matrix -- for
+  // the eigenproblem its columns are the eigenvectors, for the SVD they are
+  // V). The unused vectors stay empty.
+  std::vector<double> eigenvalues;  ///< ascending (task=evd)
+  la::Matrix eigenvectors;          ///< evd: eigenvector k | svd: right vector v_k
+  std::vector<double> singular_values;  ///< descending (task=svd)
+  la::Matrix u;                         ///< left singular vectors (task=svd)
   int sweeps = 0;                   ///< sweeps that performed >= 1 rotation
   bool converged = false;
   std::size_t rotations = 0;
@@ -55,10 +63,12 @@ struct SolveReport {
 /// --json mode, the service driver's per-job output). The field set and
 /// order are STABLE -- pinned by tests/test_api_facade.cpp -- and every key
 /// is always present (traffic/model fields are zero outside their backend):
-///   backend, ordering, m, pipeline_q, converged, sweeps, rotations,
-///   spectrum_min, spectrum_max, comm_messages, comm_elements,
+///   task, backend, ordering, m, rows, pipeline_q, converged, sweeps,
+///   rotations, spectrum_min, spectrum_max, comm_messages, comm_elements,
 ///   comm_barriers, has_model, modeled_time, vote_time, modeled_sweeps,
 ///   mean_link_utilization
+/// For task=svd, m/rows are the input shape and spectrum_min/spectrum_max
+/// the extreme singular values (sigma_min, sigma_max).
 /// Doubles print as %.17g (exact round trip); no whitespace, no newline.
 std::string report_to_json(const SolveReport& report);
 

@@ -30,6 +30,18 @@ void fill_solution(SolveReport& report, solve::DistributedResult&& dr) {
   report.comm = dr.comm;
 }
 
+/// Same for a task=svd run: V rides in the eigenvectors slot (see
+/// SolveReport), sigma and U in their own fields.
+void fill_svd_solution(SolveReport& report, solve::SvdSolveResult&& sr) {
+  report.singular_values = std::move(sr.singular_values);
+  report.u = std::move(sr.u);
+  report.eigenvectors = std::move(sr.v);
+  report.sweeps = sr.sweeps;
+  report.converged = sr.converged;
+  report.rotations = sr.rotations;
+  report.comm = sr.comm;
+}
+
 }  // namespace
 
 SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
@@ -68,8 +80,23 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
   }();
 
   SolveReport report;
+  report.task = spec_.task;
   report.backend = spec_.backend;
   report.ordering = spec_.ordering;
+
+  // The sweep protocol is task-agnostic (it orthogonalizes columns either
+  // way); only the assembly of the final blocks differs.
+  const bool svd = spec_.task == Task::Svd;
+  const auto assemble = [&](std::vector<solve::ColumnBlock> blocks,
+                            const solve::EngineResult& er) {
+    if (svd)
+      fill_svd_solution(report,
+                        solve::assemble_svd_result(std::move(blocks), a.rows(), a.cols(),
+                                                   er.sweeps, er.converged, er.rotations));
+    else
+      fill_solution(report, solve::assemble_result(std::move(blocks), a.rows(), er.sweeps,
+                                                   er.converged, er.rotations));
+  };
 
   switch (spec_.backend) {
     case Backend::Inline: {
@@ -77,13 +104,15 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
       // inline substrate always executes unpipelined.
       solve::InlineTransport transport(a, spec_.d);
       const solve::EngineResult er = run_sweep_protocol(transport, ordering_, opts);
-      fill_solution(report, solve::assemble_result(transport.collect_blocks(), a.rows(),
-                                                   er.sweeps, er.converged, er.rotations));
+      assemble(transport.collect_blocks(), er);
       break;
     }
     case Backend::MpiLite: {
       report.pipelining_q = q_;
-      fill_solution(report, solve::solve_mpi_like(a, ordering_, opts, q_));
+      if (svd)
+        fill_svd_solution(report, solve::solve_mpi_svd_like(a, ordering_, opts, q_));
+      else
+        fill_solution(report, solve::solve_mpi_like(a, ordering_, opts, q_));
       break;
     }
     case Backend::Sim: {
@@ -95,8 +124,7 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
       sopts.pipelined_q = q_;
       solve::SimTransport transport(a, spec_.d, sopts);
       const solve::EngineResult er = run_sweep_protocol(transport, ordering_, sopts);
-      fill_solution(report, solve::assemble_result(transport.collect_blocks(), a.rows(),
-                                                   er.sweeps, er.converged, er.rotations));
+      assemble(transport.collect_blocks(), er);
       report.has_model = true;
       report.modeled_time = transport.modeled_time();
       report.vote_time = transport.vote_time();
@@ -109,6 +137,12 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
 }
 
 SolveReport SolvePlan::solve(const la::Matrix& a) const {
+  if (spec_.task == Task::Svd) {
+    JMH_REQUIRE(a.cols() == spec_.m, "column count must match the plan's spec.m");
+    JMH_REQUIRE(a.rows() == spec_.input_rows(),
+                "row count must match the plan's spec rows (rows=, or m when unset)");
+    return solve_prepared(a);  // no shift: plan() rejects shifted SVD specs
+  }
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
   JMH_REQUIRE(a.rows() == spec_.m, "matrix order must match the plan's spec.m");
   if (!spec_.gershgorin_shift) return solve_prepared(a);
@@ -134,6 +168,13 @@ SolvePlan Solver::plan(const SolverSpec& spec, ord::JacobiOrdering ordering) {
   JMH_REQUIRE(spec.d >= 1, "hypercube dimension must be >= 1");
   JMH_REQUIRE(spec.m >= (std::size_t{2} << spec.d),
               "need at least one column per block (m >= 2^(d+1))");
+  if (spec.task == Task::Svd) {
+    JMH_REQUIRE(!spec.gershgorin_shift, "shift=1 needs task=evd");
+    JMH_REQUIRE(spec.input_rows() >= spec.m,
+                "one-sided Jacobi SVD needs a tall or square input (rows >= m)");
+  } else
+    JMH_REQUIRE(spec.rows == 0 || spec.rows == spec.m,
+                "rows != m needs task=svd (the eigenproblem input is square)");
   return SolvePlan(spec, std::move(ordering));
 }
 

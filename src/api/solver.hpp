@@ -44,7 +44,8 @@ class SolvePlan {
   double planned_sweep_comm_cost() const noexcept { return planned_cost_; }
 
   /// Runs the solve on spec().backend through the Transport machinery.
-  /// @p a must be square of order spec().m. Thread-safe.
+  /// task=evd: @p a must be square of order spec().m. task=svd: @p a must
+  /// be spec().input_rows() x spec().m. Thread-safe.
   SolveReport solve(const la::Matrix& a) const;
 
   /// Solves several matrices with one plan (the amortization the facade

@@ -2,8 +2,10 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace jmh::api {
@@ -35,11 +37,28 @@ std::string format_double(double v) {
 }
 
 std::uint64_t parse_uint(std::string_view key, const std::string& value) {
+  // The first character must be a digit: strtoull itself accepts a leading
+  // '+' (and leading whitespace), which would let "m=+5" and "m=5" name the
+  // same scenario and break parse(to_string(spec)) as the canonical fixed
+  // point.
+  if (value.empty() || !std::isdigit(static_cast<unsigned char>(value[0])))
+    fail("key '" + std::string(key) + "' needs a non-negative integer, got '" + value + "'");
   errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-  if (errno != 0 || end != value.c_str() + value.size() || value.empty() || value[0] == '-')
+  if (errno != 0 || end != value.c_str() + value.size())
     fail("key '" + std::string(key) + "' needs a non-negative integer, got '" + value + "'");
+  return v;
+}
+
+/// parse_uint with an inclusive upper bound, for values narrowed into int
+/// fields: without the check, d=4294967297 would silently truncate to d=1.
+std::uint64_t parse_uint_bounded(std::string_view key, const std::string& value,
+                                 std::uint64_t max) {
+  const std::uint64_t v = parse_uint(key, value);
+  if (v > max)
+    fail("key '" + std::string(key) + "' value " + value + " exceeds the maximum " +
+         std::to_string(max));
   return v;
 }
 
@@ -49,6 +68,11 @@ double parse_double(std::string_view key, const std::string& value) {
   const double v = std::strtod(value.c_str(), &end);
   if (errno != 0 || end != value.c_str() + value.size() || value.empty())
     fail("key '" + std::string(key) + "' needs a number, got '" + value + "'");
+  // NaN compares false against every bound below, so "threshold=nan" would
+  // sail through its sign check and poison the convergence math; Inf
+  // likewise poisons the cost model. Reject both, naming the key.
+  if (!std::isfinite(v))
+    fail("key '" + std::string(key) + "' needs a finite number, got '" + value + "'");
   return v;
 }
 
@@ -67,6 +91,22 @@ std::string to_string(Backend backend) {
     case Backend::Sim: return "sim";
   }
   return "?";
+}
+
+std::string to_string(Task task) {
+  switch (task) {
+    case Task::Evd: return "evd";
+    case Task::Svd: return "svd";
+  }
+  return "?";
+}
+
+bool parse_task(std::string_view text, Task& out) {
+  const std::string norm = lower(text);
+  if (norm == "evd" || norm == "eig" || norm == "eigen") out = Task::Evd;
+  else if (norm == "svd") out = Task::Svd;
+  else return false;
+  return true;
 }
 
 bool parse_backend(std::string_view text, Backend& out) {
@@ -91,9 +131,14 @@ solve::SolveOptions SolverSpec::solve_options() const {
 
 std::string SolverSpec::to_string() const {
   std::string out;
-  out += "backend=" + api::to_string(backend);
+  out += "task=" + api::to_string(task);
+  out += ",backend=" + api::to_string(backend);
   out += ",ordering=" + ord::spec_token(ordering);
   out += ",m=" + std::to_string(m);
+  // rows == m means "square", which 0 already names: render the normalized
+  // form so one scenario has exactly one canonical string (the plan-cache
+  // key).
+  out += ",rows=" + std::to_string(rows == m ? std::size_t{0} : rows);
   out += ",d=" + std::to_string(d);
   out += ",pipeline=";
   switch (pipelining) {
@@ -121,7 +166,7 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   // (BM_SpecRoundTrip is a gated hot case).
   enum KeyBit : std::uint32_t {
     kBackend, kOrdering, kM, kD, kPipeline, kTs, kTw, kPorts, kOverlap,
-    kThreshold, kMaxSweeps, kStop, kOffTol, kShift,
+    kThreshold, kMaxSweeps, kStop, kOffTol, kShift, kTask, kRows,
   };
   std::uint32_t seen_keys = 0;
   const auto mark_seen = [&](std::string_view key, KeyBit bit) {
@@ -145,10 +190,17 @@ SolverSpec SolverSpec::parse(const std::string& text) {
     if (key.empty() || value.empty())
       fail("token '" + std::string(token) + "' has an empty key or value");
 
-    if (key == "backend") {
+    if (key == "task") {
+      mark_seen(key, kTask);
+      if (!parse_task(value, spec.task)) fail("unknown task '" + value + "' (evd|svd)");
+    } else if (key == "backend") {
       mark_seen(key, kBackend);
       if (!parse_backend(value, spec.backend))
         fail("unknown backend '" + value + "' (inline|mpi|sim)");
+    } else if (key == "rows") {
+      mark_seen(key, kRows);
+      spec.rows = static_cast<std::size_t>(
+          parse_uint_bounded(key, value, std::numeric_limits<std::size_t>::max()));
     } else if (key == "ordering") {
       mark_seen(key, kOrdering);
       if (!ord::parse_ordering_kind(value, spec.ordering))
@@ -157,11 +209,13 @@ SolverSpec SolverSpec::parse(const std::string& text) {
         fail("ordering=custom needs programmatic sequences; use Solver::plan(spec, ordering)");
     } else if (key == "m") {
       mark_seen(key, kM);
-      spec.m = static_cast<std::size_t>(parse_uint(key, value));
+      spec.m = static_cast<std::size_t>(
+          parse_uint_bounded(key, value, std::numeric_limits<std::size_t>::max()));
       if (spec.m == 0) fail("m must be >= 1");
     } else if (key == "d") {
       mark_seen(key, kD);
-      spec.d = static_cast<int>(parse_uint(key, value));
+      spec.d = static_cast<int>(
+          parse_uint_bounded(key, value, std::numeric_limits<int>::max()));
       if (spec.d < 1) fail("d must be >= 1");
     } else if (key == "pipeline") {
       mark_seen(key, kPipeline);
@@ -187,7 +241,8 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       if (value == "all") {
         spec.machine.ports = pipe::MachineParams::kAllPort;
       } else {
-        spec.machine.ports = static_cast<int>(parse_uint(key, value));
+        spec.machine.ports = static_cast<int>(
+            parse_uint_bounded(key, value, std::numeric_limits<int>::max()));
         if (spec.machine.ports < 1) fail("ports must be >= 1 or 'all'");
       }
     } else if (key == "overlap") {
@@ -199,7 +254,8 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       if (spec.threshold <= 0.0) fail("threshold must be > 0");
     } else if (key == "max_sweeps") {
       mark_seen(key, kMaxSweeps);
-      spec.max_sweeps = static_cast<int>(parse_uint(key, value));
+      spec.max_sweeps = static_cast<int>(
+          parse_uint_bounded(key, value, std::numeric_limits<int>::max()));
       if (spec.max_sweeps < 1) fail("max_sweeps must be >= 1");
     } else if (key == "stop") {
       mark_seen(key, kStop);
@@ -217,6 +273,22 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       fail("unknown key '" + std::string(key) + "'");
     }
   }
+  // Cross-key constraints (checked on the final values, so key order in the
+  // input does not matter). Solver::plan re-validates for specs built
+  // programmatically.
+  if (spec.task == Task::Evd && spec.rows != 0 && spec.rows != spec.m)
+    fail("rows=" + std::to_string(spec.rows) +
+         " needs task=svd (the eigenproblem input is square m x m)");
+  if (spec.task == Task::Svd && spec.rows != 0 && spec.rows < spec.m)
+    fail("rows=" + std::to_string(spec.rows) + " < m=" + std::to_string(spec.m) +
+         ": one-sided Jacobi SVD needs a tall or square input (factor the transpose)");
+  if (spec.task == Task::Svd && spec.gershgorin_shift)
+    fail("shift=1 needs task=evd (a diagonal shift has no SVD meaning)");
+  // "rows=m" and "rows=0" name the same square scenario: normalize, so the
+  // two spellings parse to EQUAL specs with one canonical string (otherwise
+  // the plan cache would compile duplicate plans for one scenario -- the
+  // same aliasing the leading-'+' rejection exists to prevent).
+  if (spec.rows == spec.m) spec.rows = 0;
   return spec;
 }
 

@@ -9,9 +9,17 @@
 // CLI, benches and CI can pass scenarios as strings.
 //
 // Key=value grammar (all keys optional; unlisted keys keep their defaults):
+//   task=evd|svd               workload: symmetric eigendecomposition of an
+//                              m x m input, or thin SVD of a rows x m input
+//                              (default evd)
 //   backend=inline|mpi|sim     execution substrate (default inline)
 //   ordering=br|pbr|d4|minalpha   exchange-sequence family (default d4)
-//   m=<n>                      matrix order (default 32)
+//   m=<n>                      matrix order; for task=svd the COLUMN count
+//                              (the blocks partition columns) (default 32)
+//   rows=<n>                   input row count; 0 = square (rows = m). Only
+//                              task=svd accepts a non-square value, and it
+//                              must be tall: rows >= m (for a wide A,
+//                              factor A^T and swap U/V) (default 0)
 //   d=<n>                      hypercube dimension (default 2)
 //   pipeline=off|auto|<q>      exchange-phase packetization (default off);
 //                              auto = pipe::find_optimal_sweep_q
@@ -45,6 +53,17 @@ enum class Backend {
 std::string to_string(Backend backend);
 bool parse_backend(std::string_view text, Backend& out);
 
+/// The workload a spec names. Both run the same sweep machinery (one-sided
+/// Jacobi orthogonalizes columns either way); they differ in the input shape
+/// accepted and the result extracted.
+enum class Task {
+  Evd,  ///< symmetric eigendecomposition of a square m x m input
+  Svd,  ///< thin SVD of a (possibly rectangular) rows x m input
+};
+
+std::string to_string(Task task);
+bool parse_task(std::string_view text, Task& out);
+
 /// Exchange-phase packetization policy.
 enum class PipeliningPolicy {
   Off,    ///< full-block transitions
@@ -53,7 +72,12 @@ enum class PipeliningPolicy {
 };
 
 struct SolverSpec {
-  std::size_t m = 32;                                     ///< matrix order
+  Task task = Task::Evd;
+  std::size_t m = 32;   ///< matrix order (task=svd: column count)
+  /// Input rows; 0 = square (== m), and rows == m is normalized to 0 by
+  /// parse/to_string so each scenario has one canonical name. Non-square
+  /// (tall, rows > m) needs task=svd.
+  std::size_t rows = 0;
   int d = 2;                                              ///< hypercube dimension
   ord::OrderingKind ordering = ord::OrderingKind::Degree4;
   Backend backend = Backend::Inline;
@@ -69,6 +93,9 @@ struct SolverSpec {
 
   /// The convergence-knob slice as the executors consume it.
   solve::SolveOptions solve_options() const;
+
+  /// The row count an input matrix must have (rows, or m when rows == 0).
+  std::size_t input_rows() const noexcept { return rows == 0 ? m : rows; }
 
   /// Canonical textual name: every key in a fixed order, doubles printed
   /// round-trip exactly. parse(to_string(s)) == s for every parseable spec;

@@ -34,6 +34,26 @@ double eigenpair_residual(const Matrix& a, const std::vector<double>& eigenvalue
   return worst;
 }
 
+double svd_residual(const Matrix& a, const std::vector<double>& singular_values,
+                    const Matrix& u, const Matrix& v) {
+  JMH_REQUIRE(singular_values.size() == a.cols(), "one singular value per column required");
+  JMH_REQUIRE(u.rows() == a.rows() && u.cols() == a.cols(), "U shape mismatch");
+  JMH_REQUIRE(v.rows() == a.cols() && v.cols() == a.cols(), "V shape mismatch");
+  const double scale = std::max(frobenius(a), 1e-300);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.cols(); ++k) {
+    const std::vector<double> av = matvec(a, v.col(k));
+    const auto uk = u.col(k);
+    double r2 = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const double diff = av[r] - singular_values[k] * uk[r];
+      r2 += diff * diff;
+    }
+    worst = std::max(worst, std::sqrt(r2) / scale);
+  }
+  return worst;
+}
+
 double orthogonality_defect(const Matrix& v) {
   double worst = 0.0;
   for (std::size_t i = 0; i < v.cols(); ++i) {

@@ -11,6 +11,12 @@ namespace jmh::la {
 double eigenpair_residual(const Matrix& a, const std::vector<double>& eigenvalues,
                           const Matrix& eigenvectors);
 
+/// max_k ||A v_k - sigma_k u_k||_2 / ||A||_F -- relative SVD triplet
+/// residual for a (possibly rectangular) m x n input with n singular
+/// triplets (thin SVD).
+double svd_residual(const Matrix& a, const std::vector<double>& singular_values,
+                    const Matrix& u, const Matrix& v);
+
 /// ||V^T V - I||_max -- orthonormality defect of the eigenvector matrix.
 double orthogonality_defect(const Matrix& v);
 

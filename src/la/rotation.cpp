@@ -1,5 +1,6 @@
 #include "la/rotation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/kernels.hpp"
@@ -33,7 +34,7 @@ PairOutcome pair_columns_stats(std::span<double> bi, std::span<double> bj,
                                std::span<double> vi, std::span<double> vj, double threshold) {
   // O(1) once per pairing (the kernels are O(n)), so this public API
   // boundary keeps the always-on check.
-  JMH_REQUIRE(bi.size() == bj.size() && vi.size() == vj.size() && bi.size() == vi.size(),
+  JMH_REQUIRE(bi.size() == bj.size() && vi.size() == vj.size(),
               "pairing column size mismatch");
   PairOutcome out;
   const kernels::Gram g = kernels::gram3(bi.data(), bj.data(), bi.size());
@@ -42,7 +43,19 @@ PairOutcome pair_columns_stats(std::span<double> bi, std::span<double> bj,
   out.bij = g.xy;
   const RotationDecision d = compute_rotation(out.bii, out.bjj, out.bij, threshold);
   if (!d.rotate) return out;
-  kernels::fused_rotate(bi.data(), bj.data(), vi.data(), vj.data(), bi.size(), d.c, d.s);
+  if (bi.size() == vi.size()) {
+    // Equal lengths (the EVD case): one fused pass, bit-for-bit the
+    // historical path.
+    kernels::fused_rotate(bi.data(), bj.data(), vi.data(), vj.data(), bi.size(), d.c, d.s);
+  } else {
+    // Rectangular SVD: fuse over the common prefix, rotate the longer
+    // pair's tail separately. Elementwise each pair still receives exactly
+    // one plane rotation.
+    const std::size_t common = std::min(bi.size(), vi.size());
+    kernels::fused_rotate(bi.data(), bj.data(), vi.data(), vj.data(), common, d.c, d.s);
+    if (bi.size() > common) apply_rotation(bi.subspan(common), bj.subspan(common), d.c, d.s);
+    if (vi.size() > common) apply_rotation(vi.subspan(common), vj.subspan(common), d.c, d.s);
+  }
   out.rotated = true;
   return out;
 }

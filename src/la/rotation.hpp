@@ -55,14 +55,18 @@ bool pair_columns(Matrix& b, Matrix& v, std::size_t i, std::size_t j,
 
 /// Same, operating on raw column spans (the distributed solver owns its
 /// column storage). bi/bj are columns of B; vi/vj the matching columns of V.
-/// All four spans must have equal length and must not alias each other
-/// (they are four distinct columns; the fused la/kernels are compiled with
-/// __restrict on that assumption).
+/// The B pair and the V pair must each have equal length, and no span may
+/// alias another (they are four distinct columns; the fused la/kernels are
+/// compiled with __restrict on that assumption). The B and V lengths may
+/// differ: one-sided Jacobi SVD of a rectangular m x n input rotates
+/// length-m B columns together with length-n V columns. When they are equal
+/// (the EVD case) the rotation runs as a single fused kernel call, exactly
+/// as before.
 bool pair_columns(std::span<double> bi, std::span<double> bj, std::span<double> vi,
                   std::span<double> vj, double threshold = kDefaultThreshold);
 
-/// Span variant reporting the pre-rotation dot products. Same equal-length
-/// and no-aliasing preconditions as pair_columns.
+/// Span variant reporting the pre-rotation dot products. Same length and
+/// no-aliasing preconditions as pair_columns.
 PairOutcome pair_columns_stats(std::span<double> bi, std::span<double> bj,
                                std::span<double> vi, std::span<double> vj,
                                double threshold = kDefaultThreshold);

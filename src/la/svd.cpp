@@ -1,0 +1,101 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "la/rotation.hpp"
+
+namespace jmh::la {
+
+SvdResult svd_from_bv(const Matrix& b, const Matrix& v) {
+  JMH_REQUIRE(v.is_square() && v.rows() == b.cols(), "V must be n x n for an m x n B");
+  const std::size_t n = b.cols();
+
+  std::vector<double> sigma(n);
+  for (std::size_t k = 0; k < n; ++k) sigma[k] = norm2(b.col(k));
+
+  // Descending, ties broken by original column index: the order is a pure
+  // function of the (B, V) pair, so every backend assembling the same final
+  // blocks extracts bit-identical results.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return sigma[x] != sigma[y] ? sigma[x] > sigma[y] : x < y;
+  });
+
+  SvdResult out;
+  out.singular_values.resize(n);
+  out.u = Matrix(b.rows(), n);
+  out.v = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = order[k];
+    const double s = sigma[src];
+    out.singular_values[k] = s;
+    const auto bcol = b.col(src);
+    auto ucol = out.u.col(k);
+    if (s > 0.0)
+      for (std::size_t r = 0; r < bcol.size(); ++r) ucol[r] = bcol[r] / s;
+    const auto vcol = v.col(src);
+    std::copy(vcol.begin(), vcol.end(), out.v.col(k).begin());
+  }
+  return out;
+}
+
+SvdResult onesided_jacobi_svd(const Matrix& a,
+                              const std::function<SweepPattern(int)>& pattern_provider,
+                              const JacobiOptions& opts) {
+  JMH_REQUIRE(!opts.gershgorin_shift, "a diagonal shift has no SVD meaning");
+  JMH_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "SVD needs a non-empty matrix");
+  // Wide inputs put cols - rows columns in the null space; their mutual dot
+  // products never pass the RELATIVE rotation threshold (both norms decay
+  // together), so the sweep loop cannot reach a rotation-free sweep. Factor
+  // the transpose instead: A = U S V^T <=> A^T = V S U^T.
+  JMH_REQUIRE(a.rows() >= a.cols(),
+              "one-sided Jacobi SVD needs a tall or square input (for a wide A, factor A^T "
+              "and swap U/V)");
+  const std::size_t n = a.cols();
+
+  Matrix b = a;  // m x n working columns
+  Matrix v = Matrix::identity(n);
+
+  int sweeps = 0;
+  bool converged = false;
+  std::size_t rotations = 0;
+  // Validate once per distinct pattern, as in the eigensolver reference.
+  SweepPattern validated;
+  bool have_validated = false;
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    const SweepPattern pattern = pattern_provider(sweep);
+    if (!have_validated || pattern != validated) {
+      JMH_REQUIRE(is_complete_pattern(pattern, n), "sweep pattern must cover all pairs once");
+      validated = pattern;
+      have_validated = true;
+    } else {
+      JMH_DASSERT(is_complete_pattern(pattern, n), "sweep pattern must cover all pairs once");
+    }
+    std::size_t rotated = 0;
+    for (auto [i, j] : pattern)
+      if (pair_columns(b.col(i), b.col(j), v.col(i), v.col(j), opts.threshold)) ++rotated;
+    rotations += rotated;
+    if (rotated == 0) {
+      converged = true;
+      break;
+    }
+    ++sweeps;
+  }
+
+  SvdResult out = svd_from_bv(b, v);
+  out.sweeps = sweeps;
+  out.converged = converged;
+  out.rotations = rotations;
+  return out;
+}
+
+SvdResult onesided_jacobi_svd_cyclic(const Matrix& a, const JacobiOptions& opts) {
+  const SweepPattern pattern = cyclic_pattern(a.cols());
+  return onesided_jacobi_svd(a, [&pattern](int) { return pattern; }, opts);
+}
+
+}  // namespace jmh::la

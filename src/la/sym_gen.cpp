@@ -18,6 +18,13 @@ Matrix random_uniform_symmetric(std::size_t n, Xoshiro256& rng) {
   return a;
 }
 
+Matrix random_uniform(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  Matrix a(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r) a(r, c) = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
 Matrix diagonal(const std::vector<double>& d) {
   Matrix a(d.size(), d.size());
   for (std::size_t i = 0; i < d.size(); ++i) a(i, i) = d[i];

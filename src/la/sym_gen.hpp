@@ -16,6 +16,10 @@ namespace jmh::la {
 /// Table 2 workload).
 Matrix random_uniform_symmetric(std::size_t n, Xoshiro256& rng);
 
+/// General (possibly rectangular) rows x cols matrix with entries uniform on
+/// [-1, 1] -- the task=svd workload of the service driver and benches.
+Matrix random_uniform(std::size_t rows, std::size_t cols, Xoshiro256& rng);
+
 /// Diagonal matrix with the given entries.
 Matrix diagonal(const std::vector<double>& d);
 

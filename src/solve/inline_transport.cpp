@@ -6,7 +6,7 @@
 
 namespace jmh::solve {
 
-InlineTransport::InlineTransport(const la::Matrix& a, int d) : layout_(a.rows(), d) {
+InlineTransport::InlineTransport(const la::Matrix& a, int d) : layout_(a.cols(), d) {
   const cube::Node num_nodes = cube::Node{1} << d;
   nodes_.reserve(num_nodes);
   for (cube::Node n = 0; n < num_nodes; ++n) nodes_.emplace_back(a, layout_, n);

@@ -12,7 +12,8 @@ namespace jmh::solve {
 
 class InlineTransport : public Transport {
  public:
-  /// Distributes @p a over the 2^{d+1} blocks of a d-cube.
+  /// Distributes the a.cols() columns of @p a (square for EVD, rectangular
+  /// for SVD) over the 2^{d+1} blocks of a d-cube.
   InlineTransport(const la::Matrix& a, int d);
 
   int dimension() const override { return layout_.d(); }

@@ -15,10 +15,11 @@ net::Payload ColumnBlock::serialize() const {
 
 void ColumnBlock::serialize_into(net::Payload& out) const {
   out.clear();
-  out.reserve(3 + cols.size() + b.size() + v.size());
+  out.reserve(4 + cols.size() + b.size() + v.size());
   out.push_back(static_cast<double>(id));
   out.push_back(static_cast<double>(num_cols()));
   out.push_back(static_cast<double>(rows));
+  out.push_back(static_cast<double>(vrows));
   for (std::size_t c : cols) out.push_back(static_cast<double>(c));
   out.insert(out.end(), b.begin(), b.end());
   out.insert(out.end(), v.begin(), v.end());
@@ -27,17 +28,20 @@ void ColumnBlock::serialize_into(net::Payload& out) const {
 void ColumnBlock::assign_from(std::span<const double> payload) {
   // Validate before mutating: a malformed payload must leave this block
   // exactly as it was (it may be a node's live mobile block).
-  JMH_REQUIRE(payload.size() >= 3, "truncated block payload");
+  JMH_REQUIRE(payload.size() >= 4, "truncated block payload");
   const auto ncols = static_cast<std::size_t>(payload[1]);
   const auto nrows = static_cast<std::size_t>(payload[2]);
-  JMH_REQUIRE(payload.size() == 3 + ncols + 2 * ncols * nrows, "block payload size mismatch");
+  const auto nvrows = static_cast<std::size_t>(payload[3]);
+  JMH_REQUIRE(payload.size() == 4 + ncols + ncols * (nrows + nvrows),
+              "block payload size mismatch");
   id = static_cast<ord::BlockId>(payload[0]);
   rows = nrows;
+  vrows = nvrows;
   cols.resize(ncols);
-  for (std::size_t i = 0; i < ncols; ++i) cols[i] = static_cast<std::size_t>(payload[3 + i]);
-  const double* base = payload.data() + 3 + ncols;
+  for (std::size_t i = 0; i < ncols; ++i) cols[i] = static_cast<std::size_t>(payload[4 + i]);
+  const double* base = payload.data() + 4 + ncols;
   b.assign(base, base + ncols * rows);
-  v.assign(base + ncols * rows, base + 2 * ncols * rows);
+  v.assign(base + ncols * rows, base + ncols * rows + ncols * vrows);
 }
 
 ColumnBlock ColumnBlock::deserialize(std::span<const double> payload) {
@@ -55,10 +59,11 @@ std::vector<ColumnBlock> ColumnBlock::deserialize_stream(const net::Payload& pay
   const std::span<const double> stream(payload);
   std::size_t pos = 0;
   while (pos < stream.size()) {
-    JMH_REQUIRE(stream.size() - pos >= 3, "truncated block stream");
+    JMH_REQUIRE(stream.size() - pos >= 4, "truncated block stream");
     const auto ncols = static_cast<std::size_t>(stream[pos + 1]);
     const auto rows = static_cast<std::size_t>(stream[pos + 2]);
-    const std::size_t len = 3 + ncols + 2 * ncols * rows;
+    const auto vrows = static_cast<std::size_t>(stream[pos + 3]);
+    const std::size_t len = 4 + ncols + ncols * (rows + vrows);
     JMH_REQUIRE(stream.size() - pos >= len, "truncated block in stream");
     blocks.push_back(deserialize(stream.subspan(pos, len)));
     pos += len;
@@ -82,12 +87,13 @@ void ColumnBlock::split_into(std::size_t q, std::vector<ColumnBlock>& packets) c
     ColumnBlock& pkt = packets[p];
     pkt.id = id;
     pkt.rows = rows;
+    pkt.vrows = vrows;
     pkt.cols.assign(cols.begin() + static_cast<std::ptrdiff_t>(begin),
                     cols.begin() + static_cast<std::ptrdiff_t>(end));
     pkt.b.assign(b.begin() + static_cast<std::ptrdiff_t>(begin * rows),
                  b.begin() + static_cast<std::ptrdiff_t>(end * rows));
-    pkt.v.assign(v.begin() + static_cast<std::ptrdiff_t>(begin * rows),
-                 v.begin() + static_cast<std::ptrdiff_t>(end * rows));
+    pkt.v.assign(v.begin() + static_cast<std::ptrdiff_t>(begin * vrows),
+                 v.begin() + static_cast<std::ptrdiff_t>(end * vrows));
   }
 }
 
@@ -101,11 +107,13 @@ void ColumnBlock::merge_into(const std::vector<ColumnBlock>& packets, ColumnBloc
   JMH_REQUIRE(!packets.empty(), "cannot merge zero packets");
   out.id = packets.front().id;
   out.rows = packets.front().rows;
+  out.vrows = packets.front().vrows;
   out.cols.clear();
   out.b.clear();
   out.v.clear();
   for (const auto& pkt : packets) {
-    JMH_REQUIRE(pkt.id == out.id && pkt.rows == out.rows, "packets from different blocks");
+    JMH_REQUIRE(pkt.id == out.id && pkt.rows == out.rows && pkt.vrows == out.vrows,
+                "packets from different blocks");
     out.cols.insert(out.cols.end(), pkt.cols.begin(), pkt.cols.end());
     out.b.insert(out.b.end(), pkt.b.begin(), pkt.b.end());
     out.v.insert(out.v.end(), pkt.v.begin(), pkt.v.end());
@@ -113,21 +121,22 @@ void ColumnBlock::merge_into(const std::vector<ColumnBlock>& packets, ColumnBloc
 }
 
 ColumnBlock extract_block(const la::Matrix& a, const BlockLayout& layout, ord::BlockId id) {
-  JMH_REQUIRE(a.is_square() && a.rows() == layout.m(), "matrix/layout mismatch");
+  JMH_REQUIRE(a.cols() == layout.m(), "matrix/layout mismatch");
   ColumnBlock out;
   out.id = id;
   out.rows = a.rows();
+  out.vrows = a.cols();
   const std::size_t begin = layout.block_begin(id);
   const std::size_t size = layout.block_size(id);
   out.cols.resize(size);
   out.b.resize(size * out.rows);
-  out.v.assign(size * out.rows, 0.0);
+  out.v.assign(size * out.vrows, 0.0);
   for (std::size_t i = 0; i < size; ++i) {
     const std::size_t col = begin + i;
     out.cols[i] = col;
     const auto src = a.col(col);
     std::copy(src.begin(), src.end(), out.b.begin() + static_cast<std::ptrdiff_t>(i * out.rows));
-    out.v[i * out.rows + col] = 1.0;  // V starts as the identity
+    out.v[i * out.vrows + col] = 1.0;  // V starts as the identity
   }
   return out;
 }
@@ -201,7 +210,8 @@ SweepStats JacobiNode::inter_block_pairings(double threshold) {
 }
 
 SweepStats JacobiNode::pair_fixed_with(ColumnBlock& packet, double threshold) {
-  JMH_REQUIRE(packet.rows == fixed_.rows, "packet row count mismatch");
+  JMH_REQUIRE(packet.rows == fixed_.rows && packet.vrows == fixed_.vrows,
+              "packet row count mismatch");
   return pair_across_blocks(fixed_, packet, threshold);
 }
 

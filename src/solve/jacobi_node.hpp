@@ -18,19 +18,25 @@
 namespace jmh::solve {
 
 /// A column block of (B, V): `cols` global column ids; `b` and `v` hold the
-/// column data contiguously, column-major, rows() elements per column.
+/// column data contiguously, column-major -- `rows` elements per B column,
+/// `vrows` per V column. For the symmetric eigenproblem the two are equal;
+/// for a rectangular m x n SVD input the B columns have m rows (they track
+/// A * V) while the V columns always have n (the accumulated rotations act
+/// on the column space).
 struct ColumnBlock {
   ord::BlockId id = 0;
-  std::size_t rows = 0;
+  std::size_t rows = 0;   ///< rows per B column
+  std::size_t vrows = 0;  ///< rows per V column (== rows for square inputs)
   std::vector<std::size_t> cols;
   std::vector<double> b;
   std::vector<double> v;
 
   std::size_t num_cols() const noexcept { return cols.size(); }
   std::span<double> col_b(std::size_t i) { return {b.data() + i * rows, rows}; }
-  std::span<double> col_v(std::size_t i) { return {v.data() + i * rows, rows}; }
+  std::span<double> col_v(std::size_t i) { return {v.data() + i * vrows, vrows}; }
 
-  /// Flattens to an mpi_lite payload: [id, ncols, rows, cols..., b..., v...].
+  /// Flattens to an mpi_lite payload:
+  /// [id, ncols, rows, vrows, cols..., b..., v...].
   net::Payload serialize() const;
 
   /// Flattens into @p out, reusing its capacity (cleared first). The
@@ -68,7 +74,9 @@ struct ColumnBlock {
   static void merge_into(const std::vector<ColumnBlock>& packets, ColumnBlock& out);
 };
 
-/// Extracts block @p id of (B=A, V=I) from the input matrix.
+/// Extracts block @p id of (B=A, V=I) from the input matrix. The layout
+/// partitions the a.cols() columns; @p a may be rectangular (B columns get
+/// a.rows() rows, V columns a.cols()).
 ColumnBlock extract_block(const la::Matrix& a, const BlockLayout& layout, ord::BlockId id);
 
 /// Per-node accumulation over (part of) a sweep: rotation count plus the

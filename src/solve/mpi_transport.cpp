@@ -22,7 +22,7 @@ int message_tag(std::uint64_t step) {
 }  // namespace
 
 MpiLiteTransport::MpiLiteTransport(net::Comm& comm, const la::Matrix& a, std::uint64_t q)
-    : hc_(comm), layout_(a.rows(), hc_.dimension()), node_(a, layout_, hc_.node()), q_(q) {}
+    : hc_(comm), layout_(a.cols(), hc_.dimension()), node_(a, layout_, hc_.node()), q_(q) {}
 
 void MpiLiteTransport::apply_transition(const ord::Transition& t, std::uint64_t step) {
   const int tag = message_tag(step);

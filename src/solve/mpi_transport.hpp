@@ -76,4 +76,10 @@ class MpiLiteTransport : public Transport {
 DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                  const SolveOptions& opts, std::uint64_t q);
 
+/// SVD counterpart of solve_mpi_like: the identical universe + sweep-engine
+/// run over the a.cols() columns of a rectangular @p a, assembled as
+/// singular triplets (assemble_svd_result) instead of eigenpairs.
+SvdSolveResult solve_mpi_svd_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                                  const SolveOptions& opts, std::uint64_t q);
+
 }  // namespace jmh::solve

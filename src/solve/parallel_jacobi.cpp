@@ -22,7 +22,7 @@ DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m
   la::Matrix v(m, m);
   std::vector<char> seen(m, 0);
   for (auto& blk : blocks) {
-    JMH_REQUIRE(blk.rows == m, "block row count mismatch");
+    JMH_REQUIRE(blk.rows == m && blk.vrows == m, "block row count mismatch");
     for (std::size_t i = 0; i < blk.num_cols(); ++i) {
       const std::size_t col = blk.cols[i];
       JMH_REQUIRE(col < m && !seen[col], "column coverage violation in final blocks");
@@ -59,24 +59,84 @@ DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& o
   return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
 }
 
-DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
-                                 const SolveOptions& opts, std::uint64_t q) {
+SvdSolveResult assemble_svd_result(std::vector<ColumnBlock> blocks, std::size_t rows,
+                                   std::size_t cols, int sweeps, bool converged,
+                                   std::size_t rotations) {
+  la::Matrix b(rows, cols);
+  la::Matrix v(cols, cols);
+  std::vector<char> seen(cols, 0);
+  for (auto& blk : blocks) {
+    JMH_REQUIRE(blk.rows == rows && blk.vrows == cols, "block row count mismatch");
+    for (std::size_t i = 0; i < blk.num_cols(); ++i) {
+      const std::size_t col = blk.cols[i];
+      JMH_REQUIRE(col < cols && !seen[col], "column coverage violation in final blocks");
+      seen[col] = 1;
+      std::copy_n(blk.b.begin() + static_cast<std::ptrdiff_t>(i * rows), rows,
+                  b.col(col).begin());
+      std::copy_n(blk.v.begin() + static_cast<std::ptrdiff_t>(i * cols), cols,
+                  v.col(col).begin());
+    }
+  }
+  JMH_REQUIRE(std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; }),
+              "final blocks do not cover every column");
+
+  SvdSolveResult out;
+  static_cast<la::SvdResult&>(out) = la::svd_from_bv(b, v);
+  out.sweeps = sweeps;
+  out.converged = converged;
+  out.rotations = rotations;
+  return out;
+}
+
+namespace {
+
+/// The shared mpi_lite run: spins up the universe, drives the protocol on
+/// every rank, and hands rank 0's collected blocks (plus traffic) to the
+/// caller's assembly -- identical for the EVD and SVD entry points.
+struct MpiRunOutcome {
+  std::vector<ColumnBlock> blocks;  ///< rank 0's full final block set
+  EngineResult engine;
+  net::CommStats comm;
+};
+
+MpiRunOutcome run_mpi_protocol(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                               const SolveOptions& opts, std::uint64_t q) {
   net::Universe universe(1 << ordering.dimension());
-
-  DistributedResult result;  // filled by rank 0
-  std::mutex result_mu;
-
+  MpiRunOutcome out;
+  std::mutex out_mu;
   universe.run([&](net::Comm& comm) {
     MpiLiteTransport transport(comm, a, q);
     const EngineResult er = run_sweep_protocol(transport, ordering, opts);
     std::vector<ColumnBlock> blocks = transport.collect_blocks();
     if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lock(result_mu);
-      result = assemble_result(std::move(blocks), a.rows(), er.sweeps, er.converged,
-                               er.rotations);
+      std::lock_guard<std::mutex> lock(out_mu);
+      out.engine = er;
+      out.blocks = std::move(blocks);
     }
   });
-  result.comm = universe.stats();
+  out.comm = universe.stats();
+  return out;
+}
+
+}  // namespace
+
+DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                                 const SolveOptions& opts, std::uint64_t q) {
+  MpiRunOutcome run = run_mpi_protocol(a, ordering, opts, q);
+  DistributedResult result =
+      assemble_result(std::move(run.blocks), a.rows(), run.engine.sweeps,
+                      run.engine.converged, run.engine.rotations);
+  result.comm = run.comm;
+  return result;
+}
+
+SvdSolveResult solve_mpi_svd_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
+                                  const SolveOptions& opts, std::uint64_t q) {
+  MpiRunOutcome run = run_mpi_protocol(a, ordering, opts, q);
+  SvdSolveResult result =
+      assemble_svd_result(std::move(run.blocks), a.rows(), a.cols(), run.engine.sweeps,
+                          run.engine.converged, run.engine.rotations);
+  result.comm = run.comm;
   return result;
 }
 

@@ -23,6 +23,7 @@
 // transfer). Convergence: a sweep in which no node applies any rotation.
 #pragma once
 
+#include "la/svd.hpp"
 #include "net/universe.hpp"
 #include "ord/ordering.hpp"
 #include "solve/jacobi_node.hpp"
@@ -56,5 +57,19 @@ DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& orde
 /// and tests). Blocks must jointly cover all m columns.
 DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m, int sweeps,
                                   bool converged, std::size_t rotations);
+
+/// Distributed SVD outcome: la::SvdResult plus the run's traffic counters.
+struct SvdSolveResult : la::SvdResult {
+  net::CommStats comm;  ///< mpi_lite traffic (zero for single-owner runs)
+};
+
+/// SVD counterpart of assemble_result: reassembles the final (B, V) pair of
+/// a task=svd run -- B is rows x cols, V is cols x cols -- and extracts
+/// (sigma, U, V) through la::svd_from_bv, so every backend collecting the
+/// same blocks produces bit-identical results. Blocks must jointly cover
+/// all @p cols columns.
+SvdSolveResult assemble_svd_result(std::vector<ColumnBlock> blocks, std::size_t rows,
+                                   std::size_t cols, int sweeps, bool converged,
+                                   std::size_t rotations);
 
 }  // namespace jmh::solve

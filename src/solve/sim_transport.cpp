@@ -19,9 +19,11 @@ sim::SimConfig make_config(const SimSolveOptions& opts) {
 }
 
 /// Elements of the B and V columns a block ships (headers excluded: the
-/// machine model charges matrix data, matching pipe::ProblemParams).
+/// machine model charges matrix data, matching pipe::ProblemParams). For
+/// square inputs rows == vrows and this is exactly the historical
+/// 2 * rows * ncols.
 double block_elems(const ColumnBlock& blk) {
-  return 2.0 * static_cast<double>(blk.rows) * static_cast<double>(blk.num_cols());
+  return static_cast<double>(blk.rows + blk.vrows) * static_cast<double>(blk.num_cols());
 }
 
 }  // namespace
@@ -56,8 +58,11 @@ SweepStats SimTransport::run_phase(const PhaseContext& ctx) {
   links.reserve(ctx.phase.num_steps);
   for (std::size_t t = 0; t < ctx.phase.num_steps; ++t)
     links.push_back(ctx.transitions[ctx.phase.first_step + t].link);
+  // Uniform model block size: (B rows + V rows) elements per column. For
+  // square inputs rows == m, giving exactly the historical 2 * m * cols.
   const double m = static_cast<double>(layout_.m());
-  const double step_elems = 2.0 * m * (m / static_cast<double>(layout_.num_blocks()));
+  const double col_elems = static_cast<double>(nodes_.front().fixed().rows) + m;
+  const double step_elems = col_elems * (m / static_cast<double>(layout_.num_blocks()));
   const sim::Program program =
       sim::build_pipelined_links_program(links, pipelined_q_, step_elems, dimension());
   for (const auto& stage : program) network_.accumulate_stage(stage, clock_);

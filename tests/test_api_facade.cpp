@@ -4,6 +4,7 @@
 // shareability of one immutable plan.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
@@ -123,6 +124,158 @@ TEST(SolverSpec, RejectsMalformedInput) {
   EXPECT_THROW(SolverSpec::parse("stop=never"), std::invalid_argument);
   EXPECT_THROW(SolverSpec::parse("shift=maybe"), std::invalid_argument);
   EXPECT_THROW(SolverSpec::parse("max_sweeps=0"), std::invalid_argument);
+}
+
+TEST(SolverSpec, TaskAndRowsRoundTripAndValidate) {
+  SolverSpec spec;
+  spec.task = Task::Svd;
+  spec.m = 16;
+  spec.rows = 24;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+  EXPECT_EQ(SolverSpec::parse("task=svd").task, Task::Svd);
+  EXPECT_EQ(SolverSpec::parse("task=EVD").task, Task::Evd);
+  EXPECT_EQ(SolverSpec::parse("").task, Task::Evd);
+  // rows == m names the same square scenario as rows=0: parse normalizes,
+  // so the two spellings compare EQUAL and share one canonical string (and
+  // therefore one plan-cache entry).
+  EXPECT_EQ(SolverSpec::parse("rows=32").rows, 0u);  // == default m: normalized
+  EXPECT_EQ(SolverSpec::parse("task=svd,m=8,rows=8"), SolverSpec::parse("task=svd,m=8"));
+  EXPECT_EQ(SolverSpec::parse("task=svd,m=8,rows=8").to_string(),
+            SolverSpec::parse("task=svd,m=8").to_string());
+  EXPECT_EQ(SolverSpec::parse("task=svd,m=8,rows=8").input_rows(), 8u);
+  EXPECT_EQ(SolverSpec::parse("task=svd,m=8").input_rows(), 8u);  // rows=0 -> m
+
+  EXPECT_THROW(SolverSpec::parse("task=qr"), std::invalid_argument);
+  // rows != m is an SVD-only shape...
+  EXPECT_THROW(SolverSpec::parse("m=16,rows=24"), std::invalid_argument);
+  // ...and must be tall (wide inputs cannot converge; factor the transpose).
+  EXPECT_THROW(SolverSpec::parse("task=svd,m=16,rows=8"), std::invalid_argument);
+  // A diagonal shift has no SVD meaning.
+  EXPECT_THROW(SolverSpec::parse("task=svd,shift=1"), std::invalid_argument);
+  // Cross-key checks run on final values: key order must not matter.
+  EXPECT_NO_THROW(SolverSpec::parse("rows=24,m=16,task=svd"));
+}
+
+// Regression: NaN/Inf pass naive sign checks (every comparison against NaN
+// is false), so "threshold=nan" used to parse and poison the convergence
+// math, "ts=inf" the cost model. Every double key must reject non-finite
+// values and name the key.
+TEST(SolverSpec, RejectsNonFiniteDoubles) {
+  for (const char* text : {"threshold=nan", "off_tol=nan", "ts=inf", "tw=nan", "ts=infinity",
+                           "tw=+inf", "threshold=-nan", "off_tol=1e999"}) {
+    EXPECT_THROW(SolverSpec::parse(text), std::invalid_argument) << text;
+  }
+  try {
+    SolverSpec::parse("m=16,threshold=nan");
+    FAIL() << "threshold=nan must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'threshold'"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+// Regression: parse_uint results were narrowed to int for d, max_sweeps and
+// ports, so d=4294967297 (2^32 + 1) silently became d=1. Out-of-range
+// values must fail loudly, naming the key.
+TEST(SolverSpec, RejectsIntegerOverflowInsteadOfTruncating) {
+  EXPECT_THROW(SolverSpec::parse("d=4294967297"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("d=2147483648"), std::invalid_argument);  // INT_MAX + 1
+  EXPECT_THROW(SolverSpec::parse("max_sweeps=4294967297"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("ports=99999999999"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("m=18446744073709551616"), std::invalid_argument);  // 2^64
+  try {
+    SolverSpec::parse("d=4294967297");
+    FAIL() << "overflowing d must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'d'"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+  // In-range values keep working up to the type boundary.
+  EXPECT_EQ(SolverSpec::parse("max_sweeps=2147483647").max_sweeps, 2147483647);
+}
+
+// Regression: strtoull accepts a leading '+', so "m=+5" and "m=5" named the
+// same scenario -- two spellings of one spec break parse(to_string(s)) as
+// the canonical fixed point (and the plan cache's key uniqueness).
+TEST(SolverSpec, RejectsNonDigitLeadingCharactersInIntegers) {
+  for (const char* text : {"m=+5", "d=+3", "rows=+24", "max_sweeps=+10", "ports=+2",
+                           "pipeline=+4", "m= 5x", "m=0x10"}) {
+    EXPECT_THROW(SolverSpec::parse(text), std::invalid_argument) << text;
+  }
+  try {
+    SolverSpec::parse("m=+5");
+    FAIL() << "m=+5 must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'m'"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+// Seeded property test: any valid spec the generator can produce must
+// round-trip EXACTLY through its canonical string, and the canonical string
+// must be a fixed point of parse . to_string.
+TEST(SolverSpec, FuzzedValidSpecsRoundTripExactly) {
+  Xoshiro256 rng(20260727);
+  const ord::OrderingKind kinds[] = {ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
+                                     ord::OrderingKind::Degree4, ord::OrderingKind::MinAlpha};
+  for (int iter = 0; iter < 500; ++iter) {
+    SolverSpec spec;
+    spec.task = rng.below(2) ? Task::Svd : Task::Evd;
+    spec.backend = static_cast<Backend>(rng.below(3));
+    spec.ordering = kinds[rng.below(4)];
+    spec.d = static_cast<int>(1 + rng.below(5));
+    spec.m = (std::size_t{2} << spec.d) + rng.below(100);
+    // Strictly taller than square: rows == m is the normalized-to-0 form.
+    if (spec.task == Task::Svd && rng.below(2)) spec.rows = spec.m + 1 + rng.below(64);
+    switch (rng.below(3)) {
+      case 0: spec.pipelining = PipeliningPolicy::Off; break;
+      case 1: spec.pipelining = PipeliningPolicy::Auto; break;
+      default:
+        spec.pipelining = PipeliningPolicy::Fixed;
+        spec.q = 1 + rng.below(8);
+    }
+    spec.machine.ts = rng.uniform(0.0, 1e4);
+    spec.machine.tw = rng.uniform(0.0, 10.0);
+    spec.machine.ports = rng.below(2) ? pipe::MachineParams::kAllPort
+                                      : static_cast<int>(1 + rng.below(4));
+    spec.overlap_startup = rng.below(2) != 0;
+    spec.threshold = std::pow(10.0, -static_cast<double>(1 + rng.below(15)));
+    spec.max_sweeps = static_cast<int>(1 + rng.below(200));
+    spec.stop_rule = rng.below(2) ? solve::StopRule::OffDiagonal : solve::StopRule::NoRotations;
+    spec.off_tol = rng.uniform(1e-12, 1e-2);
+    spec.gershgorin_shift = spec.task == Task::Evd && rng.below(2) != 0;
+
+    const std::string text = spec.to_string();
+    SolverSpec back;
+    ASSERT_NO_THROW(back = SolverSpec::parse(text)) << "iter " << iter << ": " << text;
+    EXPECT_EQ(back, spec) << "iter " << iter << ": " << text;
+    EXPECT_EQ(back.to_string(), text) << "iter " << iter;
+  }
+}
+
+// Adversarial malformed strings: every rejection must name the offending
+// key so service logs point at the bad token, not just "parse error".
+TEST(SolverSpec, MalformedStringsNameTheOffendingKey) {
+  const struct {
+    const char* text;
+    const char* named;
+  } cases[] = {
+      {"threshold=nan", "'threshold'"}, {"off_tol=nan", "'off_tol'"},
+      {"ts=inf", "'ts'"},               {"tw=nan", "'tw'"},
+      {"m=+5", "'m'"},                  {"rows=+7", "'rows'"},
+      {"d=4294967297", "'d'"},          {"max_sweeps=4294967297", "'max_sweeps'"},
+      {"ports=4294967297", "'ports'"},  {"pipeline=+2", "'pipeline'"},
+      {"task=lu", "task"},              {"m=16,m=16", "'m'"},
+  };
+  for (const auto& c : cases) {
+    try {
+      SolverSpec::parse(c.text);
+      FAIL() << c.text << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.named), std::string::npos)
+          << c.text << " -> " << e.what();
+    }
+  }
 }
 
 TEST(SolverPlan, RejectsInfeasibleSpecs) {
@@ -351,11 +504,11 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
     pos = end + 1;
   }
   const std::vector<std::string> expected = {
-      "backend",       "ordering",      "m",           "pipeline_q",
-      "converged",     "sweeps",        "rotations",   "spectrum_min",
-      "spectrum_max",  "comm_messages", "comm_elements", "comm_barriers",
-      "has_model",     "modeled_time",  "vote_time",   "modeled_sweeps",
-      "mean_link_utilization"};
+      "task",          "backend",       "ordering",      "m",
+      "rows",          "pipeline_q",    "converged",     "sweeps",
+      "rotations",     "spectrum_min",  "spectrum_max",  "comm_messages",
+      "comm_elements", "comm_barriers", "has_model",     "modeled_time",
+      "vote_time",     "modeled_sweeps", "mean_link_utilization"};
   EXPECT_EQ(keys, expected);
 
   // One line, no whitespace, and the scenario echo is right.
@@ -370,8 +523,29 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
   // Every backend emits the same field set (zeros outside its sections).
   const SolveReport inline_r = Solver::solve(SolverSpec::parse("m=16,d=2"), a);
   const std::string inline_json = report_to_json(inline_r);
+  EXPECT_NE(inline_json.find("\"task\":\"evd\""), std::string::npos);
   EXPECT_NE(inline_json.find("\"has_model\":false"), std::string::npos);
   EXPECT_NE(inline_json.find("\"comm_messages\":0"), std::string::npos);
+
+  // ... and so does a task=svd report, with the input shape echoed and the
+  // extreme singular values in the spectrum slots.
+  Xoshiro256 rng(12);
+  const la::Matrix rect = la::random_uniform(24, 16, rng);
+  const SolveReport svd_r =
+      Solver::solve(SolverSpec::parse("task=svd,m=16,rows=24,d=2"), rect);
+  const std::string svd_json = report_to_json(svd_r);
+  std::vector<std::string> svd_keys;
+  for (std::size_t pos = 0; (pos = svd_json.find('"', pos)) != std::string::npos;) {
+    const std::size_t end = svd_json.find('"', pos + 1);
+    ASSERT_NE(end, std::string::npos);
+    if (end + 1 < svd_json.size() && svd_json[end + 1] == ':')
+      svd_keys.push_back(svd_json.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  EXPECT_EQ(svd_keys, expected);
+  EXPECT_NE(svd_json.find("\"task\":\"svd\""), std::string::npos);
+  EXPECT_NE(svd_json.find("\"m\":16"), std::string::npos);
+  EXPECT_NE(svd_json.find("\"rows\":24"), std::string::npos);
 }
 
 TEST(SolverPlan, CustomOrderingThroughTheFacade) {

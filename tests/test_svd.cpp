@@ -1,0 +1,115 @@
+// The sequential one-sided Jacobi SVD reference (la/svd.hpp): recovery of
+// known singular values, residual and orthogonality on random rectangular
+// inputs, consistency with the eigensolver applied to A^T A, and the
+// deterministic extraction contract of svd_from_bv.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/eigen_check.hpp"
+#include "la/svd.hpp"
+#include "la/sym_gen.hpp"
+
+namespace jmh::la {
+namespace {
+
+Matrix rect_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return random_uniform(rows, cols, rng);
+}
+
+TEST(OnesidedSvd, RecoversDiagonalSingularValues) {
+  // A tall matrix whose columns are scaled unit vectors: the singular
+  // values are exactly the scales, sorted descending.
+  Matrix a(6, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = -7.0;  // sigma = |scale|
+  a(2, 2) = 0.5;
+  a(3, 3) = 5.0;
+  const SvdResult r = onesided_jacobi_svd_cyclic(a);
+  ASSERT_TRUE(r.converged);
+  const std::vector<double> expected = {7.0, 5.0, 3.0, 0.5};
+  ASSERT_EQ(r.singular_values.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k)
+    EXPECT_NEAR(r.singular_values[k], expected[k], 1e-12);
+  EXPECT_LT(svd_residual(a, r.singular_values, r.u, r.v), 1e-12);
+}
+
+TEST(OnesidedSvd, TallRandomResidualAndOrthogonality) {
+  const Matrix a = rect_matrix(24, 16, 7);
+  const SvdResult r = onesided_jacobi_svd_cyclic(a);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.singular_values.size(), 16u);
+  EXPECT_EQ(r.u.rows(), 24u);
+  EXPECT_EQ(r.u.cols(), 16u);
+  EXPECT_EQ(r.v.rows(), 16u);
+  EXPECT_EQ(r.v.cols(), 16u);
+  // Descending and non-negative.
+  for (std::size_t k = 0; k + 1 < 16; ++k)
+    EXPECT_GE(r.singular_values[k], r.singular_values[k + 1]);
+  EXPECT_GE(r.singular_values.back(), 0.0);
+  EXPECT_LT(svd_residual(a, r.singular_values, r.u, r.v), 1e-12);
+  EXPECT_LT(orthogonality_defect(r.u), 1e-10);
+  EXPECT_LT(orthogonality_defect(r.v), 1e-10);
+}
+
+TEST(OnesidedSvd, MatchesEigenvaluesOfGramMatrix) {
+  // sigma_k(A)^2 are the eigenvalues of A^T A: cross-check against the
+  // symmetric eigensolver reference on the explicitly formed Gram matrix.
+  const Matrix a = rect_matrix(20, 12, 11);
+  Matrix gram(12, 12);
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j) gram(i, j) = dot(a.col(i), a.col(j));
+
+  const SvdResult svd = onesided_jacobi_svd_cyclic(a);
+  const JacobiResult evd = onesided_jacobi_cyclic(gram);
+  ASSERT_TRUE(svd.converged && evd.converged);
+  // evd ascending, svd descending.
+  for (std::size_t k = 0; k < 12; ++k) {
+    const double sigma2 = svd.singular_values[k] * svd.singular_values[k];
+    EXPECT_NEAR(sigma2, evd.eigenvalues[11 - k], 1e-9 * std::abs(evd.eigenvalues[11]));
+  }
+}
+
+TEST(OnesidedSvd, RejectsWideInputs) {
+  // 12 columns in R^8 put 4 columns in the null space, whose mutual dot
+  // products never pass the relative rotation threshold -- the method
+  // cannot converge, so wide inputs are rejected up front (factor the
+  // transpose instead).
+  EXPECT_THROW(onesided_jacobi_svd_cyclic(rect_matrix(8, 12, 3)), std::invalid_argument);
+}
+
+TEST(OnesidedSvd, SquareInputMatchesTallMachinery) {
+  const Matrix a = rect_matrix(12, 12, 5);
+  const SvdResult r = onesided_jacobi_svd_cyclic(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(svd_residual(a, r.singular_values, r.u, r.v), 1e-12);
+  EXPECT_LT(orthogonality_defect(r.u), 1e-10);
+  EXPECT_LT(orthogonality_defect(r.v), 1e-10);
+}
+
+TEST(OnesidedSvd, RejectsGershgorinShift) {
+  JacobiOptions opts;
+  opts.gershgorin_shift = true;
+  EXPECT_THROW(onesided_jacobi_svd_cyclic(rect_matrix(8, 8, 1), opts), std::invalid_argument);
+}
+
+TEST(SvdFromBv, DeterministicTieBreakOnEqualSigmas) {
+  // Two columns with identical norms: the extraction must order them by
+  // original column index, making the result a pure function of (B, V).
+  Matrix b(3, 2);
+  b(0, 0) = 2.0;
+  b(1, 1) = 2.0;
+  Matrix v = Matrix::identity(2);
+  const SvdResult r = svd_from_bv(b, v);
+  EXPECT_EQ(r.singular_values, (std::vector<double>{2.0, 2.0}));
+  EXPECT_EQ(r.v(0, 0), 1.0);  // column 0 first
+  EXPECT_EQ(r.v(1, 1), 1.0);
+  EXPECT_EQ(r.u(0, 0), 1.0);
+  EXPECT_EQ(r.u(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace jmh::la

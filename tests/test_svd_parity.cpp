@@ -1,0 +1,161 @@
+// task=svd through every backend: the same sweep machinery that carries the
+// eigenproblem carries the SVD, so one spec solved on inline, mpi,
+// mpi+pipelined and sim must produce BIT-IDENTICAL {singular values, U, V}.
+// (Inline/mpi/sim follow the identical rotation order; the pipelined path
+// visits the same column pairs in an order that only swaps rotations on
+// disjoint column sets, so it commutes exactly. All four backends also
+// assemble through the same la::svd_from_bv.)
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "la/eigen_check.hpp"
+#include "la/svd.hpp"
+#include "la/sym_gen.hpp"
+#include "svc/service.hpp"
+
+namespace jmh::api {
+namespace {
+
+la::Matrix rect_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return la::random_uniform(rows, cols, rng);
+}
+
+SolveReport solve_with_backend(SolverSpec spec, Backend backend, const la::Matrix& a) {
+  spec.backend = backend;
+  return Solver::plan(spec).solve(a);
+}
+
+void expect_bit_identical(const SolveReport& r, const SolveReport& ref, const char* label) {
+  EXPECT_EQ(r.singular_values, ref.singular_values) << label;
+  EXPECT_EQ(la::Matrix::max_abs_diff(r.u, ref.u), 0.0) << label;
+  EXPECT_EQ(la::Matrix::max_abs_diff(r.eigenvectors, ref.eigenvectors), 0.0) << label;
+  EXPECT_EQ(r.sweeps, ref.sweeps) << label;
+  EXPECT_EQ(r.rotations, ref.rotations) << label;
+}
+
+class SvdParityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvdParityTest, AllBackendsBitIdenticalOnRectangularInput) {
+  const la::Matrix a = rect_matrix(24, 16, GetParam());
+  const SolverSpec spec = SolverSpec::parse("task=svd,ordering=d4,m=16,rows=24,d=2");
+
+  const SolveReport inline_r = solve_with_backend(spec, Backend::Inline, a);
+  const SolveReport mpi_r = solve_with_backend(spec, Backend::MpiLite, a);
+  const SolveReport sim_r = solve_with_backend(spec, Backend::Sim, a);
+  SolverSpec piped = spec;
+  piped.pipelining = PipeliningPolicy::Fixed;
+  piped.q = 2;
+  const SolveReport pipe_r = solve_with_backend(piped, Backend::MpiLite, a);
+
+  ASSERT_TRUE(inline_r.converged && mpi_r.converged && sim_r.converged && pipe_r.converged);
+  ASSERT_EQ(inline_r.singular_values.size(), 16u);
+  EXPECT_TRUE(inline_r.eigenvalues.empty());  // svd fills the svd fields only
+
+  expect_bit_identical(mpi_r, inline_r, "mpi vs inline");
+  expect_bit_identical(sim_r, inline_r, "sim vs inline");
+  expect_bit_identical(pipe_r, inline_r, "mpi-pipelined vs inline");
+  EXPECT_EQ(pipe_r.pipelining_q, 2u);
+  EXPECT_GT(mpi_r.comm.messages, 0u);
+  ASSERT_TRUE(sim_r.has_model);
+  EXPECT_GT(sim_r.modeled_time, 0.0);
+
+  // Acceptance bound: max_k ||A v_k - sigma_k u_k|| <= 1e-10 * ||A||_F
+  // (svd_residual is relative to ||A||_F).
+  EXPECT_LT(la::svd_residual(a, inline_r.singular_values, inline_r.u, inline_r.eigenvectors),
+            1e-10);
+  EXPECT_LT(la::orthogonality_defect(inline_r.u), 1e-10);
+  EXPECT_LT(la::orthogonality_defect(inline_r.eigenvectors), 1e-10);
+
+  // And the distributed runs agree with the sequential reference spectrum.
+  const la::SvdResult ref = la::onesided_jacobi_svd_cyclic(a);
+  ASSERT_TRUE(ref.converged);
+  EXPECT_LT(la::spectrum_distance(inline_r.singular_values, ref.singular_values), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvdParityTest, ::testing::Values(1u, 4242u, 99u));
+
+TEST(SvdParity, SquareSvdAcrossBackends) {
+  const la::Matrix a = rect_matrix(16, 16, 17);
+  const SolverSpec spec = SolverSpec::parse("task=svd,ordering=pbr,m=16,d=2");
+  const SolveReport inline_r = solve_with_backend(spec, Backend::Inline, a);
+  const SolveReport mpi_r = solve_with_backend(spec, Backend::MpiLite, a);
+  const SolveReport sim_r = solve_with_backend(spec, Backend::Sim, a);
+  ASSERT_TRUE(inline_r.converged);
+  expect_bit_identical(mpi_r, inline_r, "mpi vs inline");
+  expect_bit_identical(sim_r, inline_r, "sim vs inline");
+  EXPECT_LT(la::svd_residual(a, inline_r.singular_values, inline_r.u, inline_r.eigenvectors),
+            1e-10);
+}
+
+TEST(SvdParity, AutoPipeliningKeepsSvdNumerics) {
+  const la::Matrix a = rect_matrix(40, 32, 8);
+  const SolveReport plain =
+      Solver::solve(SolverSpec::parse("task=svd,backend=sim,ordering=pbr,m=32,rows=40,d=2"), a);
+  const SolveReport piped = Solver::solve(
+      SolverSpec::parse("task=svd,backend=sim,ordering=pbr,m=32,rows=40,d=2,pipeline=auto"), a);
+  ASSERT_TRUE(plain.converged && piped.converged);
+  EXPECT_EQ(piped.singular_values, plain.singular_values);
+  EXPECT_GT(piped.pipelining_q, 0u);
+  EXPECT_GT(piped.modeled_time, 0.0);
+}
+
+TEST(SvdParity, UnevenColumnSplitAcrossBackends) {
+  // 13 columns over 8 blocks (sizes differ by one) and a rectangular input:
+  // every substrate must still cover all pairs.
+  const la::Matrix a = rect_matrix(19, 13, 77);
+  const SolverSpec spec = SolverSpec::parse("task=svd,ordering=pbr,m=13,rows=19,d=2");
+  const SolveReport inline_r = solve_with_backend(spec, Backend::Inline, a);
+  const SolveReport mpi_r = solve_with_backend(spec, Backend::MpiLite, a);
+  ASSERT_TRUE(inline_r.converged);
+  expect_bit_identical(mpi_r, inline_r, "mpi vs inline");
+  EXPECT_LT(la::svd_residual(a, inline_r.singular_values, inline_r.u, inline_r.eigenvectors),
+            1e-10);
+}
+
+TEST(SvdParity, PlanRejectsWrongShape) {
+  const SolvePlan plan = Solver::plan(SolverSpec::parse("task=svd,m=16,rows=24,d=2"));
+  EXPECT_THROW(plan.solve(rect_matrix(16, 16, 1)), std::invalid_argument);  // wrong rows
+  EXPECT_THROW(plan.solve(rect_matrix(24, 12, 1)), std::invalid_argument);  // wrong cols
+  EXPECT_THROW(Solver::plan(SolverSpec::parse("task=svd,m=16,rows=8,d=2")),
+               std::invalid_argument);  // wide
+}
+
+// Mixed EVD/SVD traffic through the same service: the spec string is the
+// plan-cache key, so both workloads share PlanCache/JobQueue untouched, and
+// every served report is bit-identical to a direct plan.solve.
+TEST(SvdParity, ServiceServesMixedEvdSvdTraffic) {
+  const std::string evd_spec = "backend=inline,ordering=d4,m=16,d=2";
+  const std::string svd_spec = "task=svd,backend=inline,ordering=d4,m=16,rows=24,d=2";
+  const SolvePlan evd_plan = Solver::plan(SolverSpec::parse(evd_spec));
+  const SolvePlan svd_plan = Solver::plan(SolverSpec::parse(svd_spec));
+
+  svc::SolverService service({.workers = 2, .queue_capacity = 16, .cache_capacity = 4});
+  std::vector<std::future<SolveReport>> evd_jobs;
+  std::vector<std::future<SolveReport>> svd_jobs;
+  std::vector<la::Matrix> evd_inputs;
+  std::vector<la::Matrix> svd_inputs;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Xoshiro256 rng(seed);
+    evd_inputs.push_back(la::random_uniform_symmetric(16, rng));
+    svd_inputs.push_back(rect_matrix(24, 16, seed));
+    evd_jobs.push_back(service.submit(evd_spec, evd_inputs.back()));
+    svd_jobs.push_back(service.submit(svd_spec, svd_inputs.back()));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const SolveReport evd_r = evd_jobs[i].get();
+    const SolveReport svd_r = svd_jobs[i].get();
+    const SolveReport evd_ref = evd_plan.solve(evd_inputs[i]);
+    const SolveReport svd_ref = svd_plan.solve(svd_inputs[i]);
+    EXPECT_EQ(evd_r.eigenvalues, evd_ref.eigenvalues);
+    EXPECT_EQ(la::Matrix::max_abs_diff(evd_r.eigenvectors, evd_ref.eigenvectors), 0.0);
+    expect_bit_identical(svd_r, svd_ref, "service svd vs plan.solve");
+  }
+}
+
+}  // namespace
+}  // namespace jmh::api
