@@ -290,6 +290,56 @@ BENCHMARK(BM_ServiceThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Deliberate oversubscription: mpi-backend jobs (a gang of 2^d rank tasks
+// each) through `workers` concurrent dispatchers, so jobs x ranks well
+// exceeds the host's hardware threads. This is the case the shared
+// exec::ThreadPool exists for -- rank gangs from concurrent jobs interleave
+// on one fixed worker set instead of multiplying threads. The same binary
+// run with JMH_EXEC_POOL=off measures the legacy thread-per-rank baseline
+// (PERF.md records the A/B).
+void BM_ServiceOversub(benchmark::State& state) {
+  constexpr std::size_t kJobs = 8;
+  const std::string spec = "backend=mpi,ordering=d4,m=32,d=2";  // 4 ranks per job
+  std::vector<jmh::la::Matrix> matrices;
+  for (std::uint64_t seed = 1; seed <= kJobs; ++seed) {
+    jmh::Xoshiro256 rng(seed);
+    matrices.push_back(jmh::la::random_uniform_symmetric(32, rng));
+  }
+  for (auto _ : state) {
+    jmh::svc::ServiceConfig cfg;
+    cfg.workers = static_cast<std::size_t>(state.range(0));
+    cfg.queue_capacity = kJobs;
+    cfg.cache_capacity = 4;
+    jmh::svc::SolverService service(cfg);
+    std::vector<std::future<jmh::api::SolveReport>> futures;
+    futures.reserve(kJobs);
+    for (const auto& a : matrices) futures.push_back(service.submit(spec, a));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kJobs));
+}
+BENCHMARK(BM_ServiceOversub)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Truncated solves: topk=k of a m=64 eigenproblem through a reused plan.
+// k = m is the full-extraction degenerate case (identical numerics, the
+// bigger per-sweep vote), so the spread across args isolates what
+// truncation saves. Gated against BENCH_exec.json.
+void BM_TopkSolve(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(64, rng);
+  const auto spec = jmh::api::SolverSpec::parse(
+      "backend=inline,ordering=d4,m=64,d=2,topk=" + std::to_string(k));
+  const jmh::api::SolvePlan plan = jmh::api::Solver::plan(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.solve(a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopkSolve)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
 // --- the SVD workload --------------------------------------------------------
 // task=svd through a reused plan on the inline backend: a tall 3:2
 // rectangular input factored by the same sweep machinery as the

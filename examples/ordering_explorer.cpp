@@ -81,8 +81,11 @@ int main(int argc, char** argv) {
   for (auto kind : {OrderingKind::BR, OrderingKind::PermutedBR, OrderingKind::Degree4,
                     OrderingKind::MinAlpha}) {
     const JacobiOrdering ordering(kind, spec.d);
-    const auto best = jmh::pipe::find_optimal_sweep_q(
-        ordering, static_cast<double>(spec.m), spec.machine, q_max);
+    jmh::pipe::ProblemParams prob;
+    prob.d = spec.d;
+    prob.m = static_cast<double>(spec.m);
+    prob.rows = static_cast<double>(spec.rows);
+    const auto best = jmh::pipe::find_optimal_sweep_q(ordering, prob, spec.machine, q_max);
     char q_label[24];
     std::snprintf(q_label, sizeof q_label, "%llu%s",
                   static_cast<unsigned long long>(best.q), best.deep ? " (deep)" : "");

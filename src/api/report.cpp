@@ -1,5 +1,6 @@
 #include "api/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace jmh::api {
@@ -17,15 +18,21 @@ std::string SolveReport::summary() const {
 
   const bool svd = task == Task::Svd;
   const std::string pipe_str = pipelining_q == 0 ? "off" : std::to_string(pipelining_q);
+  const std::string topk_str = topk > 0 ? " topk=" + std::to_string(topk) : "";
+  // Problem geometry comes from the vector matrices, not the solution
+  // vector: a topk report carries only k values but V still has m rows.
+  const std::size_t m_cols = eigenvectors.rows() > 0
+                                 ? eigenvectors.rows()
+                                 : (svd ? singular_values.size() : eigenvalues.size());
   if (svd)
     std::snprintf(line, sizeof line,
-                  "scenario : task=svd backend=%s ordering=%s m=%zu rows=%zu pipeline=%s\n",
+                  "scenario : task=svd backend=%s ordering=%s m=%zu rows=%zu pipeline=%s%s\n",
                   api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
-                  singular_values.size(), u.rows(), pipe_str.c_str());
+                  m_cols, u.rows(), pipe_str.c_str(), topk_str.c_str());
   else
-    std::snprintf(line, sizeof line, "scenario : backend=%s ordering=%s m=%zu pipeline=%s\n",
+    std::snprintf(line, sizeof line, "scenario : backend=%s ordering=%s m=%zu pipeline=%s%s\n",
                   api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
-                  eigenvalues.size(), pipe_str.c_str());
+                  m_cols, pipe_str.c_str(), topk_str.c_str());
   out += line;
 
   std::snprintf(line, sizeof line, "solve    : %s after %d sweeps, %zu rotations\n",
@@ -37,8 +44,10 @@ std::string SolveReport::summary() const {
                   singular_values.front());
     out += line;
   } else if (!eigenvalues.empty()) {
-    std::snprintf(line, sizeof line, "spectrum : [%.6g, %.6g]\n", eigenvalues.front(),
-                  eigenvalues.back());
+    // Full evd reports are ascending; topk reports are |lambda|-descending.
+    // minmax covers both orderings.
+    const auto [lo, hi] = std::minmax_element(eigenvalues.begin(), eigenvalues.end());
+    std::snprintf(line, sizeof line, "spectrum : [%.6g, %.6g]\n", *lo, *hi);
     out += line;
   }
 
@@ -77,24 +86,34 @@ std::string report_to_json(const SolveReport& report) {
   };
   auto uint = [&](std::uint64_t v) { return std::to_string(v); };
 
-  // The solution vector of the report's task: eigenvalues ascending for
-  // evd, singular values descending for svd -- min/max below pick the right
-  // end either way.
+  // The solution vector of the report's task (evd: ascending, or
+  // |lambda|-descending when truncated; svd: descending) -- min/max are
+  // computed, not taken from the ends, so every ordering renders right.
   const bool svd = report.task == Task::Svd;
   const std::vector<double>& spectrum = svd ? report.singular_values : report.eigenvalues;
+  // Geometry from the vector matrices: a topk report's solution vector is
+  // k long, but V still has m rows (and U `rows` rows for svd).
+  const std::uint64_t m_cols =
+      report.eigenvectors.rows() > 0 ? report.eigenvectors.rows() : spectrum.size();
   field("task", "\"" + api::to_string(report.task) + "\"", /*first=*/true);
   field("backend", "\"" + api::to_string(report.backend) + "\"");
   field("ordering", "\"" + ord::spec_token(report.ordering) + "\"");
-  field("m", uint(spectrum.size()));
-  field("rows", uint(svd ? report.u.rows() : report.eigenvalues.size()));
+  field("m", uint(m_cols));
+  field("rows", uint(svd ? report.u.rows() : m_cols));
   field("pipeline_q", uint(report.pipelining_q));
+  field("topk", std::to_string(report.topk));
   field("converged", report.converged ? "true" : "false");
   field("sweeps", std::to_string(report.sweeps));
   field("rotations", uint(report.rotations));
-  field("spectrum_min",
-        num(spectrum.empty() ? 0.0 : (svd ? spectrum.back() : spectrum.front())));
-  field("spectrum_max",
-        num(spectrum.empty() ? 0.0 : (svd ? spectrum.front() : spectrum.back())));
+  const auto [spec_lo, spec_hi] =
+      spectrum.empty() ? std::pair<double, double>{0.0, 0.0}
+                       : [&] {
+                           const auto [lo, hi] =
+                               std::minmax_element(spectrum.begin(), spectrum.end());
+                           return std::pair<double, double>{*lo, *hi};
+                         }();
+  field("spectrum_min", num(spec_lo));
+  field("spectrum_max", num(spec_hi));
   field("comm_messages", uint(report.comm.messages));
   field("comm_elements", uint(report.comm.elements));
   field("comm_barriers", uint(report.comm.barriers));

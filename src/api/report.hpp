@@ -24,6 +24,9 @@ struct SolveReport {
   /// Packets per block actually used by the run's exchange phases
   /// (0 = unpipelined; the Inline backend always executes unpipelined).
   std::uint64_t pipelining_q = 0;
+  /// Truncated-solve order of the run (spec.topk): 0 = full solve; k > 0
+  /// means the solution fields below carry only the leading k pairs.
+  int topk = 0;
 
   // -- solution (every backend) ----------------------------------------------
   // task=evd fills eigenvalues + eigenvectors; task=svd fills
@@ -63,7 +66,7 @@ struct SolveReport {
 /// --json mode, the service driver's per-job output). The field set and
 /// order are STABLE -- pinned by tests/test_api_facade.cpp -- and every key
 /// is always present (traffic/model fields are zero outside their backend):
-///   task, backend, ordering, m, rows, pipeline_q, converged, sweeps,
+///   task, backend, ordering, m, rows, pipeline_q, topk, converged, sweeps,
 ///   rotations, spectrum_min, spectrum_max, comm_messages, comm_elements,
 ///   comm_barriers, has_model, modeled_time, vote_time, modeled_sweeps,
 ///   mean_link_utilization

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "exec/thread_pool.hpp"
 #include "la/shift.hpp"
 #include "pipe/optimizer.hpp"
 #include "solve/inline_transport.hpp"
@@ -48,6 +49,10 @@ SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
     : spec_(spec), ordering_(std::move(ordering)), layout_(spec.m, spec.d) {
   JMH_REQUIRE(ordering_.dimension() == spec_.d, "ordering dimension must match spec.d");
   JMH_REQUIRE(ordering_.kind() == spec_.ordering, "ordering kind must match spec.ordering");
+  // threads= is an execution knob, not part of the numerical scenario:
+  // apply it best-effort (an active pool keeps its width) and move on.
+  if (spec_.threads > 0 && exec::ThreadPool::enabled())
+    exec::ThreadPool::global().ensure_workers(spec_.threads);
   switch (spec_.pipelining) {
     case PipeliningPolicy::Off:
       q_ = 0;
@@ -63,8 +68,14 @@ SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
       for (ord::BlockId b = 1; b < layout_.num_blocks(); ++b)
         q_max = std::min<std::uint64_t>(q_max, layout_.block_size(b));
       q_max = std::max<std::uint64_t>(1, q_max);
-      const pipe::OptimalQ best = pipe::find_optimal_sweep_q(
-          ordering_, static_cast<double>(spec_.m), spec_.machine, q_max);
+      // Rows-aware payload: a tall task=svd transition moves rows + m
+      // elements per column, so the optimal q shifts with the aspect ratio.
+      pipe::ProblemParams prob;
+      prob.d = spec_.d;
+      prob.m = static_cast<double>(spec_.m);
+      prob.rows = static_cast<double>(spec_.rows);  // 0 = square, as in the spec
+      const pipe::OptimalQ best =
+          pipe::find_optimal_sweep_q(ordering_, prob, spec_.machine, q_max);
       q_ = best.q;
       planned_cost_ = best.cost;
       break;
@@ -83,6 +94,7 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
   report.task = spec_.task;
   report.backend = spec_.backend;
   report.ordering = spec_.ordering;
+  report.topk = spec_.topk;
 
   // The sweep protocol is task-agnostic (it orthogonalizes columns either
   // way); only the assembly of the final blocks differs.
@@ -90,12 +102,12 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
   const auto assemble = [&](std::vector<solve::ColumnBlock> blocks,
                             const solve::EngineResult& er) {
     if (svd)
-      fill_svd_solution(report,
-                        solve::assemble_svd_result(std::move(blocks), a.rows(), a.cols(),
-                                                   er.sweeps, er.converged, er.rotations));
+      fill_svd_solution(report, solve::assemble_svd_result(std::move(blocks), a.rows(),
+                                                           a.cols(), er.sweeps, er.converged,
+                                                           er.rotations, er.leading));
     else
       fill_solution(report, solve::assemble_result(std::move(blocks), a.rows(), er.sweeps,
-                                                   er.converged, er.rotations));
+                                                   er.converged, er.rotations, er.leading));
   };
 
   switch (spec_.backend) {
@@ -175,6 +187,14 @@ SolvePlan Solver::plan(const SolverSpec& spec, ord::JacobiOrdering ordering) {
   } else
     JMH_REQUIRE(spec.rows == 0 || spec.rows == spec.m,
                 "rows != m needs task=svd (the eigenproblem input is square)");
+  JMH_REQUIRE(spec.topk >= 0, "topk must be non-negative");
+  if (spec.topk > 0) {
+    JMH_REQUIRE(static_cast<std::size_t>(spec.topk) <= spec.m, "topk exceeds m");
+    JMH_REQUIRE(spec.stop_rule == solve::StopRule::NoRotations,
+                "topk needs stop=norot (per-column activity has no off(A) analogue)");
+    JMH_REQUIRE(!spec.gershgorin_shift,
+                "topk needs shift=0 (the shift reorders the spectrum the ranking tracks)");
+  }
   return SolvePlan(spec, std::move(ordering));
 }
 

@@ -126,6 +126,7 @@ solve::SolveOptions SolverSpec::solve_options() const {
   opts.stop_rule = stop_rule;
   opts.off_tol = off_tol;
   opts.gershgorin_shift = gershgorin_shift;
+  opts.topk = topk;
   return opts;
 }
 
@@ -155,6 +156,8 @@ std::string SolverSpec::to_string() const {
   out += ",stop=" + std::string(stop_rule == solve::StopRule::OffDiagonal ? "offdiag" : "norot");
   out += ",off_tol=" + format_double(off_tol);
   out += ",shift=" + std::string(gershgorin_shift ? "1" : "0");
+  out += ",topk=" + std::to_string(topk);
+  out += ",threads=" + std::to_string(threads);
   return out;
 }
 
@@ -166,7 +169,8 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   // (BM_SpecRoundTrip is a gated hot case).
   enum KeyBit : std::uint32_t {
     kBackend, kOrdering, kM, kD, kPipeline, kTs, kTw, kPorts, kOverlap,
-    kThreshold, kMaxSweeps, kStop, kOffTol, kShift, kTask, kRows,
+    kThreshold, kMaxSweeps, kStop, kOffTol, kShift, kTask, kRows, kTopk,
+    kThreads,
   };
   std::uint32_t seen_keys = 0;
   const auto mark_seen = [&](std::string_view key, KeyBit bit) {
@@ -269,6 +273,14 @@ SolverSpec SolverSpec::parse(const std::string& text) {
     } else if (key == "shift") {
       mark_seen(key, kShift);
       spec.gershgorin_shift = parse_bool(key, value);
+    } else if (key == "topk") {
+      mark_seen(key, kTopk);
+      spec.topk = static_cast<int>(
+          parse_uint_bounded(key, value, std::numeric_limits<int>::max()));
+    } else if (key == "threads") {
+      mark_seen(key, kThreads);
+      spec.threads = static_cast<std::size_t>(
+          parse_uint_bounded(key, value, std::numeric_limits<std::size_t>::max()));
     } else {
       fail("unknown key '" + std::string(key) + "'");
     }
@@ -284,6 +296,14 @@ SolverSpec SolverSpec::parse(const std::string& text) {
          ": one-sided Jacobi SVD needs a tall or square input (factor the transpose)");
   if (spec.task == Task::Svd && spec.gershgorin_shift)
     fail("shift=1 needs task=evd (a diagonal shift has no SVD meaning)");
+  if (spec.topk > 0) {
+    if (static_cast<std::size_t>(spec.topk) > spec.m)
+      fail("topk=" + std::to_string(spec.topk) + " exceeds m=" + std::to_string(spec.m));
+    if (spec.stop_rule != solve::StopRule::NoRotations)
+      fail("topk needs stop=norot (per-column activity has no off(A) analogue)");
+    if (spec.gershgorin_shift)
+      fail("topk needs shift=0 (the shift reorders the spectrum the ranking tracks)");
+  }
   // "rows=m" and "rows=0" name the same square scenario: normalize, so the
   // two spellings parse to EQUAL specs with one canonical string (otherwise
   // the plan cache would compile duplicate plans for one scenario -- the

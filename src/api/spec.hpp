@@ -30,6 +30,16 @@
 //   stop=norot|offdiag         StopRule (default norot)
 //   off_tol=<f>                off-diagonal tolerance (stop=offdiag)
 //   shift=0|1                  Gershgorin shift (default 0)
+//   topk=<k>                   truncated solve: stop once the leading k
+//                              columns (by ||b_k||^2) are rotation-free and
+//                              extract only those k eigenpairs / singular
+//                              triplets; 0 = full solve (default 0). Needs
+//                              stop=norot and shift=0; topk=m is bit-for-bit
+//                              the full solve
+//   threads=<n>                resize the process-wide exec::ThreadPool to n
+//                              workers at plan time (best-effort: an active
+//                              pool keeps its width); 0 = leave as is
+//                              (default 0)
 #pragma once
 
 #include <cstdint>
@@ -90,6 +100,14 @@ struct SolverSpec {
   solve::StopRule stop_rule = solve::StopRule::NoRotations;
   double off_tol = 1e-8;
   bool gershgorin_shift = false;
+  /// Truncated-solve order: 0 = full solve; k > 0 stops the sweep loop once
+  /// the leading k columns are rotation-free and extracts only those pairs
+  /// (solve::SolveOptions::topk has the precise semantics).
+  int topk = 0;
+  /// Requested exec::ThreadPool width, applied best-effort at plan time
+  /// (ThreadPool::ensure_workers); 0 = leave the pool as is. Not part of the
+  /// numerical scenario -- results are identical for every value.
+  std::size_t threads = 0;
 
   /// The convergence-knob slice as the executors consume it.
   solve::SolveOptions solve_options() const;

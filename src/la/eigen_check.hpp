@@ -7,13 +7,15 @@
 
 namespace jmh::la {
 
-/// max_k ||A v_k - lambda_k v_k||_2 / ||A||_F -- relative eigenpair residual.
+/// max_k ||A v_k - lambda_k v_k||_2 / ||A||_F -- relative eigenpair
+/// residual. Accepts k <= n pairs (a topk truncated result checks only the
+/// pairs it carries).
 double eigenpair_residual(const Matrix& a, const std::vector<double>& eigenvalues,
                           const Matrix& eigenvectors);
 
 /// max_k ||A v_k - sigma_k u_k||_2 / ||A||_F -- relative SVD triplet
-/// residual for a (possibly rectangular) m x n input with n singular
-/// triplets (thin SVD).
+/// residual for a (possibly rectangular) m x n input with k <= n singular
+/// triplets (thin or topk-truncated SVD).
 double svd_residual(const Matrix& a, const std::vector<double>& singular_values,
                     const Matrix& u, const Matrix& v);
 

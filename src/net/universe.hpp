@@ -36,8 +36,10 @@ class Universe {
 
   int size() const noexcept { return num_ranks_; }
 
-  /// Runs @p fn once per rank on its own thread and joins. Rethrows the
-  /// first exception raised by any rank.
+  /// Runs @p fn once per rank, concurrently -- as a gang on the
+  /// process-wide exec::ThreadPool, or on one dedicated thread per rank
+  /// when JMH_EXEC_POOL=off -- and returns when all ranks finish.
+  /// Rethrows the first exception raised by any rank.
   void run(const std::function<void(Comm&)>& fn);
 
   /// Traffic counters accumulated during the most recent run() (reset at

@@ -24,11 +24,19 @@ namespace jmh::pipe {
 /// Problem-instance geometry shared by the cost functions.
 struct ProblemParams {
   int d = 3;          ///< hypercube dimension
-  double m = 1024.0;  ///< matrix order (double: fig. 2 uses m up to 2^32)
+  double m = 1024.0;  ///< matrix order / column count (double: fig. 2 uses m up to 2^32)
+  /// Input row count; 0 = square (rows = m). A tall task=svd problem
+  /// carries rows-element columns of B next to m-element columns of V, so
+  /// its transitions are strictly larger than the square model predicts.
+  double rows = 0.0;
 
+  /// The row count the cost functions charge (rows, or m when rows == 0).
+  double input_rows() const { return rows == 0.0 ? m : rows; }
   double columns_per_block() const { return m / std::ldexp(1.0, d + 1); }
-  /// Elements exchanged per transition (block of A + block of U).
-  double step_message_elems() const { return 2.0 * m * columns_per_block(); }
+  /// Elements exchanged per transition: a block of B (input_rows() x cpb)
+  /// plus the matching block of V (m x cpb). Square inputs reduce to the
+  /// historical 2 * m * cpb = m^2 / 2^d.
+  double step_message_elems() const { return (input_rows() + m) * columns_per_block(); }
   /// Maximum pipelining degree (packets = columns).
   std::uint64_t q_max() const;
 };

@@ -102,12 +102,13 @@ OptimalQ find_optimal_q(const ord::LinkSequence& seq, double step_elems,
   return best;
 }
 
-OptimalQ find_optimal_sweep_q(const ord::JacobiOrdering& ordering, double m,
+OptimalQ find_optimal_sweep_q(const ord::JacobiOrdering& ordering, const ProblemParams& prob,
                               const MachineParams& machine, std::uint64_t q_max) {
   JMH_REQUIRE(q_max >= 1, "q_max must be >= 1");
-  JMH_REQUIRE(m > 0.0, "matrix order must be positive");
-  const int d = ordering.dimension();
-  const double step_elems = 2.0 * m * (m / std::ldexp(1.0, d + 1));
+  JMH_REQUIRE(prob.m > 0.0, "matrix order must be positive");
+  JMH_REQUIRE(prob.d == ordering.dimension(), "ProblemParams.d must match the ordering");
+  const int d = prob.d;
+  const double step_elems = prob.step_message_elems();
 
   const auto sweep_exchange_cost = [&](std::uint64_t q) {
     double total = 0.0;

@@ -16,6 +16,7 @@
 
 #include "ord/ordering.hpp"
 #include "ord/sequence.hpp"
+#include "pipe/cost_model.hpp"
 #include "pipe/machine.hpp"
 
 namespace jmh::pipe {
@@ -39,15 +40,18 @@ OptimalQ find_optimal_q_ideal(int e, double step_elems, const MachineParams& mac
 /// Single sweep-wide pipelining degree for an executor that packetizes every
 /// exchange phase at the same q (solve_mpi_pipelined, the api facade's Auto
 /// policy): the q in [1, q_max] minimizing the summed pipelined cost of all
-/// exchange phases e = d..1 of @p ordering for an m x m matrix. Candidates
-/// are each phase's own find_optimal_q optimum plus a dense small-q /
-/// power-of-two grid, every one evaluated exactly, so the returned q is the
-/// argmin of the summed phase costs over that candidate set (exhaustive for
+/// exchange phases e = d..1 of @p ordering for the problem geometry in
+/// @p prob (prob.d must match the ordering; prob.rows makes the payload
+/// model rows-aware -- a tall task=svd transition carries
+/// (rows + m) * cpb elements, not 2 * m * cpb). Candidates are each
+/// phase's own find_optimal_q optimum plus a dense small-q / power-of-two
+/// grid, every one evaluated exactly, so the returned q is the argmin of
+/// the summed phase costs over that candidate set (exhaustive for
 /// q_max <= 32). Cost is link-relabeling invariant, so the inter-sweep sigma
 /// rotation does not change the choice. `cost` is the per-sweep exchange
 /// communication time at the chosen q; `deep` means q exceeds the largest
 /// phase's 2^d - 1 transitions.
-OptimalQ find_optimal_sweep_q(const ord::JacobiOrdering& ordering, double m,
+OptimalQ find_optimal_sweep_q(const ord::JacobiOrdering& ordering, const ProblemParams& prob,
                               const MachineParams& machine, std::uint64_t q_max);
 
 }  // namespace jmh::pipe

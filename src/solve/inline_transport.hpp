@@ -17,6 +17,7 @@ class InlineTransport : public Transport {
   InlineTransport(const la::Matrix& a, int d);
 
   int dimension() const override { return layout_.d(); }
+  std::size_t num_columns() const override { return layout_.m(); }
 
   void visit_nodes(const std::function<void(JacobiNode&)>& fn) override;
 

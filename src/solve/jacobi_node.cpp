@@ -156,33 +156,41 @@ namespace {
 constexpr std::size_t kPairTile = 8;
 
 inline void pair_one(ColumnBlock& bi_blk, std::size_t i, ColumnBlock& bj_blk, std::size_t j,
-                     double threshold, SweepStats& stats) {
+                     double threshold, SweepStats& stats, std::uint8_t* activity) {
   const la::PairOutcome o = la::pair_columns_stats(bi_blk.col_b(i), bj_blk.col_b(j),
                                                    bi_blk.col_v(i), bj_blk.col_v(j), threshold);
   stats.rotations += o.rotated ? 1 : 0;
   stats.off2 += o.bij * o.bij;
+  // Null in the full solve: a single predictable branch per pair.
+  if (activity && o.rotated) {
+    activity[bi_blk.cols[i]] = 1;
+    activity[bj_blk.cols[j]] = 1;
+  }
 }
 
-SweepStats pair_within_block(ColumnBlock& blk, double threshold) {
+SweepStats pair_within_block(ColumnBlock& blk, double threshold, std::uint8_t* activity) {
   SweepStats stats;
   const std::size_t n = blk.num_cols();
   for (std::size_t it = 0; it < n; it += kPairTile) {
     const std::size_t iend = std::min(n, it + kPairTile);
     // Diagonal tile: the triangular i < j pairs inside [it, iend).
     for (std::size_t i = it; i < iend; ++i)
-      for (std::size_t j = i + 1; j < iend; ++j) pair_one(blk, i, blk, j, threshold, stats);
+      for (std::size_t j = i + 1; j < iend; ++j)
+        pair_one(blk, i, blk, j, threshold, stats, activity);
     // Off-diagonal tiles: full iend x kPairTile rectangles to the right.
     for (std::size_t jt = iend; jt < n; jt += kPairTile) {
       const std::size_t jend = std::min(n, jt + kPairTile);
       for (std::size_t i = it; i < iend; ++i)
-        for (std::size_t j = jt; j < jend; ++j) pair_one(blk, i, blk, j, threshold, stats);
+        for (std::size_t j = jt; j < jend; ++j)
+          pair_one(blk, i, blk, j, threshold, stats, activity);
     }
   }
   return stats;
 }
 
 /// Every (fixed column, other column) cross pair, tiled.
-SweepStats pair_across_blocks(ColumnBlock& fixed, ColumnBlock& other, double threshold) {
+SweepStats pair_across_blocks(ColumnBlock& fixed, ColumnBlock& other, double threshold,
+                              std::uint8_t* activity) {
   SweepStats stats;
   const std::size_t ni = fixed.num_cols();
   const std::size_t nj = other.num_cols();
@@ -191,7 +199,8 @@ SweepStats pair_across_blocks(ColumnBlock& fixed, ColumnBlock& other, double thr
     for (std::size_t jt = 0; jt < nj; jt += kPairTile) {
       const std::size_t jend = std::min(nj, jt + kPairTile);
       for (std::size_t i = it; i < iend; ++i)
-        for (std::size_t j = jt; j < jend; ++j) pair_one(fixed, i, other, j, threshold, stats);
+        for (std::size_t j = jt; j < jend; ++j)
+          pair_one(fixed, i, other, j, threshold, stats, activity);
     }
   }
   return stats;
@@ -199,20 +208,21 @@ SweepStats pair_across_blocks(ColumnBlock& fixed, ColumnBlock& other, double thr
 
 }  // namespace
 
-SweepStats JacobiNode::intra_block_pairings(double threshold) {
-  SweepStats stats = pair_within_block(fixed_, threshold);
-  stats += pair_within_block(mobile_, threshold);
+SweepStats JacobiNode::intra_block_pairings(double threshold, std::uint8_t* activity) {
+  SweepStats stats = pair_within_block(fixed_, threshold, activity);
+  stats += pair_within_block(mobile_, threshold, activity);
   return stats;
 }
 
-SweepStats JacobiNode::inter_block_pairings(double threshold) {
-  return pair_across_blocks(fixed_, mobile_, threshold);
+SweepStats JacobiNode::inter_block_pairings(double threshold, std::uint8_t* activity) {
+  return pair_across_blocks(fixed_, mobile_, threshold, activity);
 }
 
-SweepStats JacobiNode::pair_fixed_with(ColumnBlock& packet, double threshold) {
+SweepStats JacobiNode::pair_fixed_with(ColumnBlock& packet, double threshold,
+                                       std::uint8_t* activity) {
   JMH_REQUIRE(packet.rows == fixed_.rows && packet.vrows == fixed_.vrows,
               "packet row count mismatch");
-  return pair_across_blocks(fixed_, packet, threshold);
+  return pair_across_blocks(fixed_, packet, threshold, activity);
 }
 
 double JacobiNode::frobenius_squared() const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -106,17 +107,22 @@ class JacobiNode {
   const ColumnBlock& mobile() const noexcept { return mobile_; }
 
   /// Step (1) of the sweep: pair every column of each resident block with
-  /// the other columns of the same block.
-  SweepStats intra_block_pairings(double threshold);
+  /// the other columns of the same block. A non-null @p activity (indexed
+  /// by global column id) gets both columns of every applied rotation
+  /// marked -- the topk convergence vote; null keeps the hot loop
+  /// untouched.
+  SweepStats intra_block_pairings(double threshold, std::uint8_t* activity = nullptr);
 
   /// Step (2): pair every column of the fixed block with every column of
-  /// the mobile block.
-  SweepStats inter_block_pairings(double threshold);
+  /// the mobile block. @p activity as in intra_block_pairings.
+  SweepStats inter_block_pairings(double threshold, std::uint8_t* activity = nullptr);
 
   /// Pairs every fixed column with every column of @p packet (a slice of
   /// some mobile block passing through this node); both sides are updated.
-  /// The packetized unit of work of the pipelined executor.
-  SweepStats pair_fixed_with(ColumnBlock& packet, double threshold);
+  /// The packetized unit of work of the pipelined executor. @p activity as
+  /// in intra_block_pairings.
+  SweepStats pair_fixed_with(ColumnBlock& packet, double threshold,
+                             std::uint8_t* activity = nullptr);
 
   /// Sum of ||b_k||^2 over this node's resident columns. Summed across all
   /// nodes this is ||A||_F^2 (invariant under the method's rotations);

@@ -68,7 +68,7 @@ SweepStats MpiLiteTransport::run_phase(const PhaseContext& ctx) {
   // Step 0: pair own mobile's packets and launch them.
   node_.mobile().split_into(q_, split_scratch_);
   for (ColumnBlock& pkt : split_scratch_) {
-    stats += node_.pair_fixed_with(pkt, ctx.threshold);
+    stats += node_.pair_fixed_with(pkt, ctx.threshold, ctx.activity);
     pkt.serialize_into(send_scratch_);
     hc_.send(link_of(0), send_scratch_, tag_of(0));
   }
@@ -76,7 +76,7 @@ SweepStats MpiLiteTransport::run_phase(const PhaseContext& ctx) {
   for (std::size_t t = 1; t < k; ++t) {
     for (std::uint64_t pi = 0; pi < q_; ++pi) {
       packet_scratch_.assign_from(hc_.recv(link_of(t - 1), tag_of(t - 1)));
-      stats += node_.pair_fixed_with(packet_scratch_, ctx.threshold);
+      stats += node_.pair_fixed_with(packet_scratch_, ctx.threshold, ctx.activity);
       packet_scratch_.serialize_into(send_scratch_);
       hc_.send(link_of(t), send_scratch_, tag_of(t));
     }

@@ -36,6 +36,7 @@ class MpiLiteTransport : public Transport {
   MpiLiteTransport(net::Comm& comm, const la::Matrix& a, std::uint64_t q = 0);
 
   int dimension() const override { return hc_.dimension(); }
+  std::size_t num_columns() const override { return layout_.m(); }
 
   void visit_nodes(const std::function<void(JacobiNode&)>& fn) override { fn(node_); }
 

@@ -11,8 +11,26 @@
 
 namespace jmh::solve {
 
+namespace {
+
+/// Normalizes a topk selection: sorted ascending, validated unique and in
+/// range. Ascending matters for bit-parity -- a selection covering every
+/// column becomes exactly the iota permutation the full assembly sorts.
+std::vector<std::size_t> sorted_selection(const std::vector<std::size_t>& leading,
+                                          std::size_t num_cols) {
+  std::vector<std::size_t> sel = leading;
+  std::sort(sel.begin(), sel.end());
+  JMH_REQUIRE(!sel.empty() && sel.back() < num_cols, "leading selection out of range");
+  JMH_REQUIRE(std::adjacent_find(sel.begin(), sel.end()) == sel.end(),
+              "leading selection has duplicate columns");
+  return sel;
+}
+
+}  // namespace
+
 DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m, int sweeps,
-                                  bool converged, std::size_t rotations) {
+                                  bool converged, std::size_t rotations,
+                                  const std::vector<std::size_t>& leading) {
   DistributedResult out;
   out.sweeps = sweeps;
   out.converged = converged;
@@ -34,17 +52,26 @@ DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m
   JMH_REQUIRE(std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; }),
               "final blocks do not cover every column");
 
-  // lambda_k = v_k . b_k; sort ascending.
+  // lambda_k = v_k . b_k over the selected columns (all of them for a full
+  // solve); sort ascending. The comparator and the ascending starting
+  // permutation match the historical full path exactly, so a selection of
+  // every column reproduces it bit-for-bit, order included.
+  std::vector<std::size_t> order;
+  if (leading.empty()) {
+    order.resize(m);
+    std::iota(order.begin(), order.end(), 0);
+  } else {
+    order = sorted_selection(leading, m);
+  }
   std::vector<double> lambda(m);
-  for (std::size_t k = 0; k < m; ++k) lambda[k] = la::dot(v.col(k), b.col(k));
-  std::vector<std::size_t> order(m);
-  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t col : order) lambda[col] = la::dot(v.col(col), b.col(col));
   std::sort(order.begin(), order.end(),
             [&](std::size_t x, std::size_t y) { return lambda[x] < lambda[y]; });
 
-  out.eigenvalues.resize(m);
-  out.eigenvectors = la::Matrix(m, m);
-  for (std::size_t k = 0; k < m; ++k) {
+  const std::size_t k_out = order.size();
+  out.eigenvalues.resize(k_out);
+  out.eigenvectors = la::Matrix(m, k_out);
+  for (std::size_t k = 0; k < k_out; ++k) {
     out.eigenvalues[k] = lambda[order[k]];
     const auto src = v.col(order[k]);
     std::copy(src.begin(), src.end(), out.eigenvectors.col(k).begin());
@@ -61,7 +88,8 @@ DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& o
 
 SvdSolveResult assemble_svd_result(std::vector<ColumnBlock> blocks, std::size_t rows,
                                    std::size_t cols, int sweeps, bool converged,
-                                   std::size_t rotations) {
+                                   std::size_t rotations,
+                                   const std::vector<std::size_t>& leading) {
   la::Matrix b(rows, cols);
   la::Matrix v(cols, cols);
   std::vector<char> seen(cols, 0);
@@ -81,7 +109,40 @@ SvdSolveResult assemble_svd_result(std::vector<ColumnBlock> blocks, std::size_t 
               "final blocks do not cover every column");
 
   SvdSolveResult out;
-  static_cast<la::SvdResult&>(out) = la::svd_from_bv(b, v);
+  if (leading.empty() || leading.size() == cols) {
+    // Full extraction -- also taken by topk == m, whose selection covers
+    // every column: routing through the identical call keeps it
+    // bit-identical to the full solve.
+    if (!leading.empty()) sorted_selection(leading, cols);  // validate only
+    static_cast<la::SvdResult&>(out) = la::svd_from_bv(b, v);
+  } else {
+    // Truncated extraction, mirroring la::svd_from_bv over the selected
+    // columns: sigma descending, ties by ascending global column index
+    // (sel is ascending, so position order == global-id order).
+    const std::vector<std::size_t> sel = sorted_selection(leading, cols);
+    const std::size_t k_out = sel.size();
+    std::vector<double> sigma(k_out);
+    for (std::size_t i = 0; i < k_out; ++i) sigma[i] = la::norm2(b.col(sel[i]));
+    std::vector<std::size_t> order(k_out);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return sigma[x] != sigma[y] ? sigma[x] > sigma[y] : x < y;
+    });
+    out.singular_values.resize(k_out);
+    out.u = la::Matrix(rows, k_out);
+    out.v = la::Matrix(cols, k_out);
+    for (std::size_t k = 0; k < k_out; ++k) {
+      const std::size_t src = sel[order[k]];
+      const double s = sigma[order[k]];
+      out.singular_values[k] = s;
+      const auto bcol = b.col(src);
+      auto ucol = out.u.col(k);
+      if (s > 0.0)
+        for (std::size_t r = 0; r < bcol.size(); ++r) ucol[r] = bcol[r] / s;
+      const auto vcol = v.col(src);
+      std::copy(vcol.begin(), vcol.end(), out.v.col(k).begin());
+    }
+  }
   out.sweeps = sweeps;
   out.converged = converged;
   out.rotations = rotations;
@@ -125,7 +186,7 @@ DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering&
   MpiRunOutcome run = run_mpi_protocol(a, ordering, opts, q);
   DistributedResult result =
       assemble_result(std::move(run.blocks), a.rows(), run.engine.sweeps,
-                      run.engine.converged, run.engine.rotations);
+                      run.engine.converged, run.engine.rotations, run.engine.leading);
   result.comm = run.comm;
   return result;
 }
@@ -135,7 +196,7 @@ SvdSolveResult solve_mpi_svd_like(const la::Matrix& a, const ord::JacobiOrdering
   MpiRunOutcome run = run_mpi_protocol(a, ordering, opts, q);
   SvdSolveResult result =
       assemble_svd_result(std::move(run.blocks), a.rows(), a.cols(), run.engine.sweeps,
-                          run.engine.converged, run.engine.rotations);
+                          run.engine.converged, run.engine.rotations, run.engine.leading);
   result.comm = run.comm;
   return result;
 }

@@ -54,9 +54,16 @@ DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& orde
                             const SolveOptions& opts = {});
 
 /// Assembles eigenpairs from final node blocks (exposed for the executors
-/// and tests). Blocks must jointly cover all m columns.
+/// and tests). Blocks must jointly cover all m columns. A non-empty
+/// @p leading (EngineResult::leading of a topk run) restricts the output
+/// to those columns: eigenvalues/eigenvectors carry only the selected
+/// pairs, still sorted by eigenvalue ascending. With leading covering
+/// every column the result is bit-identical to the unrestricted assembly
+/// -- the selection is sorted ascending first, so the extraction sort
+/// starts from the same permutation the full path uses.
 DistributedResult assemble_result(std::vector<ColumnBlock> blocks, std::size_t m, int sweeps,
-                                  bool converged, std::size_t rotations);
+                                  bool converged, std::size_t rotations,
+                                  const std::vector<std::size_t>& leading = {});
 
 /// Distributed SVD outcome: la::SvdResult plus the run's traffic counters.
 struct SvdSolveResult : la::SvdResult {
@@ -68,8 +75,14 @@ struct SvdSolveResult : la::SvdResult {
 /// (sigma, U, V) through la::svd_from_bv, so every backend collecting the
 /// same blocks produces bit-identical results. Blocks must jointly cover
 /// all @p cols columns.
+/// @p leading as in assemble_result: a non-empty selection yields the
+/// truncated factorization (sigma, U, V restricted to those columns,
+/// sigma-descending with the same index tie-break la::svd_from_bv uses);
+/// a selection covering every column routes through la::svd_from_bv
+/// itself and is bit-identical to the unrestricted assembly.
 SvdSolveResult assemble_svd_result(std::vector<ColumnBlock> blocks, std::size_t rows,
                                    std::size_t cols, int sweeps, bool converged,
-                                   std::size_t rotations);
+                                   std::size_t rotations,
+                                   const std::vector<std::size_t>& leading = {});
 
 }  // namespace jmh::solve

@@ -1,11 +1,31 @@
 #include "solve/sweep_engine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 
 #include "common/assert.hpp"
 
 namespace jmh::solve {
+
+namespace {
+
+/// Writes each resident column's ||b_k||^2 into vote[cols[i]]. Plain
+/// sequential accumulation over the column span -- the SAME order
+/// la::norm2 uses in svd_from_bv, so the engine's ranking and assembly's
+/// sigma extraction agree bitwise on the final blocks.
+void write_column_norms(ColumnBlock& blk, std::span<double> vote) {
+  for (std::size_t i = 0; i < blk.num_cols(); ++i) {
+    const auto col = blk.col_b(i);
+    double s = 0.0;
+    for (double x : col) s += x * x;
+    vote[blk.cols[i]] = s;
+  }
+}
+
+}  // namespace
 
 EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering& ordering,
                                 const SolveOptions& opts) {
@@ -13,6 +33,9 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
               "gershgorin_shift must be unwrapped by the solve_* entry points");
   JMH_REQUIRE(ordering.dimension() == transport.dimension(),
               "ordering/transport dimension mismatch");
+  JMH_REQUIRE(opts.topk >= 0, "topk must be non-negative");
+  JMH_REQUIRE(opts.topk == 0 || opts.stop_rule == StopRule::NoRotations,
+              "topk requires StopRule::NoRotations (per-column activity has no off(A) analogue)");
 
   double frob2 = 0.0;
   transport.visit_nodes([&](JacobiNode& node) { frob2 += node.frobenius_squared(); });
@@ -22,15 +45,64 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
   EngineResult out;
   double total_rotations = 0.0;
 
+  // Truncated mode: the vote becomes [norm2_0..norm2_{m-1},
+  // act_0..act_{m-1}, rotations, off2]. Each column's norm is computed
+  // entirely on its owning endpoint (every other endpoint contributes an
+  // exact 0.0), and the activity flags are small integer sums, so the
+  // allreduce stays exact and every endpoint ranks columns identically.
+  const auto topk = static_cast<std::size_t>(opts.topk);
+  const std::size_t m = topk > 0 ? transport.num_columns() : 0;
+  JMH_REQUIRE(topk <= m || topk == 0, "topk exceeds the column count");
+  std::vector<double> vote(topk > 0 ? 2 * m + 2 : 0);
+  std::vector<std::uint8_t> activity(m);
+  std::vector<std::size_t> ranking(m);
+
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
     SweepStats stats;
+    std::uint8_t* act = topk > 0 ? activity.data() : nullptr;
+    if (act) std::fill(activity.begin(), activity.end(), std::uint8_t{0});
     transport.visit_nodes(
-        [&](JacobiNode& node) { stats += node.intra_block_pairings(opts.threshold); });
+        [&](JacobiNode& node) { stats += node.intra_block_pairings(opts.threshold, act); });
 
     const std::vector<ord::Transition> transitions = ordering.sweep_transitions(sweep);
     for (const ord::PhaseInfo& phase : ordering.phases())
       stats += transport.run_phase(
-          {phase, transitions, sweep, steps_per_sweep, opts.threshold});
+          {phase, transitions, sweep, steps_per_sweep, opts.threshold, act});
+
+    if (topk > 0) {
+      std::fill(vote.begin(), vote.end(), 0.0);
+      transport.visit_nodes([&](JacobiNode& node) {
+        write_column_norms(node.fixed(), std::span<double>(vote).first(m));
+        write_column_norms(node.mobile(), std::span<double>(vote).first(m));
+      });
+      for (std::size_t k = 0; k < m; ++k) vote[m + k] = static_cast<double>(activity[k]);
+      vote[2 * m] = static_cast<double>(stats.rotations);
+      vote[2 * m + 1] = stats.off2;
+      transport.allreduce_sum(std::span<double>(vote));
+      total_rotations += vote[2 * m];
+
+      // Rank columns by global norm descending, index ascending -- the same
+      // comparator la::svd_from_bv applies to sigma (sqrt is monotone), so
+      // the engine's leading set is exactly the head of assembly's order.
+      std::iota(ranking.begin(), ranking.end(), std::size_t{0});
+      std::sort(ranking.begin(), ranking.end(), [&](std::size_t x, std::size_t y) {
+        return vote[x] != vote[y] ? vote[x] > vote[y] : x < y;
+      });
+      out.leading.assign(ranking.begin(), ranking.begin() + static_cast<std::ptrdiff_t>(topk));
+      bool leading_inactive = true;
+      for (std::size_t i = 0; i < topk && leading_inactive; ++i)
+        leading_inactive = vote[m + ranking[i]] == 0.0;
+      if (leading_inactive) {
+        out.converged = true;
+        // Rotations may still have landed on trailing columns this sweep;
+        // count it iff it did work (keeps topk == m bit-identical to the
+        // full NoRotations path, where the final all-skip sweep is free).
+        if (vote[2 * m] > 0.0) ++out.sweeps;
+        break;
+      }
+      ++out.sweeps;
+      continue;
+    }
 
     // The vote is a fixed two-scalar array: no per-sweep vector allocation.
     std::array<double, 2> global = {static_cast<double>(stats.rotations), stats.off2};

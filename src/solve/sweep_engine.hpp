@@ -14,6 +14,13 @@ struct EngineResult {
   int sweeps = 0;       ///< sweeps that performed >= 1 rotation
   bool converged = false;
   std::size_t rotations = 0;  ///< global rotation count
+  /// Truncated mode only (opts.topk > 0): the global ids of the leading
+  /// topk columns, ranked by final ||b_k||^2 (descending, ties by index).
+  /// Carried from the engine's own convergence vote -- every endpoint
+  /// selects from the SAME allreduced norms, so assembly never re-derives
+  /// the selection with potentially different floating-point. Empty for
+  /// full solves.
+  std::vector<std::size_t> leading;
 };
 
 /// Runs the sweep protocol to convergence (or opts.max_sweeps). Each sweep:

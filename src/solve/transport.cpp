@@ -14,7 +14,8 @@ SweepStats Transport::run_phase(const PhaseContext& ctx) {
   SweepStats stats;
   const std::size_t end = ctx.phase.first_step + ctx.phase.num_steps;
   for (std::size_t s = ctx.phase.first_step; s < end; ++s) {
-    visit_nodes([&](JacobiNode& node) { stats += node.inter_block_pairings(ctx.threshold); });
+    visit_nodes(
+        [&](JacobiNode& node) { stats += node.inter_block_pairings(ctx.threshold, ctx.activity); });
     apply_transition(ctx.transitions[s], global_step(ctx.sweep, ctx.steps_per_sweep, s));
   }
   return stats;

@@ -23,6 +23,7 @@
 // endpoint observes identical control flow.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -57,6 +58,19 @@ struct SolveOptions {
   /// the one-sided method's +/-lambda tie ambiguity (la/shift.hpp) at the
   /// cost of squaring its condition-dependent convergence constant.
   bool gershgorin_shift = false;
+
+  /// Truncated mode: > 0 stops the protocol once the leading @p topk
+  /// columns -- ranked by ||b_k||^2, i.e. sigma_k^2 for SVD and lambda_k^2
+  /// for the eigenproblem -- went one full sweep without being touched by
+  /// any rotation. The sweep engine extends its convergence vote with
+  /// per-column norms and rotation-activity flags (both exact under
+  /// allreduce: each norm is computed entirely on its owning endpoint, the
+  /// flags are small integer sums), so every backend sees identical
+  /// control flow and selects identical leading columns
+  /// (EngineResult::leading). 0 = full solve. Requires
+  /// StopRule::NoRotations and no gershgorin_shift (a shifted spectrum
+  /// reorders |lambda|).
+  int topk = 0;
 };
 
 /// Global index of the transition at (sweep, step). Message transports
@@ -75,6 +89,13 @@ struct PhaseContext {
   int sweep = 0;
   std::size_t steps_per_sweep = 0;
   double threshold = la::kDefaultThreshold;
+  /// Per-column rotation-activity flags, indexed by GLOBAL column id, or
+  /// null when the solve does not track activity (topk == 0). A transport's
+  /// pairing calls mark both columns of every applied rotation; columns in
+  /// transit (pipelined packets) are marked on whichever endpoint rotated
+  /// them -- the flags are summed in the convergence vote, so attribution
+  /// only has to be exact, not local.
+  std::uint8_t* activity = nullptr;
 };
 
 class Transport {
@@ -82,6 +103,10 @@ class Transport {
   virtual ~Transport() = default;
 
   virtual int dimension() const = 0;
+
+  /// Total column count of the problem (identical on every endpoint). The
+  /// engine sizes the extended topk convergence vote from it.
+  virtual std::size_t num_columns() const = 0;
 
   /// Applies @p fn to every JacobiNode this endpoint owns (all 2^d for the
   /// single-owner transports, exactly one for an mpi_lite rank).

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/stats.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace jmh::svc {
 
@@ -47,6 +48,28 @@ std::string Metrics::summary() const {
                 1e3 * latency_p99_s, 1e3 * latency_max_s,
                 static_cast<unsigned long long>(latency_count));
   out += line;
+  if (!worker_busy_s.empty()) {
+    double total = 0.0, peak = 0.0;
+    for (double s : worker_busy_s) {
+      total += s;
+      peak = std::max(peak, s);
+    }
+    std::snprintf(line, sizeof line,
+                  "dispatch : %zu dispatchers busy %.3fs total (max %.3fs)\n",
+                  worker_busy_s.size(), total, peak);
+    out += line;
+  }
+  if (pool_workers > 0) {
+    double total = 0.0, peak = 0.0;
+    for (double s : pool_busy_s) {
+      total += s;
+      peak = std::max(peak, s);
+    }
+    std::snprintf(line, sizeof line,
+                  "exec pool: %zu workers, queue high water %zu, busy %.3fs total (max %.3fs)\n",
+                  pool_workers, pool_queue_high_water, total, peak);
+    out += line;
+  }
   return out;
 }
 
@@ -56,9 +79,14 @@ SolverService::SolverService(ServiceConfig config)
       queue_(config.queue_capacity) {
   config_.workers = pick_workers(config.workers);
   config_.max_coalesce = std::max<std::size_t>(1, config_.max_coalesce);
+  if (config_.pool_threads > 0 && exec::ThreadPool::enabled())
+    exec::ThreadPool::global().ensure_workers(config_.pool_threads);
   workers_.reserve(config_.workers);
+  worker_busy_ns_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    worker_busy_ns_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 SolverService::~SolverService() { shutdown(); }
@@ -142,9 +170,21 @@ void SolverService::record_failed() {
   idle_cv_.notify_all();
 }
 
-void SolverService::worker_loop() {
+void SolverService::worker_loop(std::size_t index) {
   std::vector<Job> group;
   while (queue_.pop_group(group, config_.max_coalesce) > 0) {
+    const auto group_start = std::chrono::steady_clock::now();
+    struct BusyRecorder {
+      std::atomic<std::uint64_t>& ns;
+      std::chrono::steady_clock::time_point start;
+      ~BusyRecorder() {
+        ns.fetch_add(static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count()),
+                     std::memory_order_relaxed);
+      }
+    } busy{*worker_busy_ns_[index], group_start};
     std::shared_ptr<const api::SolvePlan> plan;
     try {
       plan = cache_.get(group.front().spec);  // one resolution per group
@@ -202,6 +242,15 @@ Metrics SolverService::metrics() const {
   m.queue_high_water = queue_.high_water();
   m.queue_capacity = queue_.capacity();
   m.workers = config_.workers;
+  m.worker_busy_s.reserve(worker_busy_ns_.size());
+  for (const auto& ns : worker_busy_ns_)
+    m.worker_busy_s.push_back(1e-9 * static_cast<double>(ns->load(std::memory_order_relaxed)));
+  if (exec::ThreadPool::enabled()) {
+    const exec::ThreadPool& pool = exec::ThreadPool::global();
+    m.pool_workers = pool.workers();
+    m.pool_queue_high_water = pool.queue_high_water();
+    m.pool_busy_s = pool.worker_busy_seconds();
+  }
   return m;
 }
 
@@ -232,6 +281,22 @@ std::vector<api::SolveReport> solve_batch_parallel(const api::SolvePlan& plan,
 
   if (pool <= 1) {
     for (std::size_t i = 0; i < as.size(); ++i) solve_one(i);
+  } else if (exec::ThreadPool::enabled()) {
+    // pool executors total: the caller plus pool-1 runner tasks on the
+    // shared exec pool. Runners drain a shared index, so a late-starting
+    // runner (busy pool) just finds the index exhausted and no-ops -- the
+    // caller's own run() guarantees every matrix is attempted even if no
+    // pool worker ever frees up. Helping wait makes nested batches (a
+    // batch item submitting a batch) safe.
+    std::atomic<std::size_t> next{0};
+    auto run = [&] {
+      for (std::size_t i = next.fetch_add(1); i < as.size(); i = next.fetch_add(1))
+        solve_one(i);
+    };
+    exec::ThreadPool::TaskGroup group = exec::ThreadPool::global().group();
+    for (std::size_t t = 0; t < pool - 1; ++t) group.add(run);
+    run();
+    group.wait();
   } else {
     std::atomic<std::size_t> next{0};
     auto run = [&] {

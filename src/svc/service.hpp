@@ -16,6 +16,12 @@
 //    run (the pool itself is the parallelism -- per-matrix numerics are
 //    exactly plan.solve, so service results are bit-identical to direct
 //    calls).
+//  - The dispatchers are dedicated threads (they block indefinitely in
+//    JobQueue::pop_group, so parking them on the shared pool would starve
+//    it), but all COMPUTE they trigger -- mpi-lite rank gangs inside
+//    plan.solve, batch runner tasks in solve_batch_parallel -- draws from
+//    the one process-wide exec::ThreadPool, so concurrent jobs interleave
+//    on a fixed worker set instead of multiplying threads.
 //  - Errors (malformed specs, infeasible plans, solve failures) surface
 //    through the job's future; the service itself keeps running.
 //  - shutdown() closes admission, drains every admitted job, and joins the
@@ -29,6 +35,7 @@
 // service's internals.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -50,6 +57,11 @@ struct ServiceConfig {
   /// Max same-spec jobs one worker coalesces into a single plan resolution
   /// + batch execution (1 = no coalescing).
   std::size_t max_coalesce = 1;
+  /// Best-effort resize of the process-wide exec::ThreadPool at service
+  /// construction (0 = leave it alone). Applies only when the pool is fully
+  /// idle -- the first configurator wins, mid-traffic requests are ignored
+  /// (exec::ThreadPool::ensure_workers semantics).
+  std::size_t pool_threads = 0;
 };
 
 /// A point-in-time counters snapshot. Latency covers queue wait + solve,
@@ -74,6 +86,17 @@ struct Metrics {
   double latency_p90_s = 0.0;
   double latency_p99_s = 0.0;
   double latency_max_s = 0.0;
+
+  /// Seconds each service dispatcher has spent executing job groups
+  /// (index = dispatcher). Oversubscription vs interleaving shows up here:
+  /// with the shared exec pool, dispatcher busy time is mostly waiting on
+  /// pool-executed solves, and the pool columns below carry the real load.
+  std::vector<double> worker_busy_s;
+  /// Process-wide exec::ThreadPool observability (zeroes when the pool is
+  /// disabled via JMH_EXEC_POOL=off).
+  std::size_t pool_workers = 0;
+  std::size_t pool_queue_high_water = 0;
+  std::vector<double> pool_busy_s;  ///< per-pool-worker busy seconds
 
   /// Human-readable multi-line rendering (the driver's report section).
   std::string summary() const;
@@ -113,7 +136,7 @@ class SolverService {
   static constexpr std::size_t kLatencyWindow = 16384;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
   void record_done(double latency_s);
   void record_failed();
 
@@ -121,6 +144,8 @@ class SolverService {
   PlanCache cache_;
   JobQueue queue_;
   std::vector<std::thread> workers_;
+  /// Per-dispatcher busy nanoseconds (unique_ptr: atomics are immovable).
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> worker_busy_ns_;
 
   mutable std::mutex state_mu_;
   std::condition_variable idle_cv_;  ///< signaled when done + failed catches up
@@ -134,8 +159,11 @@ class SolverService {
   bool stopped_ = false;
 };
 
-/// Solves @p as[i] with @p plan on a transient pool of @p workers threads
-/// (0 = hardware pick, capped at as.size(); 1 = sequential in the caller).
+/// Solves @p as[i] with @p plan using up to @p workers concurrent
+/// executors (0 = hardware pick, capped at as.size(); 1 = sequential in
+/// the caller). Executors are tasks on the process-wide exec::ThreadPool
+/// with the caller helping; with JMH_EXEC_POOL=off they are transient
+/// threads (the legacy path).
 /// Reports are returned in input order and are bit-identical to sequential
 /// plan.solve calls -- the plan is immutable and each solve independent, so
 /// threading only changes wall-clock. Error semantics are pool-size

@@ -124,6 +124,29 @@ TEST(SolverSpec, RejectsMalformedInput) {
   EXPECT_THROW(SolverSpec::parse("stop=never"), std::invalid_argument);
   EXPECT_THROW(SolverSpec::parse("shift=maybe"), std::invalid_argument);
   EXPECT_THROW(SolverSpec::parse("max_sweeps=0"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("topk=-1"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("topk=33"), std::invalid_argument);  // > default m=32
+  EXPECT_THROW(SolverSpec::parse("topk=2,stop=offdiag"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("topk=2,shift=1"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("threads=+2"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("threads=many"), std::invalid_argument);
+}
+
+TEST(SolverSpec, TopkAndThreadsRoundTrip) {
+  SolverSpec spec;
+  spec.m = 64;
+  spec.d = 2;
+  spec.topk = 5;
+  spec.threads = 3;
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+  EXPECT_EQ(SolverSpec::parse("m=64,topk=5").topk, 5);
+  EXPECT_EQ(SolverSpec::parse("threads=4").threads, 4u);
+  EXPECT_EQ(SolverSpec::parse("").topk, 0);
+  EXPECT_EQ(SolverSpec::parse("").threads, 0u);
+  // topk == m is legal (and bit-identical to the full solve downstream);
+  // the cross-key check runs on final values, so key order must not matter.
+  EXPECT_NO_THROW(SolverSpec::parse("topk=32"));
+  EXPECT_NO_THROW(SolverSpec::parse("topk=48,m=64"));
 }
 
 TEST(SolverSpec, TaskAndRowsRoundTripAndValidate) {
@@ -244,6 +267,10 @@ TEST(SolverSpec, FuzzedValidSpecsRoundTripExactly) {
     spec.stop_rule = rng.below(2) ? solve::StopRule::OffDiagonal : solve::StopRule::NoRotations;
     spec.off_tol = rng.uniform(1e-12, 1e-2);
     spec.gershgorin_shift = spec.task == Task::Evd && rng.below(2) != 0;
+    if (spec.stop_rule == solve::StopRule::NoRotations && !spec.gershgorin_shift &&
+        rng.below(2))
+      spec.topk = static_cast<int>(1 + rng.below(spec.m));
+    if (rng.below(2)) spec.threads = 1 + rng.below(8);
 
     const std::string text = spec.to_string();
     SolverSpec back;
@@ -369,8 +396,11 @@ TEST(SolverPlan, AutoPicksOptimizerQ) {
   const SolvePlan plan = Solver::plan(spec);
 
   const std::uint64_t q_max = 64 / 8;  // columns per block
+  pipe::ProblemParams prob;
+  prob.d = 2;
+  prob.m = 64.0;
   const pipe::OptimalQ best =
-      pipe::find_optimal_sweep_q(plan.ordering(), 64.0, spec.machine, q_max);
+      pipe::find_optimal_sweep_q(plan.ordering(), prob, spec.machine, q_max);
   EXPECT_EQ(plan.pipelining_q(), best.q);
   EXPECT_GT(plan.pipelining_q(), 0u);
   EXPECT_DOUBLE_EQ(plan.planned_sweep_comm_cost(), best.cost);
@@ -402,7 +432,10 @@ TEST(SolverPlan, LegacyPipelinedAutoUsesOptimizer) {
   solve::PipelinedSolveOptions auto_opts;  // q = 0 -> auto
   const solve::DistributedResult auto_r = solve::solve_mpi_pipelined(a, ordering, auto_opts);
 
-  const pipe::OptimalQ best = pipe::find_optimal_sweep_q(ordering, 64.0, auto_opts.machine, 8);
+  pipe::ProblemParams prob64;
+  prob64.d = 2;
+  prob64.m = 64.0;
+  const pipe::OptimalQ best = pipe::find_optimal_sweep_q(ordering, prob64, auto_opts.machine, 8);
   solve::PipelinedSolveOptions fixed_opts;
   fixed_opts.q = best.q;
   const solve::DistributedResult fixed_r = solve::solve_mpi_pipelined(a, ordering, fixed_opts);
@@ -505,10 +538,10 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
   }
   const std::vector<std::string> expected = {
       "task",          "backend",       "ordering",      "m",
-      "rows",          "pipeline_q",    "converged",     "sweeps",
-      "rotations",     "spectrum_min",  "spectrum_max",  "comm_messages",
-      "comm_elements", "comm_barriers", "has_model",     "modeled_time",
-      "vote_time",     "modeled_sweeps", "mean_link_utilization"};
+      "rows",          "pipeline_q",    "topk",          "converged",
+      "sweeps",        "rotations",     "spectrum_min",  "spectrum_max",
+      "comm_messages", "comm_elements", "comm_barriers", "has_model",
+      "modeled_time",  "vote_time",     "modeled_sweeps", "mean_link_utilization"};
   EXPECT_EQ(keys, expected);
 
   // One line, no whitespace, and the scenario echo is right.

@@ -23,6 +23,22 @@ TEST(ProblemParams, Geometry) {
   EXPECT_EQ(p.q_max(), 4u);
 }
 
+TEST(ProblemParams, TallGeometryChargesRowsPlusM) {
+  // A tall task=svd transition moves a block of B (rows x cpb) plus the
+  // matching block of V (m x cpb): (rows + m) * cpb elements per step, not
+  // the square model's 2 * m * cpb.
+  ProblemParams p;
+  p.d = 3;
+  p.m = 64.0;
+  p.rows = 1024.0;
+  EXPECT_DOUBLE_EQ(p.input_rows(), 1024.0);
+  EXPECT_DOUBLE_EQ(p.step_message_elems(), (1024.0 + 64.0) * 4.0);
+  // rows == 0 keeps the historical square payload bit-for-bit.
+  p.rows = 0.0;
+  EXPECT_DOUBLE_EQ(p.input_rows(), 64.0);
+  EXPECT_DOUBLE_EQ(p.step_message_elems(), 2.0 * 64.0 * 4.0);
+}
+
 TEST(ProblemParams, TooSmallMatrixRejected) {
   ProblemParams p;
   p.d = 5;
@@ -170,6 +186,50 @@ TEST(Optimizer, RespectsQMax) {
   const auto seq = ord::make_exchange_sequence(ord::OrderingKind::PermutedBR, 5);
   const OptimalQ opt = find_optimal_q(seq, 1e6, m, 4);
   EXPECT_LE(opt.q, 4u);
+}
+
+// Regression for the square-payload bug: find_optimal_sweep_q used to
+// charge 2 * m * cpb elements per transition regardless of the input shape,
+// so a tall task=svd problem -- whose transitions carry (rows + m) * cpb
+// elements -- was optimized for the wrong payload. On this instance the
+// correct model picks a deeper q than the square model does, so the test
+// fails if the payload reverts to 2m.
+TEST(Optimizer, SweepQIsRowsAware) {
+  MachineParams mach;
+  mach.ts = 1000.0;
+  mach.tw = 1.0;
+  const ord::JacobiOrdering ordering(ord::OrderingKind::Degree4, 2);
+  const std::uint64_t q_max = 8;  // 64 / 2^3 columns per block
+
+  ProblemParams tall;
+  tall.d = 2;
+  tall.m = 64.0;
+  tall.rows = 512.0;
+  const OptimalQ best = find_optimal_sweep_q(ordering, tall, mach, q_max);
+
+  // Brute-force argmin of the summed exchange-phase cost at the TALL
+  // payload over every feasible q (exhaustive: q_max = 8).
+  const double step_elems = tall.step_message_elems();
+  std::uint64_t expected_q = 0;
+  double expected_cost = 0.0;
+  for (std::uint64_t q = 1; q <= q_max; ++q) {
+    double total = 0.0;
+    for (int e = 2; e >= 1; --e)
+      total += phase_cost_pipelined(ordering.exchange_sequence(e), q, step_elems, mach);
+    if (expected_q == 0 || total < expected_cost) {
+      expected_q = q;
+      expected_cost = total;
+    }
+  }
+  EXPECT_EQ(best.q, expected_q);
+  EXPECT_DOUBLE_EQ(best.cost, expected_cost);
+
+  // The square model picks a different q here, so charging 2m would be a
+  // test-visible regression, not a silent cost shift.
+  ProblemParams square = tall;
+  square.rows = 0.0;
+  const OptimalQ square_best = find_optimal_sweep_q(ordering, square, mach, q_max);
+  EXPECT_NE(square_best.q, best.q);
 }
 
 TEST(Optimizer, IdealOptimumAtMostReal) {
