@@ -1,0 +1,79 @@
+// The counting operator-new shim behind common/alloc_guard.hpp.
+//
+// Compiled only in JMH_DASSERT builds (!NDEBUG): release binaries never see
+// a replaced allocator. The replacement routes every form of operator new
+// through std::malloc / std::aligned_alloc and bumps a thread-local counter
+// unless the thread is inside an AllocExempt scope; deallocation is never
+// counted (freeing scratch is not an allocation-discipline violation).
+//
+// The counter functions live in this TU ON PURPOSE: referencing any of them
+// (every AllocGuard does) forces the linker to pull this archive member and
+// with it the operator new replacement, so a debug binary that uses the
+// guard is always actually counting.
+#include "common/alloc_guard.hpp"
+
+#ifndef NDEBUG
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local std::uint64_t t_allocations = 0;
+thread_local int t_exempt_depth = 0;
+
+void* counted_alloc(std::size_t size) {
+  if (t_exempt_depth == 0) ++t_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  if (t_exempt_depth == 0) ++t_allocations;
+  const auto a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+namespace jmh::common::alloc_detail {
+
+std::uint64_t thread_allocations() noexcept { return t_allocations; }
+void push_exempt() noexcept { ++t_exempt_depth; }
+void pop_exempt() noexcept { --t_exempt_depth; }
+
+}  // namespace jmh::common::alloc_detail
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (t_exempt_depth == 0) ++t_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  if (t_exempt_depth == 0) ++t_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // !NDEBUG

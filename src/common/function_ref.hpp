@@ -1,0 +1,50 @@
+// FunctionRef: a non-owning, never-allocating callable reference.
+//
+// The hot paths hand small closures across virtual interfaces
+// (Transport::visit_nodes runs a lambda over every owned JacobiNode once or
+// twice per sweep). std::function at such a boundary is an allocation
+// hazard: a capture list one pointer past the small-buffer limit silently
+// puts a heap allocation in the steady-state sweep loop -- exactly the
+// class of regression the AllocGuard audit exists to catch. FunctionRef
+// makes the contract structural instead: two words (object pointer +
+// trampoline), trivially copyable, no ownership, no allocation, ever.
+//
+// Lifetime rule: a FunctionRef must not outlive the callable it refers to.
+// Use it for downward calls only (pass a lambda to a function that invokes
+// it before returning) -- never store one in a member that survives the
+// call. That is precisely the visit_nodes shape.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace jmh::common {
+
+template <typename Signature>
+class FunctionRef;  // undefined primary; use FunctionRef<R(Args...)>
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable invocable as R(Args...). Intentionally implicit so
+  /// call sites keep passing lambdas bare.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor): see above
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace jmh::common

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
 
 #ifdef __linux__
@@ -421,7 +422,14 @@ void ThreadPool::worker_loop(std::size_t index) {
   tl_worker_index = index;
   Task task;
   for (;;) {
+    // Steady-state dispatch must not allocate: popping a task is pure
+    // moves (std::function's move steals, deque pop frees at most).
+    // Audited in JMH_DASSERT builds; the task body itself may of course
+    // allocate -- only the scheduling machinery is under contract.
+    const common::AllocGuard dispatch_guard;
     if (try_pop(index, task)) {
+      JMH_ALLOC_ASSERT_ZERO(dispatch_guard,
+                            "pool dispatch (try_pop) allocated in steady state");
       run_task(task, index);
       task = Task{};
       continue;

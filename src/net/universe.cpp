@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -100,10 +101,16 @@ void Comm::send(int dst, int tag, Payload data) {
   JMH_REQUIRE(tag >= 0, "negative tags are reserved");
   universe_->sent_messages_.fetch_add(1, std::memory_order_relaxed);
   universe_->sent_elements_.fetch_add(data.size(), std::memory_order_relaxed);
+  // The mailbox queue node is wire-side state, not endpoint work: exempt it
+  // from the sender's allocation audit (common/alloc_guard.hpp).
+  const common::AllocExempt wire;
   universe_->mailbox(dst).deliver({rank_, tag, send_seq_++, std::move(data)});
 }
 
 void Comm::send(int dst, int tag, std::span<const double> data) {
+  // The payload copy IS the wire: the modeled network owns the bytes in
+  // flight. The endpoint-side allocation contract (PERF.md) excludes it.
+  const common::AllocExempt wire;
   send(dst, tag, Payload(data.begin(), data.end()));
 }
 

@@ -66,6 +66,8 @@ LinkSequence make_exchange_sequence(OrderingKind kind, int e) {
       return e >= 2 && e <= kMaxPaperMinAlphaE ? paper_min_alpha_sequence(e)
              : e >= 2                          ? permuted_br_sequence(e)
                                                : br_sequence(e);
+    case OrderingKind::Custom:
+      break;  // rejected by the JMH_REQUIRE above; keeps -Wswitch exhaustive
   }
   JMH_REQUIRE(false, "unknown ordering kind");
   return br_sequence(e);
@@ -141,11 +143,16 @@ Link JacobiOrdering::sweep_link_map(int sweep, Link logical) const {
 }
 
 std::vector<Transition> JacobiOrdering::sweep_transitions(int sweep) const {
-  std::vector<Transition> out = base_transitions_;
+  std::vector<Transition> out;
+  sweep_transitions_into(sweep, out);
+  return out;
+}
+
+void JacobiOrdering::sweep_transitions_into(int sweep, std::vector<Transition>& out) const {
+  out.assign(base_transitions_.begin(), base_transitions_.end());
   if (sweep % d_ != 0) {
     for (auto& t : out) t.link = sweep_link_map(sweep, t.link);
   }
-  return out;
 }
 
 }  // namespace jmh::ord

@@ -102,6 +102,12 @@ class JacobiOrdering {
   /// applied to all link identifiers. Size == steps_per_sweep().
   std::vector<Transition> sweep_transitions(int sweep) const;
 
+  /// Allocation-free variant for the steady-state sweep loop: assigns the
+  /// sweep's transitions into @p out, reusing its capacity. After the first
+  /// call with this @p out, later calls allocate nothing (the size is
+  /// steps_per_sweep() for every sweep).
+  void sweep_transitions_into(int sweep, std::vector<Transition>& out) const;
+
   /// sigma_s(i): physical link for logical link i during sweep s.
   Link sweep_link_map(int sweep, Link logical) const;
 

@@ -52,25 +52,33 @@ double Network::run_stage(const std::vector<NodeStage>& stage) const {
           config_.overlap_startup ? static_cast<double>(i + 1) * ts : all_ready;
 
     // Injection loop: start transmissions respecting the port limit.
+    // Ownership flows through the event chain: every scheduled event holds
+    // a shared_ptr to the closure, and the closure itself holds only a
+    // weak self-reference (re-locked while an owning event is invoking it)
+    // -- a direct self-capture would be a shared_ptr cycle and leak one
+    // closure per node per stage (LeakSanitizer catches this).
     auto try_inject = std::make_shared<std::function<void()>>();
+    const std::weak_ptr<std::function<void()>> weak_self = try_inject;
     *try_inject = [&q, &stage_end, msgs, in_flight, next_to_inject, ready_time, ports, tw,
-                   try_inject]() {
+                   weak_self]() {
+      const std::shared_ptr<std::function<void()>> self = weak_self.lock();
+      JMH_CHECK(self != nullptr, "try_inject invoked without an owning event");
       while (*next_to_inject < msgs.size() && *in_flight < ports) {
         const std::size_t i = (*next_to_inject)++;
         const double start = std::max(q.now(), (*ready_time)[i]);
         const double finish = start + msgs[i].elems * tw;
         ++*in_flight;
-        q.schedule(finish, [&stage_end, in_flight, try_inject, finish]() {
+        q.schedule(finish, [&stage_end, in_flight, self, finish]() {
           --*in_flight;
           stage_end = std::max(stage_end, finish);
-          (*try_inject)();
+          (*self)();
         });
       }
       // If ports are free but the next message's startup is pending, wake up
       // when it becomes ready.
       if (*next_to_inject < msgs.size() && *in_flight < ports) {
         const double when = (*ready_time)[*next_to_inject];
-        if (when > q.now()) q.schedule(when, [try_inject]() { (*try_inject)(); });
+        if (when > q.now()) q.schedule(when, [self]() { (*self)(); });
       }
     };
     q.schedule(0.0, [try_inject]() { (*try_inject)(); });

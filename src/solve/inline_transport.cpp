@@ -12,7 +12,7 @@ InlineTransport::InlineTransport(const la::Matrix& a, int d) : layout_(a.cols(),
   for (cube::Node n = 0; n < num_nodes; ++n) nodes_.emplace_back(a, layout_, n);
 }
 
-void InlineTransport::visit_nodes(const std::function<void(JacobiNode&)>& fn) {
+void InlineTransport::visit_nodes(common::FunctionRef<void(JacobiNode&)> fn) {
   for (JacobiNode& node : nodes_) fn(node);
 }
 

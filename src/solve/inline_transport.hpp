@@ -19,7 +19,7 @@ class InlineTransport : public Transport {
   int dimension() const override { return layout_.d(); }
   std::size_t num_columns() const override { return layout_.m(); }
 
-  void visit_nodes(const std::function<void(JacobiNode&)>& fn) override;
+  void visit_nodes(common::FunctionRef<void(JacobiNode&)> fn) override;
 
   /// Moves blocks between the owned nodes directly (no serialization).
   void apply_transition(const ord::Transition& t, std::uint64_t step) override;

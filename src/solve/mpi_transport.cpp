@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
 #include "net/collectives.hpp"
 
@@ -52,9 +53,21 @@ void MpiLiteTransport::allreduce_sum(std::span<double> values) {
 }
 
 SweepStats MpiLiteTransport::run_phase(const PhaseContext& ctx) {
-  if (q_ == 0 || ctx.phase.type != ord::PhaseInfo::Type::Exchange)
-    return Transport::run_phase(ctx);
+  // The endpoint-side allocation contract (PERF.md): sweep 0 sizes the
+  // scratch arenas, every later phase reuses them. Audited here so BOTH
+  // paths -- apply_transition full-block exchanges and the pipelined packet
+  // loop -- fail loudly in JMH_DASSERT builds if an allocation creeps back.
+  const common::AllocGuard phase_guard;
+  SweepStats stats = (q_ == 0 || ctx.phase.type != ord::PhaseInfo::Type::Exchange)
+                         ? Transport::run_phase(ctx)
+                         : run_phase_pipelined(ctx);
+  if (ctx.sweep >= 1)
+    JMH_ALLOC_ASSERT_ZERO(phase_guard,
+                          "MpiLiteTransport phase allocated in steady state");
+  return stats;
+}
 
+SweepStats MpiLiteTransport::run_phase_pipelined(const PhaseContext& ctx) {
   // Pipelined exchange phase: packetize the mobile block; pair and forward
   // packet by packet. Packets of one block are spread over consecutive path
   // nodes, overlapping distinct links.

@@ -38,7 +38,7 @@ class MpiLiteTransport : public Transport {
   int dimension() const override { return hc_.dimension(); }
   std::size_t num_columns() const override { return layout_.m(); }
 
-  void visit_nodes(const std::function<void(JacobiNode&)>& fn) override { fn(node_); }
+  void visit_nodes(common::FunctionRef<void(JacobiNode&)> fn) override { fn(node_); }
 
   void apply_transition(const ord::Transition& t, std::uint64_t step) override;
 
@@ -46,13 +46,18 @@ class MpiLiteTransport : public Transport {
   void allreduce_sum(std::span<double> values) override;
 
   /// Pipelined exchange phases when q >= 1; the base implementation
-  /// otherwise.
+  /// otherwise. In JMH_DASSERT builds every phase after the first sweep is
+  /// audited to allocate nothing on this endpoint (the scratch arenas must
+  /// absorb all serialization, packetization and merging; the mailbox's
+  /// wire copy is exempt -- common/alloc_guard.hpp).
   SweepStats run_phase(const PhaseContext& ctx) override;
 
   /// Allgathers every endpoint's blocks; all ranks return the full set.
   std::vector<ColumnBlock> collect_blocks() override;
 
  private:
+  SweepStats run_phase_pipelined(const PhaseContext& ctx);
+
   net::HypercubeComm hc_;
   BlockLayout layout_;
   JacobiNode node_;

@@ -59,6 +59,11 @@ class SimTransport : public InlineTransport {
   int modeled_sweeps() const noexcept { return modeled_sweeps_; }
   const sim::SimResult& clock() const noexcept { return clock_; }
 
+  /// Charging modeled time allocates event-queue and trace bookkeeping
+  /// every sweep -- that is the simulator's ledger, not endpoint work, so
+  /// the engine's steady-state allocation audit does not apply here.
+  bool steady_state_alloc_free() const noexcept override { return false; }
+
  private:
   void charge_vote(std::size_t num_values);
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <numeric>
 
+#include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
 
 namespace jmh::solve {
@@ -56,15 +57,29 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
   std::vector<double> vote(topk > 0 ? 2 * m + 2 : 0);
   std::vector<std::uint8_t> activity(m);
   std::vector<std::size_t> ranking(m);
+  std::vector<ord::Transition> transitions;  // reused across sweeps
+
+  // The PERF.md allocation-free claim, machine-checked: sweep 0 may size
+  // scratch (transition list, transport arenas, the topk leading set);
+  // every later sweep of an alloc-free transport must allocate NOTHING on
+  // this thread. Audited per sweep in JMH_DASSERT builds, compiled out
+  // under NDEBUG.
+  const bool audit_allocs = transport.steady_state_alloc_free();
 
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    const common::AllocGuard sweep_guard;
+    const auto audit_sweep = [&] {
+      if (audit_allocs && sweep >= 1)
+        JMH_ALLOC_ASSERT_ZERO(sweep_guard,
+                              "steady-state sweep allocated (PERF.md contract)");
+    };
     SweepStats stats;
     std::uint8_t* act = topk > 0 ? activity.data() : nullptr;
     if (act) std::fill(activity.begin(), activity.end(), std::uint8_t{0});
     transport.visit_nodes(
         [&](JacobiNode& node) { stats += node.intra_block_pairings(opts.threshold, act); });
 
-    const std::vector<ord::Transition> transitions = ordering.sweep_transitions(sweep);
+    ordering.sweep_transitions_into(sweep, transitions);
     for (const ord::PhaseInfo& phase : ordering.phases())
       stats += transport.run_phase(
           {phase, transitions, sweep, steps_per_sweep, opts.threshold, act});
@@ -98,9 +113,11 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
         // count it iff it did work (keeps topk == m bit-identical to the
         // full NoRotations path, where the final all-skip sweep is free).
         if (vote[2 * m] > 0.0) ++out.sweeps;
+        audit_sweep();
         break;
       }
       ++out.sweeps;
+      audit_sweep();
       continue;
     }
 
@@ -111,6 +128,7 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
     if (opts.stop_rule == StopRule::NoRotations) {
       if (global[0] == 0.0) {
         out.converged = true;
+        audit_sweep();
         break;
       }
     } else {
@@ -120,10 +138,12 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
       // counted.
       if (std::sqrt(2.0 * global[1]) <= opts.off_tol * std::sqrt(frob2)) {
         out.converged = true;
+        audit_sweep();
         break;
       }
     }
     ++out.sweeps;
+    audit_sweep();
   }
 
   out.rotations = static_cast<std::size_t>(total_rotations);

@@ -24,10 +24,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "la/onesided_jacobi.hpp"
 #include "ord/ordering.hpp"
 #include "solve/jacobi_node.hpp"
@@ -109,8 +109,12 @@ class Transport {
   virtual std::size_t num_columns() const = 0;
 
   /// Applies @p fn to every JacobiNode this endpoint owns (all 2^d for the
-  /// single-owner transports, exactly one for an mpi_lite rank).
-  virtual void visit_nodes(const std::function<void(JacobiNode&)>& fn) = 0;
+  /// single-owner transports, exactly one for an mpi_lite rank). Takes a
+  /// FunctionRef, not std::function: the engine calls this inside the
+  /// steady-state sweep loop, and a capture list past std::function's
+  /// small-buffer limit would silently put a heap allocation there
+  /// (common/function_ref.hpp).
+  virtual void visit_nodes(common::FunctionRef<void(JacobiNode&)> fn) = 0;
 
   /// Applies one ordering transition across t.link to every owned node:
   /// mobile <-> mobile exchange, or the asymmetric division move (the low
@@ -140,6 +144,15 @@ class Transport {
   /// All 2^{d+1} final blocks, available at every endpoint. Consumes the
   /// resident blocks; call once, after the protocol finishes.
   virtual std::vector<ColumnBlock> collect_blocks() = 0;
+
+  /// Whether this transport's steady-state sweep path (every sweep after
+  /// the first, once the scratch arenas are warm) performs no endpoint-side
+  /// heap allocations. When true, the sweep engine audits each steady-state
+  /// sweep with an AllocGuard in JMH_DASSERT builds -- the machine check of
+  /// the PERF.md allocation-free claim. SimTransport opts out: charging
+  /// modeled time allocates event bookkeeping by design (the model, not the
+  /// endpoint).
+  virtual bool steady_state_alloc_free() const noexcept { return true; }
 };
 
 }  // namespace jmh::solve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
 
 namespace jmh::svc {
@@ -49,6 +50,12 @@ bool JobQueue::pop(Job& out) {
 std::size_t JobQueue::pop_group(std::vector<Job>& out, std::size_t max_jobs) {
   out.clear();
   JMH_REQUIRE(max_jobs >= 1, "pop_group needs max_jobs >= 1");
+  // Once the caller's group vector has warmed to max_jobs capacity (the
+  // dispatcher reuses one vector for its whole life), taking a group is
+  // pure moves: no growth, no per-job allocation. Audited in JMH_DASSERT
+  // builds; the warm-up calls (capacity still growing) are not.
+  const common::AllocGuard pop_guard;
+  const bool warmed = out.capacity() >= max_jobs;
   std::unique_lock lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
   if (jobs_.empty()) return 0;  // closed and drained
@@ -60,6 +67,8 @@ std::size_t JobQueue::pop_group(std::vector<Job>& out, std::size_t max_jobs) {
   }
   lock.unlock();
   not_full_.notify_all();  // a group frees several slots
+  if (warmed)
+    JMH_ALLOC_ASSERT_ZERO(pop_guard, "JobQueue::pop_group allocated in steady state");
   return out.size();
 }
 

@@ -78,10 +78,10 @@ std::vector<CoverageCase> coverage_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, ColumnCoverageTest, ::testing::ValuesIn(coverage_cases()),
-                         [](const ::testing::TestParamInfo<CoverageCase>& info) {
-                           std::string name = ord::to_string(info.param.kind) + "_d" +
-                                              std::to_string(info.param.d) + "_m" +
-                                              std::to_string(info.param.m);
+                         [](const ::testing::TestParamInfo<CoverageCase>& pinfo) {
+                           std::string name = ord::to_string(pinfo.param.kind) + "_d" +
+                                              std::to_string(pinfo.param.d) + "_m" +
+                                              std::to_string(pinfo.param.m);
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;

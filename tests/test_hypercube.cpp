@@ -90,7 +90,9 @@ TEST(Hypercube, GrayPathVisitsAllNodesOnce) {
   for (std::size_t i = 0; i < path.size(); ++i) {
     EXPECT_FALSE(seen[path[i]]);
     seen[path[i]] = true;
-    if (i > 0) EXPECT_EQ(c.distance(path[i - 1], path[i]), 1);
+    if (i > 0) {
+      EXPECT_EQ(c.distance(path[i - 1], path[i]), 1);
+    }
   }
 }
 

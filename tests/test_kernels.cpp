@@ -7,38 +7,25 @@
 // rounding. fused_rotate is elementwise, so it must match two consecutive
 // apply_rotation calls bit-for-bit with no caveats.
 //
-// This file also smoke-tests the allocation-free serialize path: the
-// global operator new is instrumented (per-TU override, counting only), so
-// steady-state serialize_into / assign_from / split_into / merge_into
-// round trips can be asserted to allocate nothing.
+// This file also smoke-tests the allocation-free serialize path with
+// common::AllocGuard, so steady-state serialize_into / assign_from /
+// split_into / merge_into round trips can be asserted to allocate nothing.
+// The guard only counts in JMH_DASSERT (debug) builds; in release builds
+// those assertions are vacuous and the tests skip.
 #include "la/kernels.hpp"
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <new>
 #include <vector>
 
+#include "common/alloc_guard.hpp"
 #include "common/rng.hpp"
 #include "la/matrix.hpp"
 #include "la/rotation.hpp"
 #include "la/sym_gen.hpp"
 #include "solve/block_layout.hpp"
 #include "solve/jacobi_node.hpp"
-
-namespace {
-std::atomic<std::size_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace jmh::la {
 namespace {
@@ -165,6 +152,7 @@ ColumnBlock sample_block(std::size_t m) {
 }
 
 TEST(AllocationFree, SteadyStateSerializeRoundTrip) {
+  if (!common::kAllocGuardActive) GTEST_SKIP() << "AllocGuard counts only in JMH_DASSERT builds";
   const ColumnBlock blk = sample_block(32);
   net::Payload buf;
   ColumnBlock back;
@@ -172,12 +160,12 @@ TEST(AllocationFree, SteadyStateSerializeRoundTrip) {
   blk.serialize_into(buf);
   back.assign_from(buf);
 
-  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const common::AllocGuard guard;
   for (int i = 0; i < 32; ++i) {
     blk.serialize_into(buf);
     back.assign_from(buf);
   }
-  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+  EXPECT_EQ(guard.allocations(), 0u)
       << "serialize_into/assign_from allocated in steady state";
   EXPECT_EQ(back.cols, blk.cols);
   EXPECT_EQ(back.b, blk.b);
@@ -185,18 +173,19 @@ TEST(AllocationFree, SteadyStateSerializeRoundTrip) {
 }
 
 TEST(AllocationFree, SteadyStateSplitMerge) {
+  if (!common::kAllocGuardActive) GTEST_SKIP() << "AllocGuard counts only in JMH_DASSERT builds";
   const ColumnBlock blk = sample_block(32);
   std::vector<ColumnBlock> packets;
   ColumnBlock merged;
   blk.split_into(4, packets);
   ColumnBlock::merge_into(packets, merged);
 
-  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const common::AllocGuard guard;
   for (int i = 0; i < 32; ++i) {
     blk.split_into(4, packets);
     ColumnBlock::merge_into(packets, merged);
   }
-  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+  EXPECT_EQ(guard.allocations(), 0u)
       << "split_into/merge_into allocated in steady state";
   EXPECT_EQ(merged.cols, blk.cols);
   EXPECT_EQ(merged.b, blk.b);

@@ -60,7 +60,9 @@ TEST(MinAlphaSearch, GenerousBoundFindsBrLikeSequence) {
 
 TEST(MinAlphaSearch, BudgetExhaustionReported) {
   const auto r = find_sequence_with_alpha(6, static_cast<int>(alpha_lower_bound(6)), 10);
-  if (!r.sequence) EXPECT_FALSE(r.exhausted);
+  if (!r.sequence) {
+    EXPECT_FALSE(r.exhausted);
+  }
 }
 
 TEST(MinAlphaSearch, NodeCountIsCounted) {

@@ -46,10 +46,10 @@ std::vector<SolverCase> solver_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, InlineSolverTest, ::testing::ValuesIn(solver_cases()),
-                         [](const ::testing::TestParamInfo<SolverCase>& info) {
-                           std::string name = ord::to_string(info.param.kind) + "_d" +
-                                              std::to_string(info.param.d) + "_m" +
-                                              std::to_string(info.param.m);
+                         [](const ::testing::TestParamInfo<SolverCase>& pinfo) {
+                           std::string name = ord::to_string(pinfo.param.kind) + "_d" +
+                                              std::to_string(pinfo.param.d) + "_m" +
+                                              std::to_string(pinfo.param.m);
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;

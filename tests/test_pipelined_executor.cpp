@@ -96,11 +96,11 @@ std::vector<PipelinedCase> pipelined_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, PipelinedSolverTest, ::testing::ValuesIn(pipelined_cases()),
-                         [](const ::testing::TestParamInfo<PipelinedCase>& info) {
-                           std::string name = ord::to_string(info.param.kind) + "_d" +
-                                              std::to_string(info.param.d) + "_m" +
-                                              std::to_string(info.param.m) + "_q" +
-                                              std::to_string(info.param.q);
+                         [](const ::testing::TestParamInfo<PipelinedCase>& pinfo) {
+                           std::string name = ord::to_string(pinfo.param.kind) + "_d" +
+                                              std::to_string(pinfo.param.d) + "_m" +
+                                              std::to_string(pinfo.param.m) + "_q" +
+                                              std::to_string(pinfo.param.q);
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;

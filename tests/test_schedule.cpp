@@ -109,9 +109,9 @@ std::vector<SweepCase> all_pairs_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweeps, AllPairsOnceTest, ::testing::ValuesIn(all_pairs_cases()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           std::string name = to_string(info.param.kind) + "_d" +
-                                              std::to_string(info.param.d);
+                         [](const ::testing::TestParamInfo<SweepCase>& pinfo) {
+                           std::string name = to_string(pinfo.param.kind) + "_d" +
+                                              std::to_string(pinfo.param.d);
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;

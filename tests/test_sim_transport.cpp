@@ -57,8 +57,8 @@ TEST_P(SimCostParityTest, UnpipelinedSweepMatchesCostModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Dims, SimCostParityTest, ::testing::Values(2, 3),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "d" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "d" + std::to_string(pinfo.param);
                          });
 
 TEST(SimTransport, PipelinedChargingMatchesPhaseCostModel) {

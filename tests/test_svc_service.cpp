@@ -244,8 +244,9 @@ TEST(SolverService, PoolThreadsConfigRequestsPoolWidth) {
   service.submit("backend=inline,ordering=d4,m=16,d=2", test_matrix(16, 1)).get();
   service.drain();
   const Metrics m = service.metrics();
-  if (exec::ThreadPool::enabled())
+  if (exec::ThreadPool::enabled()) {
     EXPECT_EQ(m.pool_workers, exec::ThreadPool::global().workers());
+  }
 }
 
 }  // namespace

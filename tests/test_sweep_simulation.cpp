@@ -53,10 +53,10 @@ std::vector<SweepSimCase> sweep_sim_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, SweepSimTest, ::testing::ValuesIn(sweep_sim_cases()),
-                         [](const ::testing::TestParamInfo<SweepSimCase>& info) {
-                           std::string name = ord::to_string(info.param.kind) + "_d" +
-                                              std::to_string(info.param.d) + "_m" +
-                                              std::to_string(static_cast<int>(info.param.m));
+                         [](const ::testing::TestParamInfo<SweepSimCase>& pinfo) {
+                           std::string name = ord::to_string(pinfo.param.kind) + "_d" +
+                                              std::to_string(pinfo.param.d) + "_m" +
+                                              std::to_string(static_cast<int>(pinfo.param.m));
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;

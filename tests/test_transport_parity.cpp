@@ -67,8 +67,8 @@ INSTANTIATE_TEST_SUITE_P(AllOrderings, TransportParityTest,
                          ::testing::Values(ord::OrderingKind::BR, ord::OrderingKind::PermutedBR,
                                            ord::OrderingKind::Degree4,
                                            ord::OrderingKind::MinAlpha),
-                         [](const ::testing::TestParamInfo<ord::OrderingKind>& info) {
-                           std::string name = ord::to_string(info.param);
+                         [](const ::testing::TestParamInfo<ord::OrderingKind>& pinfo) {
+                           std::string name = ord::to_string(pinfo.param);
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;

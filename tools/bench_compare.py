@@ -90,6 +90,9 @@ def main():
                     help="allowed fractional slowdown on gated cases (default 0.15)")
     ap.add_argument("--filter", default=DEFAULT_FILTER,
                     help="regex naming the gated hot cases (default: PERF.md hot set)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="tolerate gated baseline cases absent from the fresh run "
+                         "(for deliberately filtered bench invocations)")
     args = ap.parse_args()
 
     if args.baseline:
@@ -124,10 +127,18 @@ def main():
     for name, b, f, ratio, gated in rows:
         print(f"{name:<{width}}  {b:>10.0f}ns  {f:>10.0f}ns  {ratio:>6.2f}x  {'*' if gated else ''}")
 
+    # A gated case that vanished from the fresh run is a gate bypass, not a
+    # footnote: a renamed or deleted benchmark would otherwise pass the gate
+    # forever. Hard failure unless the caller explicitly filtered it out.
     gated_missing = [n for n in base if gate.search(n) and n not in fresh]
     if gated_missing:
-        print(f"\nWARNING: gated cases missing from fresh run: {', '.join(sorted(gated_missing))}",
-              file=sys.stderr)
+        severity = "WARNING" if args.allow_missing else "FAIL"
+        print(f"\n{severity}: gated baseline cases missing from fresh run: "
+              f"{', '.join(sorted(gated_missing))}", file=sys.stderr)
+        if not args.allow_missing:
+            print("(rename/remove the baseline entry, or pass --allow-missing for a "
+                  "deliberately filtered run)", file=sys.stderr)
+            return 1
 
     if failures:
         print(f"\nFAIL: {len(failures)} hot case(s) regressed beyond "

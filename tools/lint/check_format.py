@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check-only formatting gate over src/, tests/, bench/, examples/.
+
+Runs `clang-format --dry-run` against the committed .clang-format and fails
+on any would-be edit. With --diff it prints the replacement diff instead of
+just naming files. There is intentionally no --fix mass-reformat mode here:
+apply clang-format to the files you touched, not to history.
+
+Like run_tidy.py, this degrades gracefully where clang-format is not
+installed (gcc-only dev boxes): it prints a notice and exits 0 unless
+--require-format (CI) is passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+
+def find_clang_format() -> str | None:
+    import os
+    explicit = os.environ.get("CLANG_FORMAT")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ["clang-format"] + [f"clang-format-{v}" for v in range(20, 13, -1)]:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def source_files(only: list[str]) -> list[Path]:
+    if only:
+        return [Path(f).resolve() for f in only]
+    out: list[Path] = []
+    for d in SOURCE_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            out.extend(sorted(root.rglob("*.hpp")))
+            out.extend(sorted(root.rglob("*.cpp")))
+    return [f for f in out if f.is_file()]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--diff", action="store_true", help="print the would-be diff")
+    ap.add_argument("--require-format", action="store_true",
+                    help="fail (exit 2) when clang-format is not installed")
+    ap.add_argument("files", nargs="*", help="explicit files (overrides discovery)")
+    args = ap.parse_args()
+
+    binary = find_clang_format()
+    if binary is None:
+        print("check_format: clang-format not found -- format gate skipped", file=sys.stderr)
+        return 2 if args.require_format else 0
+
+    files = source_files(args.files)
+    dirty: list[str] = []
+    for f in files:
+        if args.diff:
+            formatted = subprocess.run([binary, "--style=file", str(f)],
+                                       capture_output=True, text=True).stdout
+            original = f.read_text(encoding="utf-8")
+            if formatted != original:
+                dirty.append(str(f.relative_to(REPO)))
+                diff = subprocess.run(
+                    ["diff", "-u", "--label", f"a/{f.relative_to(REPO)}",
+                     "--label", f"b/{f.relative_to(REPO)}", str(f), "-"],
+                    input=formatted, capture_output=True, text=True)
+                sys.stdout.write(diff.stdout)
+        else:
+            proc = subprocess.run([binary, "--style=file", "--dry-run", "-Werror", str(f)],
+                                  capture_output=True, text=True)
+            if proc.returncode != 0:
+                dirty.append(str(f.relative_to(REPO)))
+
+    if dirty:
+        print(f"check_format: {len(dirty)} file(s) need formatting:", file=sys.stderr)
+        for name in dirty:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"check_format: OK -- {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

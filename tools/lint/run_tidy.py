@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a committed zero-new-findings baseline.
+
+Two gates in one script:
+
+1. NOLINT discipline (pure Python, always runs, no clang needed): every
+   NOLINT / NOLINTNEXTLINE in src/, bench/, examples/ must name the check
+   it suppresses AND carry a reason comment on the same line:
+
+       foo();  // NOLINT(bugprone-foo): reason why this is sanctioned
+
+2. clang-tidy findings vs tools/lint/tidy_baseline.json: a finding is keyed
+   by (file, check). The gate fails when any key's count EXCEEDS the
+   committed baseline -- new findings are rejected, fixing old ones never
+   breaks the build. Refresh with --update-baseline after intentional fixes.
+   Line numbers are deliberately not part of the key so unrelated edits
+   cannot invalidate the baseline.
+
+clang-tidy is located via $CLANG_TIDY or a versioned-name search. When it is
+not installed (local dev boxes ship only gcc), gate 2 is skipped with a
+notice and gate 1 still runs; pass --require-tidy (CI does) to make a
+missing binary a hard failure.
+
+Usage:
+  tools/lint/run_tidy.py [--build-dir build] [--changed BASE_REF]
+                         [--update-baseline] [--require-tidy] [files...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "tools" / "lint" / "tidy_baseline.json"
+SOURCE_DIRS = ("src", "bench", "examples")
+
+# NOLINT with a named check and a ': reason' tail. NOLINTBEGIN/END are
+# banned outright: block suppressions hide new findings in their range.
+NOLINT_ANY = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
+NOLINT_OK = re.compile(r"NOLINT(?:NEXTLINE)?\([a-z0-9.,*-]+\)\s*:\s*\S")
+
+# clang-tidy diagnostic line: path:line:col: warning: message [check-name]
+DIAG = re.compile(r"^(?P<file>[^:\s][^:]*):\d+:\d+:\s+warning:\s+.*\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def repo_rel(path: str) -> str:
+    p = Path(path)
+    try:
+        return p.resolve().relative_to(REPO).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def check_nolint_discipline(files: list[Path]) -> list[str]:
+    errors = []
+    for f in files:
+        for lineno, line in enumerate(f.read_text(encoding="utf-8").splitlines(), 1):
+            m = NOLINT_ANY.search(line)
+            if not m:
+                continue
+            where = f"{repo_rel(str(f))}:{lineno}"
+            if m.group(1) in ("BEGIN", "END"):
+                errors.append(f"{where}: NOLINT{m.group(1)} block suppressions are banned "
+                              "(they hide new findings in their range)")
+            elif not NOLINT_OK.search(line):
+                errors.append(f"{where}: bare NOLINT -- name the check and give a reason: "
+                              "NOLINT(check-name): why")
+    return errors
+
+
+def source_files() -> list[Path]:
+    out = []
+    for d in SOURCE_DIRS:
+        out.extend(sorted((REPO / d).rglob("*.hpp")))
+        out.extend(sorted((REPO / d).rglob("*.cpp")))
+    return [f for f in out if f.is_file()]
+
+
+def changed_files(base_ref: str) -> list[Path]:
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", base_ref, "--"],
+        cwd=REPO, capture_output=True, text=True, check=True).stdout
+    out = []
+    for name in diff.splitlines():
+        p = REPO / name
+        if p.suffix in (".hpp", ".cpp") and name.split("/")[0] in SOURCE_DIRS and p.is_file():
+            out.append(p)
+    return out
+
+
+def find_clang_tidy() -> str | None:
+    import os
+    explicit = os.environ.get("CLANG_TIDY")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(20, 13, -1)]:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def run_tidy(binary: str, build_dir: Path, files: list[Path]) -> Counter:
+    findings: Counter = Counter()
+    # One file per invocation keeps peak memory flat on small CI runners and
+    # makes a crash attributable; wall-clock is dominated by parsing anyway.
+    for f in files:
+        if f.suffix != ".cpp":
+            continue  # headers are covered via HeaderFilterRegex
+        proc = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet", str(f)],
+            cwd=REPO, capture_output=True, text=True)
+        for line in proc.stdout.splitlines():
+            m = DIAG.match(line)
+            if not m:
+                continue
+            rel = repo_rel(m.group("file"))
+            if rel.split("/")[0] not in SOURCE_DIRS:
+                continue  # system/third-party noise
+            for check in m.group("check").split(","):
+                findings[f"{rel}|{check}"] += 1
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build",
+                    help="build tree holding compile_commands.json")
+    ap.add_argument("--changed", metavar="BASE_REF",
+                    help="lint only files changed vs BASE_REF (PR scoping)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the committed baseline from this run")
+    ap.add_argument("--require-tidy", action="store_true",
+                    help="fail (exit 2) when clang-tidy is not installed")
+    ap.add_argument("files", nargs="*", help="explicit files (overrides discovery)")
+    args = ap.parse_args()
+
+    if args.files:
+        files = [Path(f).resolve() for f in args.files]
+    elif args.changed:
+        files = changed_files(args.changed)
+    else:
+        files = source_files()
+
+    nolint_errors = check_nolint_discipline(files or source_files())
+    for e in nolint_errors:
+        print(f"run_tidy: {e}", file=sys.stderr)
+
+    binary = find_clang_tidy()
+    if binary is None:
+        print("run_tidy: clang-tidy not found -- findings gate skipped "
+              "(NOLINT discipline still checked)", file=sys.stderr)
+        if args.require_tidy:
+            return 2
+        return 1 if nolint_errors else 0
+
+    build_dir = (REPO / args.build_dir).resolve()
+    if not (build_dir / "compile_commands.json").is_file():
+        print(f"run_tidy: no compile_commands.json in {build_dir} "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2
+
+    findings = run_tidy(binary, build_dir, files)
+
+    if args.update_baseline:
+        BASELINE.write_text(json.dumps(dict(sorted(findings.items())), indent=2) + "\n",
+                            encoding="utf-8")
+        print(f"run_tidy: baseline updated ({sum(findings.values())} findings)")
+        return 1 if nolint_errors else 0
+
+    baseline = Counter()
+    if BASELINE.is_file():
+        baseline.update(json.loads(BASELINE.read_text(encoding="utf-8")))
+
+    regressions = []
+    for key, count in sorted(findings.items()):
+        if count > baseline.get(key, 0):
+            regressions.append(f"{key.replace('|', ': ')} "
+                               f"({count} found, {baseline.get(key, 0)} baselined)")
+    for r in regressions:
+        print(f"run_tidy: NEW finding: {r}", file=sys.stderr)
+
+    fixed = sum((baseline - findings).values())
+    if fixed and not args.changed:
+        print(f"run_tidy: {fixed} baselined finding(s) no longer fire -- "
+              "consider --update-baseline")
+
+    if regressions or nolint_errors:
+        return 1
+    print(f"run_tidy: OK -- {len(files)} files, {sum(findings.values())} findings, "
+          "0 above baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
