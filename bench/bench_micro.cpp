@@ -2,7 +2,10 @@
 // components whose throughput determines experiment wall-clock time.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "api/solver.hpp"
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "la/kernels.hpp"
 #include "la/rotation.hpp"
@@ -254,6 +257,20 @@ void BM_BlockSerializeInto(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size() * 8));
 }
 BENCHMARK(BM_BlockSerializeInto)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SweepCancelCheck(benchmark::State& state) {
+  // The per-sweep-boundary cancellation cost the solve engines pay: one
+  // CancelToken::poll(). Arg 0 = flag-only armed token (an atomic load up
+  // the one-link parent chain); Arg 1 = deadline token (adds the
+  // steady_clock read). PERF.md quotes these as the overhead ceiling.
+  const jmh::common::CancelToken token =
+      state.range(0) == 0
+          ? jmh::common::CancelToken::source()
+          : jmh::common::CancelToken::source().with_timeout(std::chrono::hours(24));
+  for (auto _ : state) benchmark::DoNotOptimize(token.poll());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepCancelCheck)->Arg(0)->Arg(1);
 
 // --- svc: service throughput vs worker count ---------------------------------
 // The serving-layer headline: a same-spec inline workload (the cache-hot,

@@ -5,6 +5,19 @@
 
 namespace jmh::api {
 
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Ok: return "OK";
+    case SolveStatus::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case SolveStatus::Cancelled: return "CANCELLED";
+    case SolveStatus::TransportCorrupt: return "TRANSPORT_CORRUPT";
+    case SolveStatus::Shed: return "SHED";
+    case SolveStatus::InvalidInput: return "INVALID_INPUT";
+    case SolveStatus::Internal: break;
+  }
+  return "INTERNAL";
+}
+
 double SolveReport::mean_link_utilization() const {
   if (!has_model || modeled_time <= 0.0 || link_busy.empty()) return 0.0;
   double total = 0.0;
@@ -38,6 +51,11 @@ std::string SolveReport::summary() const {
   std::snprintf(line, sizeof line, "solve    : %s after %d sweeps, %zu rotations\n",
                 converged ? "converged" : "NOT CONVERGED", sweeps, rotations);
   out += line;
+
+  if (status != SolveStatus::Ok) {
+    std::snprintf(line, sizeof line, "status   : %s\n", api::to_string(status).c_str());
+    out += line;
+  }
 
   if (svd && !singular_values.empty()) {
     std::snprintf(line, sizeof line, "singulars: [%.6g, %.6g]\n", singular_values.back(),
@@ -85,6 +103,16 @@ std::string report_to_json(const SolveReport& report) {
     return std::string(buf);
   };
   auto uint = [&](std::uint64_t v) { return std::to_string(v); };
+  // Built by append, not operator+(const char*, string&&): the latter trips
+  // a gcc 12 -Wrestrict false positive once inlined into callers.
+  auto quoted = [&](const std::string& s) {
+    std::string q;
+    q.reserve(s.size() + 2);
+    q += '"';
+    q += s;
+    q += '"';
+    return q;
+  };
 
   // The solution vector of the report's task (evd: ascending, or
   // |lambda|-descending when truncated; svd: descending) -- min/max are
@@ -95,9 +123,9 @@ std::string report_to_json(const SolveReport& report) {
   // k long, but V still has m rows (and U `rows` rows for svd).
   const std::uint64_t m_cols =
       report.eigenvectors.rows() > 0 ? report.eigenvectors.rows() : spectrum.size();
-  field("task", "\"" + api::to_string(report.task) + "\"", /*first=*/true);
-  field("backend", "\"" + api::to_string(report.backend) + "\"");
-  field("ordering", "\"" + ord::spec_token(report.ordering) + "\"");
+  field("task", quoted(api::to_string(report.task)), /*first=*/true);
+  field("backend", quoted(api::to_string(report.backend)));
+  field("ordering", quoted(ord::spec_token(report.ordering)));
   field("m", uint(m_cols));
   field("rows", uint(svd ? report.u.rows() : m_cols));
   field("pipeline_q", uint(report.pipelining_q));
@@ -122,6 +150,7 @@ std::string report_to_json(const SolveReport& report) {
   field("vote_time", num(report.vote_time));
   field("modeled_sweeps", std::to_string(report.modeled_sweeps));
   field("mean_link_utilization", num(report.mean_link_utilization()));
+  field("status", quoted(api::to_string(report.status)));
   out += '}';
   return out;
 }

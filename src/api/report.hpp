@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,40 @@
 #include "net/universe.hpp"
 
 namespace jmh::api {
+
+/// The failure taxonomy of the solving stack. Every way a solve can end is
+/// one of these; no failure mode escapes the svc boundary as an untyped
+/// exception (SolverService wraps stragglers as Internal). The names are
+/// the wire-stable strings the future rpc layer will serialize.
+enum class SolveStatus : std::uint8_t {
+  Ok = 0,
+  DeadlineExceeded,  ///< deadline_ms elapsed; solve stopped at a sweep boundary
+  Cancelled,         ///< caller or shutdown cancelled the token
+  TransportCorrupt,  ///< wire checksum mismatch or failed allreduce (retryable)
+  Shed,              ///< rejected before work: queue full or service shut down
+  InvalidInput,      ///< bad spec, wrong shape, non-finite matrix entries
+  Internal,          ///< anything else -- a bug, by definition
+};
+
+/// Canonical uppercase name ("DEADLINE_EXCEEDED", ...), as rendered into
+/// report JSON and service logs.
+std::string to_string(SolveStatus status);
+
+/// The typed failure of the api/svc surface: carries its SolveStatus so
+/// callers dispatch on taxonomy, not on what() substrings. Derives from
+/// std::runtime_error, so legacy catch sites keep working.
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(SolveStatus status, const std::string& what)
+      : std::runtime_error(to_string(status) + ": " + what), status_(status) {}
+  SolveStatus status() const noexcept { return status_; }
+  /// True for transient environment faults worth a bounded retry
+  /// (SolverService's retry-with-backoff keys off this).
+  bool retryable() const noexcept { return status_ == SolveStatus::TransportCorrupt; }
+
+ private:
+  SolveStatus status_;
+};
 
 struct SolveReport {
   // -- scenario echo ---------------------------------------------------------
@@ -41,6 +76,11 @@ struct SolveReport {
   int sweeps = 0;                   ///< sweeps that performed >= 1 rotation
   bool converged = false;
   std::size_t rotations = 0;
+  /// Ok on every report returned from a solve (failures throw SolveError
+  /// instead); carried here so machine consumers of report_to_json -- and
+  /// the service driver, which synthesizes degraded-job reports -- share
+  /// one status vocabulary.
+  SolveStatus status = SolveStatus::Ok;
 
   // -- traffic (MpiLite backend; zeros otherwise) ----------------------------
   net::CommStats comm;
@@ -69,7 +109,7 @@ struct SolveReport {
 ///   task, backend, ordering, m, rows, pipeline_q, topk, converged, sweeps,
 ///   rotations, spectrum_min, spectrum_max, comm_messages, comm_elements,
 ///   comm_barriers, has_model, modeled_time, vote_time, modeled_sweeps,
-///   mean_link_utilization
+///   mean_link_utilization, status
 /// For task=svd, m/rows are the input shape and spectrum_min/spectrum_max
 /// the extreme singular values (sigma_min, sigma_max).
 /// Doubles print as %.17g (exact round trip); no whitespace, no newline.

@@ -1,12 +1,14 @@
 #include "api/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "exec/thread_pool.hpp"
 #include "la/shift.hpp"
 #include "pipe/optimizer.hpp"
+#include "solve/fault_injection.hpp"
 #include "solve/inline_transport.hpp"
 #include "solve/mpi_transport.hpp"
 #include "solve/parallel_jacobi.hpp"
@@ -83,13 +85,8 @@ SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
   }
 }
 
-SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
-  const solve::SolveOptions opts = [&] {
-    solve::SolveOptions o = spec_.solve_options();
-    o.gershgorin_shift = false;  // unwrapped by solve()
-    return o;
-  }();
-
+SolveReport SolvePlan::solve_prepared(const la::Matrix& a,
+                                      const solve::SolveOptions& opts) const {
   SolveReport report;
   report.task = spec_.task;
   report.backend = spec_.backend;
@@ -110,12 +107,28 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
                                                    er.converged, er.rotations, er.leading));
   };
 
+  // Single-owner backends wrap their transport in the fault decorator only
+  // when a schedule is armed (mpi wraps per rank inside run_mpi_protocol);
+  // a non-Ok engine status aborts before assembly -- partial blocks never
+  // become a report.
+  const auto run_engine = [&](solve::Transport& transport) {
+    solve::EngineResult er;
+    if (opts.faults.enabled()) {
+      solve::FaultInjectingTransport faulty(transport, opts.faults);
+      er = run_sweep_protocol(faulty, ordering_, opts);
+    } else {
+      er = run_sweep_protocol(transport, ordering_, opts);
+    }
+    if (er.status != solve::RunStatus::Ok) throw solve::SolveInterrupted(er.status);
+    return er;
+  };
+
   switch (spec_.backend) {
     case Backend::Inline: {
       // Pipelining reschedules messages; with no messages to schedule the
       // inline substrate always executes unpipelined.
       solve::InlineTransport transport(a, spec_.d);
-      const solve::EngineResult er = run_sweep_protocol(transport, ordering_, opts);
+      const solve::EngineResult er = run_engine(transport);
       assemble(transport.collect_blocks(), er);
       break;
     }
@@ -135,7 +148,7 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
       sopts.overlap_startup = spec_.overlap_startup;
       sopts.pipelined_q = q_;
       solve::SimTransport transport(a, spec_.d, sopts);
-      const solve::EngineResult er = run_sweep_protocol(transport, ordering_, sopts);
+      const solve::EngineResult er = run_engine(transport);
       assemble(transport.collect_blocks(), er);
       report.has_model = true;
       report.modeled_time = transport.modeled_time();
@@ -148,22 +161,45 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a) const {
   return report;
 }
 
-SolveReport SolvePlan::solve(const la::Matrix& a) const {
+SolveReport SolvePlan::solve(const la::Matrix& a) const { return solve(a, {}); }
+
+SolveReport SolvePlan::solve(const la::Matrix& a, const SolveOverrides& overrides) const {
   if (spec_.task == Task::Svd) {
     JMH_REQUIRE(a.cols() == spec_.m, "column count must match the plan's spec.m");
     JMH_REQUIRE(a.rows() == spec_.input_rows(),
                 "row count must match the plan's spec rows (rows=, or m when unset)");
-    return solve_prepared(a);  // no shift: plan() rejects shifted SVD specs
+  } else {
+    JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
+    JMH_REQUIRE(a.rows() == spec_.m, "matrix order must match the plan's spec.m");
   }
-  JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
-  JMH_REQUIRE(a.rows() == spec_.m, "matrix order must match the plan's spec.m");
-  if (!spec_.gershgorin_shift) return solve_prepared(a);
 
-  // Solve A + sigma*I (positive semidefinite by Gershgorin), shift back.
-  const double sigma = la::gershgorin_radius(a);
-  SolveReport report = solve_prepared(la::add_diagonal_shift(a, sigma));
-  for (double& ev : report.eigenvalues) ev -= sigma;
-  return report;
+  solve::SolveOptions opts = spec_.solve_options();
+  opts.gershgorin_shift = false;  // unwrapped below
+  opts.cancel = overrides.cancel;
+  // The deadline is relative to THIS call, chained under any caller token:
+  // whichever fires first decides the status.
+  if (spec_.deadline_ms > 0)
+    opts.cancel = opts.cancel.with_timeout(std::chrono::milliseconds(spec_.deadline_ms));
+  opts.faults.attempt = overrides.fault_attempt;
+
+  // Map the transport layer's typed failures onto the api taxonomy here, at
+  // the one place every backend funnels through; anything still escaping as
+  // an untyped exception past this point is a bug (svc wraps it Internal).
+  try {
+    if (spec_.task == Task::Svd || !spec_.gershgorin_shift) return solve_prepared(a, opts);
+    // Solve A + sigma*I (positive semidefinite by Gershgorin), shift back.
+    const double sigma = la::gershgorin_radius(a);
+    SolveReport report = solve_prepared(la::add_diagonal_shift(a, sigma), opts);
+    for (double& ev : report.eigenvalues) ev -= sigma;
+    return report;
+  } catch (const solve::TransportCorrupt& e) {
+    throw SolveError(SolveStatus::TransportCorrupt, e.what());
+  } catch (const solve::SolveInterrupted& e) {
+    throw SolveError(e.status() == solve::RunStatus::DeadlineExceeded
+                         ? SolveStatus::DeadlineExceeded
+                         : SolveStatus::Cancelled,
+                     e.what());
+  }
 }
 
 std::vector<SolveReport> SolvePlan::solve_batch(const std::vector<la::Matrix>& as) const {

@@ -24,9 +24,23 @@
 
 #include "api/report.hpp"
 #include "api/spec.hpp"
+#include "common/cancel.hpp"
 #include "solve/block_layout.hpp"
 
 namespace jmh::api {
+
+/// Per-call knobs a caller may vary across solves of one plan (everything
+/// in the spec is part of the plan's identity; these are not).
+struct SolveOverrides {
+  /// Caller-supplied cancellation handle. When the spec also names a
+  /// deadline_ms, the effective token is this one with the deadline chained
+  /// under it -- whichever fires first wins.
+  common::CancelToken cancel;
+  /// Redraws the spec's fault schedule (solve::FaultPlan::attempt); the
+  /// service's retry-with-backoff bumps it so a retry is not doomed to
+  /// replay the identical fault.
+  std::uint64_t fault_attempt = 0;
+};
 
 /// Immutable compiled form of a SolverSpec. Create via Solver::plan.
 class SolvePlan {
@@ -46,7 +60,15 @@ class SolvePlan {
   /// Runs the solve on spec().backend through the Transport machinery.
   /// task=evd: @p a must be square of order spec().m. task=svd: @p a must
   /// be spec().input_rows() x spec().m. Thread-safe.
+  ///
+  /// Failures are typed: deadline/cancellation/corruption surface as
+  /// SolveError carrying the matching SolveStatus (never a partial report);
+  /// shape and spec problems stay std::invalid_argument.
   SolveReport solve(const la::Matrix& a) const;
+
+  /// solve() with per-call overrides (cancellation token, fault-schedule
+  /// attempt). solve(a) is exactly solve(a, {}).
+  SolveReport solve(const la::Matrix& a, const SolveOverrides& overrides) const;
 
   /// Solves several matrices with one plan (the amortization the facade
   /// exists for). Runs on the svc layer's transient worker pool, so batch
@@ -60,7 +82,7 @@ class SolvePlan {
   SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering);
 
   /// The backend dispatch; Gershgorin shift already unwrapped by solve().
-  SolveReport solve_prepared(const la::Matrix& a) const;
+  SolveReport solve_prepared(const la::Matrix& a, const solve::SolveOptions& opts) const;
 
   SolverSpec spec_;
   ord::JacobiOrdering ordering_;

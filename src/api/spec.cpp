@@ -127,6 +127,9 @@ solve::SolveOptions SolverSpec::solve_options() const {
   opts.off_tol = off_tol;
   opts.gershgorin_shift = gershgorin_shift;
   opts.topk = topk;
+  opts.faults = faults;
+  // deadline_ms is NOT resolved here: a deadline is relative to solve()
+  // entry, so SolvePlan::solve derives the cancel token per call.
   return opts;
 }
 
@@ -158,6 +161,17 @@ std::string SolverSpec::to_string() const {
   out += ",shift=" + std::string(gershgorin_shift ? "1" : "0");
   out += ",topk=" + std::to_string(topk);
   out += ",threads=" + std::to_string(threads);
+  out += ",deadline_ms=" + std::to_string(deadline_ms);
+  out += ",faults=";
+  if (!faults.enabled()) {
+    out += "off";
+  } else {
+    out += std::to_string(faults.seed);
+    out += ':' + format_double(faults.corrupt_rate);
+    out += ':' + format_double(faults.delay_rate);
+    out += ':' + std::to_string(faults.delay_us);
+    out += ':' + format_double(faults.vote_fail_rate);
+  }
   return out;
 }
 
@@ -170,7 +184,7 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   enum KeyBit : std::uint32_t {
     kBackend, kOrdering, kM, kD, kPipeline, kTs, kTw, kPorts, kOverlap,
     kThreshold, kMaxSweeps, kStop, kOffTol, kShift, kTask, kRows, kTopk,
-    kThreads,
+    kThreads, kDeadlineMs, kFaults,
   };
   std::uint32_t seen_keys = 0;
   const auto mark_seen = [&](std::string_view key, KeyBit bit) {
@@ -281,6 +295,41 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       mark_seen(key, kThreads);
       spec.threads = static_cast<std::size_t>(
           parse_uint_bounded(key, value, std::numeric_limits<std::size_t>::max()));
+    } else if (key == "deadline_ms") {
+      mark_seen(key, kDeadlineMs);
+      // Bounded well under steady_clock's representable range so
+      // now() + deadline never overflows the time_point arithmetic.
+      spec.deadline_ms = parse_uint_bounded(key, value, 1000000000ull);
+    } else if (key == "faults") {
+      mark_seen(key, kFaults);
+      if (value == "off") {
+        spec.faults = solve::FaultPlan{};
+      } else {
+        // <seed>:<corrupt>:<delay>:<delay_us>:<vote>, exactly five fields.
+        std::string parts[5];
+        std::size_t n = 0, start = 0;
+        while (true) {
+          const std::size_t colon = value.find(':', start);
+          const std::string part = value.substr(
+              start, colon == std::string::npos ? colon : colon - start);
+          if (n < 5) parts[n] = part;
+          ++n;
+          if (colon == std::string::npos) break;
+          start = colon + 1;
+        }
+        if (n != 5)
+          fail("key 'faults' needs off or <seed>:<corrupt>:<delay>:<delay_us>:<vote>, got '" +
+               value + "'");
+        spec.faults.seed = parse_uint(key, parts[0]);
+        if (spec.faults.seed == 0) fail("key 'faults' seed must be >= 1 (use faults=off to disable)");
+        spec.faults.corrupt_rate = parse_double(key, parts[1]);
+        spec.faults.delay_rate = parse_double(key, parts[2]);
+        spec.faults.delay_us = parse_uint_bounded(key, parts[3], 1000000000ull);
+        spec.faults.vote_fail_rate = parse_double(key, parts[4]);
+        for (double rate : {spec.faults.corrupt_rate, spec.faults.delay_rate,
+                            spec.faults.vote_fail_rate})
+          if (rate < 0.0 || rate > 1.0) fail("key 'faults' rates must be in [0, 1]");
+      }
     } else {
       fail("unknown key '" + std::string(key) + "'");
     }

@@ -40,6 +40,17 @@
 //                              workers at plan time (best-effort: an active
 //                              pool keeps its width); 0 = leave as is
 //                              (default 0)
+//   deadline_ms=<n>            per-solve wall-clock budget, measured from
+//                              solve() entry; the engine stops at the next
+//                              sweep boundary past it and the solve fails
+//                              with DEADLINE_EXCEEDED. 0 = none (default 0)
+//   faults=off|<seed>:<corrupt>:<delay>:<delay_us>:<vote>
+//                              deterministic fault injection
+//                              (solve::FaultPlan): a nonzero schedule seed,
+//                              the corrupt/delay/vote-failure rates in
+//                              [0,1], and the per-delay stall in
+//                              microseconds. Colon-separated because comma
+//                              is the spec token separator (default off)
 #pragma once
 
 #include <cstdint>
@@ -108,6 +119,14 @@ struct SolverSpec {
   /// (ThreadPool::ensure_workers); 0 = leave the pool as is. Not part of the
   /// numerical scenario -- results are identical for every value.
   std::size_t threads = 0;
+  /// Per-solve wall-clock budget in milliseconds, measured from solve()
+  /// entry; 0 = no deadline. SolvePlan::solve derives a deadline token from
+  /// it (composed under any caller-supplied SolveOverrides::cancel).
+  std::uint64_t deadline_ms = 0;
+  /// Deterministic fault injection (seed 0 = off). `faults.attempt` is NOT
+  /// part of the spec grammar -- it is the service's per-retry redraw knob
+  /// (SolveOverrides::fault_attempt) and stays 0 in any parsed spec.
+  solve::FaultPlan faults;
 
   /// The convergence-knob slice as the executors consume it.
   solve::SolveOptions solve_options() const;

@@ -1,0 +1,76 @@
+#include "common/cancel.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace jmh::common {
+
+struct CancelToken::State {
+  std::atomic<std::uint8_t> reason{0};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  std::shared_ptr<State> parent;
+};
+
+namespace {
+
+// First reason wins: only 0 -> r transitions are allowed, so concurrent
+// cancel(Cancelled) and an expiring deadline agree on a single answer.
+void latch(std::atomic<std::uint8_t>& slot, CancelReason r) noexcept {
+  std::uint8_t expected = 0;
+  slot.compare_exchange_strong(expected, static_cast<std::uint8_t>(r),
+                               std::memory_order_relaxed,
+                               std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CancelToken CancelToken::source() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::with_deadline(
+    std::chrono::steady_clock::time_point deadline) const {
+  auto child = std::make_shared<State>();
+  child->has_deadline = true;
+  child->deadline = deadline;
+  child->parent = state_;
+  return CancelToken(std::move(child));
+}
+
+CancelToken CancelToken::with_timeout(std::chrono::nanoseconds budget) const {
+  return with_deadline(std::chrono::steady_clock::now() + budget);
+}
+
+void CancelToken::cancel(CancelReason reason) const noexcept {
+  if (state_ != nullptr) latch(state_->reason, reason);
+}
+
+CancelReason CancelToken::fired() const noexcept {
+  if (state_ == nullptr) return CancelReason::None;
+  return static_cast<CancelReason>(state_->reason.load(std::memory_order_relaxed));
+}
+
+CancelReason CancelToken::poll() const noexcept {
+  const State* s = state_.get();
+  if (s == nullptr) return CancelReason::None;
+  // Walk the parent chain (typically depth <= 2: job deadline -> run token),
+  // latching any reason discovered below into every level above it so later
+  // fired() calls see it without re-walking.
+  for (const State* node = s; node != nullptr; node = node->parent.get()) {
+    auto r = static_cast<CancelReason>(node->reason.load(std::memory_order_relaxed));
+    if (r == CancelReason::None && node->has_deadline &&
+        std::chrono::steady_clock::now() >= node->deadline) {
+      latch(const_cast<State*>(node)->reason, CancelReason::DeadlineExceeded);
+      r = static_cast<CancelReason>(node->reason.load(std::memory_order_relaxed));
+    }
+    if (r != CancelReason::None) {
+      latch(state_->reason, r);
+      return static_cast<CancelReason>(
+          state_->reason.load(std::memory_order_relaxed));
+    }
+  }
+  return CancelReason::None;
+}
+
+}  // namespace jmh::common

@@ -1,0 +1,73 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation state.
+// Producers (a service deadline, a shutdown path, a caller's ctrl-C handler)
+// call cancel(); consumers (the sweep engine) call poll() at natural
+// checkpoints -- sweep boundaries -- and wind down cleanly when it fires.
+//
+// Design constraints, in order:
+//   - A default-constructed token is INERT: armed() is false, poll() is a
+//     single branch, and code paths that never arm a token pay nothing.
+//   - poll() on an armed token is allocation-free and lock-free: one relaxed
+//     atomic load on the hot path, plus a steady_clock read only when a
+//     deadline is set (BM_SweepCancelCheck gates both shapes).
+//   - The first reason to fire wins and is sticky: once a token reports
+//     Cancelled it never later reports DeadlineExceeded, so every observer
+//     (all ranks of an mpi_lite solve share one token) agrees on WHY.
+//   - with_deadline() derives a child token that also observes its parent:
+//     a service can hang one run-wide kill switch above per-job deadlines.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace jmh::common {
+
+/// Why a token fired. None means "keep going".
+enum class CancelReason : std::uint8_t {
+  None = 0,
+  Cancelled = 1,         ///< explicit cancel(): shutdown, user abort
+  DeadlineExceeded = 2,  ///< the token's deadline passed during poll()
+};
+
+class CancelToken {
+ public:
+  /// Inert token: armed() is false, poll() always returns None.
+  CancelToken() = default;
+
+  /// A fresh cancellable token (no deadline until with_deadline()).
+  static CancelToken source();
+
+  /// A child token that fires at @p deadline or when *this fires, whichever
+  /// comes first. Works on an inert token too (deadline-only token).
+  [[nodiscard]] CancelToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) const;
+
+  /// Convenience: deadline at now + @p budget.
+  [[nodiscard]] CancelToken with_timeout(std::chrono::nanoseconds budget) const;
+
+  /// True when cancellation is possible at all; engines use this to skip
+  /// the poll plumbing (and keep votes bit-identical to pre-cancel runs).
+  [[nodiscard]] bool armed() const noexcept { return state_ != nullptr; }
+
+  /// Request cancellation. First reason wins; no-op on an inert token.
+  void cancel(CancelReason reason = CancelReason::Cancelled) const noexcept;
+
+  /// Check for cancellation, latching an expired deadline the first time it
+  /// is observed. Allocation-free; safe to call from any thread.
+  [[nodiscard]] CancelReason poll() const noexcept;
+
+  /// Like poll() but never reads the clock: reports only already-latched
+  /// state in one relaxed load. The engine's between-rotation fast path.
+  [[nodiscard]] CancelReason fired() const noexcept;
+
+ private:
+  struct State;
+  explicit CancelToken(std::shared_ptr<State> state) noexcept
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace jmh::common

@@ -1,11 +1,61 @@
 #include "solve/jacobi_node.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.hpp"
 #include "la/rotation.hpp"
 
 namespace jmh::solve {
+
+namespace {
+// Serialized layout: kHeaderWords doubles [id, ncols, rows, vrows,
+// checksum], then ncols column ids, then the b and v column data.
+constexpr std::size_t kHeaderWords = 5;
+constexpr std::size_t kChecksumIndex = 4;
+}  // namespace
+
+std::uint64_t wire_checksum(std::span<const double> header,
+                            std::span<const double> body) noexcept {
+  // Four interleaved word-at-a-time FNV-1a lanes. One lane costs a
+  // dependent multiply per word (4-5 cycle latency); four independent
+  // lanes keep the multiplier pipelined, so the hash runs near one word
+  // per cycle -- it rides along with block serialization instead of
+  // dominating it (BENCH_kernels.json gates the serialize benches).
+  //
+  // Detection: per word, h' = (h ^ bits) * kPrime with kPrime odd is
+  // injective in (h ^ bits), so any single flipped bit diverges the lane's
+  // state, and injectivity per step keeps it diverged; the final combine
+  // multiplies each lane by a distinct odd constant, so a change in any
+  // one lane changes the sum.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h0 = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+  std::uint64_t h1 = 0x84222325cbf29ce4ull;
+  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;
+  std::uint64_t h3 = 0xc2b2ae3d27d4eb4full;
+  const auto fold = [&](std::span<const double> words) noexcept {
+    std::size_t i = 0;
+    for (; i + 4 <= words.size(); i += 4) {
+      h0 = (h0 ^ std::bit_cast<std::uint64_t>(words[i])) * kPrime;
+      h1 = (h1 ^ std::bit_cast<std::uint64_t>(words[i + 1])) * kPrime;
+      h2 = (h2 ^ std::bit_cast<std::uint64_t>(words[i + 2])) * kPrime;
+      h3 = (h3 ^ std::bit_cast<std::uint64_t>(words[i + 3])) * kPrime;
+    }
+    for (; i < words.size(); ++i)
+      h0 = (h0 ^ std::bit_cast<std::uint64_t>(words[i])) * kPrime;
+  };
+  fold(header);
+  fold(body);
+  std::uint64_t h = h0 * 0x9ddfea08eb382d69ull + h1 * 0xff51afd7ed558ccdull +
+                    h2 * 0xc4ceb9fe1a85ec53ull + h3 * 0x2545f4914f6cdd1dull;
+  // Avalanche the combined state so a lane-local difference spreads over
+  // all 64 bits before the fold below can mask it.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  // 48-bit fold: integer-valued doubles are bit-exact through any transport.
+  return (h ^ (h >> 48)) & 0xffffffffffffull;
+}
 
 net::Payload ColumnBlock::serialize() const {
   net::Payload p;
@@ -15,31 +65,40 @@ net::Payload ColumnBlock::serialize() const {
 
 void ColumnBlock::serialize_into(net::Payload& out) const {
   out.clear();
-  out.reserve(4 + cols.size() + b.size() + v.size());
+  out.reserve(kHeaderWords + cols.size() + b.size() + v.size());
   out.push_back(static_cast<double>(id));
   out.push_back(static_cast<double>(num_cols()));
   out.push_back(static_cast<double>(rows));
   out.push_back(static_cast<double>(vrows));
+  out.push_back(0.0);  // checksum slot, filled once the body is in place
   for (std::size_t c : cols) out.push_back(static_cast<double>(c));
   out.insert(out.end(), b.begin(), b.end());
   out.insert(out.end(), v.begin(), v.end());
+  const std::span<const double> all(out);
+  out[kChecksumIndex] = static_cast<double>(
+      wire_checksum(all.first(kChecksumIndex), all.subspan(kHeaderWords)));
 }
 
 void ColumnBlock::assign_from(std::span<const double> payload) {
-  // Validate before mutating: a malformed payload must leave this block
-  // exactly as it was (it may be a node's live mobile block).
-  JMH_REQUIRE(payload.size() >= 4, "truncated block payload");
+  // Validate before mutating: a malformed or corrupted payload must leave
+  // this block exactly as it was (it may be a node's live mobile block).
+  JMH_REQUIRE(payload.size() >= kHeaderWords, "truncated block payload");
+  const std::uint64_t sum =
+      wire_checksum(payload.first(kChecksumIndex), payload.subspan(kHeaderWords));
+  if (static_cast<double>(sum) != payload[kChecksumIndex])
+    throw TransportCorrupt("block payload failed wire checksum");
   const auto ncols = static_cast<std::size_t>(payload[1]);
   const auto nrows = static_cast<std::size_t>(payload[2]);
   const auto nvrows = static_cast<std::size_t>(payload[3]);
-  JMH_REQUIRE(payload.size() == 4 + ncols + ncols * (nrows + nvrows),
+  JMH_REQUIRE(payload.size() == kHeaderWords + ncols + ncols * (nrows + nvrows),
               "block payload size mismatch");
   id = static_cast<ord::BlockId>(payload[0]);
   rows = nrows;
   vrows = nvrows;
   cols.resize(ncols);
-  for (std::size_t i = 0; i < ncols; ++i) cols[i] = static_cast<std::size_t>(payload[4 + i]);
-  const double* base = payload.data() + 4 + ncols;
+  for (std::size_t i = 0; i < ncols; ++i)
+    cols[i] = static_cast<std::size_t>(payload[kHeaderWords + i]);
+  const double* base = payload.data() + kHeaderWords + ncols;
   b.assign(base, base + ncols * rows);
   v.assign(base + ncols * rows, base + ncols * rows + ncols * vrows);
 }
@@ -59,11 +118,11 @@ std::vector<ColumnBlock> ColumnBlock::deserialize_stream(const net::Payload& pay
   const std::span<const double> stream(payload);
   std::size_t pos = 0;
   while (pos < stream.size()) {
-    JMH_REQUIRE(stream.size() - pos >= 4, "truncated block stream");
+    JMH_REQUIRE(stream.size() - pos >= kHeaderWords, "truncated block stream");
     const auto ncols = static_cast<std::size_t>(stream[pos + 1]);
     const auto rows = static_cast<std::size_t>(stream[pos + 2]);
     const auto vrows = static_cast<std::size_t>(stream[pos + 3]);
-    const std::size_t len = 4 + ncols + ncols * (rows + vrows);
+    const std::size_t len = kHeaderWords + ncols + ncols * (rows + vrows);
     JMH_REQUIRE(stream.size() - pos >= len, "truncated block in stream");
     blocks.push_back(deserialize(stream.subspan(pos, len)));
     pos += len;

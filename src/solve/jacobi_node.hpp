@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "la/matrix.hpp"
@@ -17,6 +18,23 @@
 #include "solve/block_layout.hpp"
 
 namespace jmh::solve {
+
+/// A serialized block failed its wire checksum: the payload was damaged in
+/// transit (or deliberately, by FaultInjectingTransport). Distinct from the
+/// std::invalid_argument of a structurally impossible payload -- corruption
+/// is an environment fault, to be retried or surfaced as TRANSPORT_CORRUPT,
+/// not a caller bug.
+class TransportCorrupt : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a-64 over the 64-bit patterns of @p header then @p body, folded to
+/// 48 bits so the result is exactly representable as an integer-valued
+/// double (a raw 64-bit hash stored via bit_cast could form a signaling
+/// NaN inside a payload). Any single bit flip in either span changes it.
+std::uint64_t wire_checksum(std::span<const double> header,
+                            std::span<const double> body) noexcept;
 
 /// A column block of (B, V): `cols` global column ids; `b` and `v` hold the
 /// column data contiguously, column-major -- `rows` elements per B column,
@@ -37,7 +55,11 @@ struct ColumnBlock {
   std::span<double> col_v(std::size_t i) { return {v.data() + i * vrows, vrows}; }
 
   /// Flattens to an mpi_lite payload:
-  /// [id, ncols, rows, vrows, cols..., b..., v...].
+  /// [id, ncols, rows, vrows, checksum, cols..., b..., v...], where
+  /// checksum = wire_checksum over the first four header words and the
+  /// whole body. assign_from / deserialize verify it and throw
+  /// TransportCorrupt on mismatch, so a damaged exchange can never
+  /// silently converge to a wrong spectrum.
   net::Payload serialize() const;
 
   /// Flattens into @p out, reusing its capacity (cleared first). The

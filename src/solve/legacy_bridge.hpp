@@ -26,7 +26,16 @@ inline api::SolverSpec spec_for(const la::Matrix& a, const ord::JacobiOrdering& 
   spec.stop_rule = opts.stop_rule;
   spec.off_tol = opts.off_tol;
   spec.gershgorin_shift = opts.gershgorin_shift;
+  spec.faults = opts.faults;
+  spec.faults.attempt = 0;  // per-call knob, not part of the scenario name
   return spec;
+}
+
+/// The per-call slice of a legacy SolveOptions (the spec carries the rest):
+/// the cancel token and the fault-schedule attempt ride through
+/// SolveOverrides so legacy wrappers honor them too.
+inline api::SolveOverrides overrides_for(const SolveOptions& opts) {
+  return {.cancel = opts.cancel, .fault_attempt = opts.faults.attempt};
 }
 
 inline DistributedResult to_distributed(api::SolveReport&& report) {

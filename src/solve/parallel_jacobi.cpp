@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "solve/fault_injection.hpp"
 #include "solve/legacy_bridge.hpp"
 #include "solve/mpi_transport.hpp"
 #include "solve/sweep_engine.hpp"
@@ -83,7 +84,8 @@ DistributedResult solve_inline(const la::Matrix& a, const ord::JacobiOrdering& o
                                const SolveOptions& opts) {
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
   const api::SolverSpec spec = legacy::spec_for(a, ordering, opts, api::Backend::Inline);
-  return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
+  return legacy::to_distributed(
+      api::Solver::plan(spec, ordering).solve(a, legacy::overrides_for(opts)));
 }
 
 SvdSolveResult assemble_svd_result(std::vector<ColumnBlock> blocks, std::size_t rows,
@@ -167,8 +169,19 @@ MpiRunOutcome run_mpi_protocol(const la::Matrix& a, const ord::JacobiOrdering& o
   std::mutex out_mu;
   universe.run([&](net::Comm& comm) {
     MpiLiteTransport transport(comm, a, q);
-    const EngineResult er = run_sweep_protocol(transport, ordering, opts);
-    std::vector<ColumnBlock> blocks = transport.collect_blocks();
+    // Faults decorate the real transport per rank; with the plan disabled
+    // the decorator is never built, keeping unfaulted runs bit-identical.
+    EngineResult er;
+    if (opts.faults.enabled()) {
+      FaultInjectingTransport faulty(transport, opts.faults);
+      er = run_sweep_protocol(faulty, ordering, opts);
+    } else {
+      er = run_sweep_protocol(transport, ordering, opts);
+    }
+    // The status came out of the allreduced vote, so every rank takes the
+    // same branch here: all participate in the collect allgatherv, or none.
+    std::vector<ColumnBlock> blocks;
+    if (er.status == RunStatus::Ok) blocks = transport.collect_blocks();
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(out_mu);
       out.engine = er;
@@ -176,6 +189,7 @@ MpiRunOutcome run_mpi_protocol(const la::Matrix& a, const ord::JacobiOrdering& o
     }
   });
   out.comm = universe.stats();
+  if (out.engine.status != RunStatus::Ok) throw SolveInterrupted(out.engine.status);
   return out;
 }
 
@@ -205,7 +219,8 @@ DistributedResult solve_mpi(const la::Matrix& a, const ord::JacobiOrdering& orde
                             const SolveOptions& opts) {
   JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
   const api::SolverSpec spec = legacy::spec_for(a, ordering, opts, api::Backend::MpiLite);
-  return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
+  return legacy::to_distributed(
+      api::Solver::plan(spec, ordering).solve(a, legacy::overrides_for(opts)));
 }
 
 }  // namespace jmh::solve

@@ -16,7 +16,8 @@ DistributedResult solve_mpi_pipelined(const la::Matrix& a, const ord::JacobiOrde
     spec.pipelining = api::PipeliningPolicy::Fixed;
     spec.q = opts.q;
   }
-  return legacy::to_distributed(api::Solver::plan(spec, ordering).solve(a));
+  return legacy::to_distributed(
+      api::Solver::plan(spec, ordering).solve(a, legacy::overrides_for(opts)));
 }
 
 }  // namespace jmh::solve

@@ -103,7 +103,8 @@ SimSolveResult solve_sim(const la::Matrix& a, const ord::JacobiOrdering& orderin
     spec.pipelining = api::PipeliningPolicy::Fixed;
     spec.q = opts.pipelined_q;
   }
-  api::SolveReport report = api::Solver::plan(spec, ordering).solve(a);
+  api::SolveReport report =
+      api::Solver::plan(spec, ordering).solve(a, legacy::overrides_for(opts));
 
   SimSolveResult out;
   out.modeled_time = report.modeled_time;

@@ -26,6 +26,16 @@ void write_column_norms(ColumnBlock& blk, std::span<double> vote) {
   }
 }
 
+/// Maps the shared token's reason onto the run status once the allreduced
+/// cancel flag is nonzero. By then the reason is already latched in the
+/// token state every endpoint shares (poll() latches before contributing to
+/// the vote), so all endpoints translate the same flag to the same status.
+RunStatus cancel_status(const common::CancelToken& token) {
+  return token.poll() == common::CancelReason::DeadlineExceeded
+             ? RunStatus::DeadlineExceeded
+             : RunStatus::Cancelled;
+}
+
 }  // namespace
 
 EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering& ordering,
@@ -38,12 +48,32 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
   JMH_REQUIRE(opts.topk == 0 || opts.stop_rule == StopRule::NoRotations,
               "topk requires StopRule::NoRotations (per-column activity has no off(A) analogue)");
 
+  // Cancellation is SPMD-coherent: when a token is armed, every vote gains
+  // one trailing flag slot so all endpoints decide to stop -- and at which
+  // sweep -- from the same allreduced sum. An unarmed solve keeps the
+  // historical vote widths, so arming nothing stays bit-identical (including
+  // SimTransport's modeled vote time, which depends on the vote width).
+  const bool cancellable = opts.cancel.armed();
+  const auto cancel_flag = [&] {
+    return opts.cancel.poll() != common::CancelReason::None ? 1.0 : 0.0;
+  };
+
+  EngineResult out;
   double frob2 = 0.0;
   transport.visit_nodes([&](JacobiNode& node) { frob2 += node.frobenius_squared(); });
-  transport.allreduce_sum(std::span<double>(&frob2, 1));
+  if (cancellable) {
+    std::array<double, 2> init = {frob2, cancel_flag()};
+    transport.allreduce_sum(std::span<double>(init));
+    frob2 = init[0];
+    if (init[1] != 0.0) {  // cancelled before the first sweep
+      out.status = cancel_status(opts.cancel);
+      return out;
+    }
+  } else {
+    transport.allreduce_sum(std::span<double>(&frob2, 1));
+  }
 
   const std::size_t steps_per_sweep = ordering.steps_per_sweep();
-  EngineResult out;
   double total_rotations = 0.0;
 
   // Truncated mode: the vote becomes [norm2_0..norm2_{m-1},
@@ -54,7 +84,7 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
   const auto topk = static_cast<std::size_t>(opts.topk);
   const std::size_t m = topk > 0 ? transport.num_columns() : 0;
   JMH_REQUIRE(topk <= m || topk == 0, "topk exceeds the column count");
-  std::vector<double> vote(topk > 0 ? 2 * m + 2 : 0);
+  std::vector<double> vote(topk > 0 ? 2 * m + 2 + (cancellable ? 1 : 0) : 0);
   std::vector<std::uint8_t> activity(m);
   std::vector<std::size_t> ranking(m);
   std::vector<ord::Transition> transitions;  // reused across sweeps
@@ -93,6 +123,7 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
       for (std::size_t k = 0; k < m; ++k) vote[m + k] = static_cast<double>(activity[k]);
       vote[2 * m] = static_cast<double>(stats.rotations);
       vote[2 * m + 1] = stats.off2;
+      if (cancellable) vote[2 * m + 2] = cancel_flag();
       transport.allreduce_sum(std::span<double>(vote));
       total_rotations += vote[2 * m];
 
@@ -117,13 +148,22 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
         break;
       }
       ++out.sweeps;
+      // Cancellation yields to convergence: a sweep that both converged
+      // and saw the deadline expire still delivers its result.
+      if (cancellable && vote[2 * m + 2] != 0.0) {
+        out.status = cancel_status(opts.cancel);
+        audit_sweep();
+        break;
+      }
       audit_sweep();
       continue;
     }
 
-    // The vote is a fixed two-scalar array: no per-sweep vector allocation.
-    std::array<double, 2> global = {static_cast<double>(stats.rotations), stats.off2};
-    transport.allreduce_sum(std::span<double>(global));
+    // The vote is a fixed small array: no per-sweep vector allocation. The
+    // third slot exists only for cancellable runs (span width 2 otherwise).
+    std::array<double, 3> global = {static_cast<double>(stats.rotations), stats.off2,
+                                    cancellable ? cancel_flag() : 0.0};
+    transport.allreduce_sum(std::span<double>(global).first(cancellable ? 3 : 2));
     total_rotations += global[0];
     if (opts.stop_rule == StopRule::NoRotations) {
       if (global[0] == 0.0) {
@@ -143,6 +183,11 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
       }
     }
     ++out.sweeps;
+    if (cancellable && global[2] != 0.0) {
+      out.status = cancel_status(opts.cancel);
+      audit_sweep();
+      break;
+    }
     audit_sweep();
   }
 

@@ -14,6 +14,11 @@ struct EngineResult {
   int sweeps = 0;       ///< sweeps that performed >= 1 rotation
   bool converged = false;
   std::size_t rotations = 0;  ///< global rotation count
+  /// How the run ended. Anything but Ok means opts.cancel fired and the
+  /// run stopped at a sweep boundary: blocks are mid-protocol, converged
+  /// is false, and no result may be assembled. Decided through the
+  /// allreduced vote, so every SPMD endpoint reports the same status.
+  RunStatus status = RunStatus::Ok;
   /// Truncated mode only (opts.topk > 0): the global ids of the leading
   /// topk columns, ranked by final ||b_k||^2 (descending, ties by index).
   /// Carried from the engine's own convergence vote -- every endpoint

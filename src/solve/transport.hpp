@@ -25,14 +25,61 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/function_ref.hpp"
 #include "la/onesided_jacobi.hpp"
 #include "ord/ordering.hpp"
 #include "solve/jacobi_node.hpp"
 
 namespace jmh::solve {
+
+/// How a protocol run ended. Anything but Ok means the blocks were left
+/// mid-sweep and no result may be assembled from them.
+enum class RunStatus : std::uint8_t {
+  Ok = 0,
+  Cancelled,         ///< SolveOptions::cancel fired with CancelReason::Cancelled
+  DeadlineExceeded,  ///< ... with CancelReason::DeadlineExceeded
+};
+
+/// Thrown by the backend drivers (parallel_jacobi, api/solver) when a run
+/// stops before convergence for a non-numeric reason; the api layer maps it
+/// onto the api::SolveStatus taxonomy.
+class SolveInterrupted : public std::runtime_error {
+ public:
+  explicit SolveInterrupted(RunStatus status)
+      : std::runtime_error(status == RunStatus::DeadlineExceeded
+                               ? "solve interrupted: deadline exceeded"
+                               : "solve interrupted: cancelled"),
+        status_(status) {}
+  RunStatus status() const noexcept { return status_; }
+
+ private:
+  RunStatus status_;
+};
+
+/// Seeded, replayable fault schedule for FaultInjectingTransport
+/// (solve/fault_injection.hpp). A plain value so it can ride in SolveOptions
+/// and api::SolverSpec; seed == 0 disables injection entirely (the decorator
+/// is never constructed, keeping unfaulted solves bit-identical).
+///
+/// Every decision is a pure hash of (seed, attempt, fault kind, event
+/// index), so all endpoints of an mpi_lite solve draw identical schedules
+/// without communicating, and a replay with the same seed reproduces the
+/// run exactly. `attempt` shifts the whole schedule, which is what makes
+/// service-level retry meaningful: attempt 1 redraws every fault.
+struct FaultPlan {
+  std::uint64_t seed = 0;       ///< 0 = injection off
+  double corrupt_rate = 0.0;    ///< P(bit-flip the payload of a transition)
+  double delay_rate = 0.0;      ///< P(stall a transition by delay_us)
+  std::uint64_t delay_us = 0;   ///< stall length for delayed transitions
+  double vote_fail_rate = 0.0;  ///< P(an allreduce vote fails outright)
+  std::uint64_t attempt = 0;    ///< retry attempt; redraws the schedule
+  bool enabled() const noexcept { return seed != 0; }
+  bool operator==(const FaultPlan&) const = default;
+};
 
 /// Convergence test applied after each sweep.
 enum class StopRule {
@@ -71,6 +118,18 @@ struct SolveOptions {
   /// StopRule::NoRotations and no gershgorin_shift (a shifted spectrum
   /// reorders |lambda|).
   int topk = 0;
+
+  /// Cooperative cancellation handle, polled at sweep boundaries. The
+  /// default token is inert and costs nothing; when armed, the engine folds
+  /// a cancel flag into its convergence vote so every endpoint of an SPMD
+  /// run agrees -- at the same sweep -- on whether and why to stop
+  /// (EngineResult::status). On mpi_lite all ranks must share ONE token
+  /// (SolveOptions is copied into each rank with the shared state inside).
+  common::CancelToken cancel;
+
+  /// Deterministic fault injection; inert unless faults.enabled(). Backends
+  /// honor it by wrapping their transport in a FaultInjectingTransport.
+  FaultPlan faults;
 };
 
 /// Global index of the transition at (sweep, step). Message transports

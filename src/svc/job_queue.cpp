@@ -47,18 +47,35 @@ bool JobQueue::pop(Job& out) {
   return true;
 }
 
-std::size_t JobQueue::pop_group(std::vector<Job>& out, std::size_t max_jobs) {
+std::size_t JobQueue::pop_group(std::vector<Job>& out, std::size_t max_jobs,
+                                std::vector<Job>* expired) {
   out.clear();
+  if (expired != nullptr) expired->clear();
   JMH_REQUIRE(max_jobs >= 1, "pop_group needs max_jobs >= 1");
   // Once the caller's group vector has warmed to max_jobs capacity (the
   // dispatcher reuses one vector for its whole life), taking a group is
   // pure moves: no growth, no per-job allocation. Audited in JMH_DASSERT
-  // builds; the warm-up calls (capacity still growing) are not.
+  // builds; the warm-up calls (capacity still growing) and calls that shed
+  // expired jobs (the expired vector may grow) are not.
   const common::AllocGuard pop_guard;
   const bool warmed = out.capacity() >= max_jobs;
   std::unique_lock lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
   if (jobs_.empty()) return 0;  // closed and drained
+  bool shed = false;
+  if (expired != nullptr) {
+    const auto now = std::chrono::steady_clock::now();
+    while (!jobs_.empty() && jobs_.front().has_deadline && jobs_.front().deadline <= now) {
+      expired->push_back(std::move(jobs_.front()));
+      jobs_.pop_front();
+      shed = true;
+    }
+    if (jobs_.empty()) {
+      lock.unlock();
+      not_full_.notify_all();
+      return 0;  // expired carries the shed run; NOT closed-and-drained
+    }
+  }
   out.push_back(std::move(jobs_.front()));
   jobs_.pop_front();
   while (out.size() < max_jobs && !jobs_.empty() && jobs_.front().spec == out.front().spec) {
@@ -67,7 +84,7 @@ std::size_t JobQueue::pop_group(std::vector<Job>& out, std::size_t max_jobs) {
   }
   lock.unlock();
   not_full_.notify_all();  // a group frees several slots
-  if (warmed)
+  if (warmed && !shed)
     JMH_ALLOC_ASSERT_ZERO(pop_guard, "JobQueue::pop_group allocated in steady state");
   return out.size();
 }

@@ -34,6 +34,11 @@ struct Job {
   la::Matrix matrix;                       ///< input (square, order spec.m)
   std::promise<api::SolveReport> result;   ///< fulfilled by the worker
   std::chrono::steady_clock::time_point enqueued_at{};  ///< set on admission
+  /// End-to-end deadline (queue wait + solve), set at submission when the
+  /// producer passed SubmitOptions::deadline_ms. Expired jobs are shed by
+  /// pop_group before dispatch and fail with SolveStatus::DeadlineExceeded.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
 };
 
 class JobQueue {
@@ -55,9 +60,15 @@ class JobQueue {
 
   /// Pops the front job plus up to @p max_jobs - 1 immediately following
   /// jobs with the SAME spec string (a coalescable run) into @p out, which
-  /// is cleared first. Blocks like pop; returns the number of jobs taken
-  /// (0 iff closed and drained).
-  std::size_t pop_group(std::vector<Job>& out, std::size_t max_jobs);
+  /// is cleared first. Blocks like pop; returns the number of jobs taken.
+  ///
+  /// When @p expired is non-null it is cleared and any front jobs whose
+  /// deadline has already passed are shed into it (they never form part of
+  /// the group); the caller fails them without solving. The call may then
+  /// return 0 with a non-empty @p expired -- only `returns 0 AND expired
+  /// empty` means closed-and-drained.
+  std::size_t pop_group(std::vector<Job>& out, std::size_t max_jobs,
+                        std::vector<Job>* expired = nullptr);
 
   /// Stops admission; consumers drain the remainder. Idempotent.
   void close();

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -19,6 +21,25 @@ std::size_t pick_workers(std::size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 2;
+}
+
+bool all_finite(const la::Matrix& a) {
+  for (double v : a.data())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+// Chaos draws mirror the transport-layer fault schedule's stateless-hash
+// construction (solve/fault_injection.cpp) without svc depending on solve/:
+// one splitmix64 step over (seed, salt, job index) gives a replayable
+// per-job uniform, identical across runs and worker interleavings.
+constexpr std::uint64_t kStallSalt = 0x7374616c6c212121ull;  // "stall!!!"
+constexpr std::uint64_t kStormSalt = 0x73746f726d212121ull;  // "storm!!!"
+
+double chaos_uniform(std::uint64_t seed, std::uint64_t salt, std::uint64_t index) {
+  std::uint64_t state = seed ^ salt;
+  state += index * 0xbf58476d1ce4e5b9ull;
+  return static_cast<double>(splitmix64_next(state) >> 11) * 0x1.0p-53;
 }
 
 }  // namespace
@@ -37,6 +58,24 @@ std::string Metrics::summary() const {
                 static_cast<unsigned long long>(jobs_failed),
                 static_cast<unsigned long long>(batches));
   out += line;
+  if (jobs_deadline + jobs_cancelled + jobs_corrupt + jobs_invalid + jobs_shed + retries > 0) {
+    std::snprintf(line, sizeof line,
+                  "faults   : %llu deadline, %llu cancelled, %llu corrupt, %llu invalid, "
+                  "%llu shed, %llu retries\n",
+                  static_cast<unsigned long long>(jobs_deadline),
+                  static_cast<unsigned long long>(jobs_cancelled),
+                  static_cast<unsigned long long>(jobs_corrupt),
+                  static_cast<unsigned long long>(jobs_invalid),
+                  static_cast<unsigned long long>(jobs_shed),
+                  static_cast<unsigned long long>(retries));
+    out += line;
+  }
+  if (chaos_stalls + chaos_storms > 0) {
+    std::snprintf(line, sizeof line, "chaos    : %llu stalls, %llu deadline storms\n",
+                  static_cast<unsigned long long>(chaos_stalls),
+                  static_cast<unsigned long long>(chaos_storms));
+    out += line;
+  }
   std::snprintf(line, sizeof line, "plans    : %llu cache hits, %llu misses\n",
                 static_cast<unsigned long long>(cache_hits),
                 static_cast<unsigned long long>(cache_misses));
@@ -91,36 +130,58 @@ SolverService::SolverService(ServiceConfig config)
 
 SolverService::~SolverService() { shutdown(); }
 
-std::future<api::SolveReport> SolverService::submit(std::string spec_text, la::Matrix a) {
-  Job job{std::move(spec_text), std::move(a), {}, {}};
+std::future<api::SolveReport> SolverService::submit(std::string spec_text, la::Matrix a,
+                                                    SubmitOptions opts) {
+  Job job{std::move(spec_text), std::move(a), {}, {}, {}, false};
+  if (opts.deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.deadline_ms);
+  }
   std::future<api::SolveReport> future = job.result.get_future();
   {
     std::lock_guard lock(state_mu_);
     ++submitted_;
+  }
+  // Garbage in is rejected at the door, not after a full solve churned on
+  // it: NaN/Inf anywhere in the input can never produce a meaningful
+  // spectrum (every quantity funnels through sums that NaN poisons).
+  if (!all_finite(job.matrix)) {
+    fail_job(job, api::SolveStatus::InvalidInput, "input matrix has non-finite entries");
+    return future;
   }
   if (!queue_.push(job)) {
     // Closed: the job never entered the queue; fail it here. Fulfill the
     // promise BEFORE counting the failure (the worker's order too), so
     // drain() returning implies every future is ready.
-    job.result.set_exception(
-        std::make_exception_ptr(std::runtime_error("SolverService is shut down")));
-    record_failed();
+    fail_job(job, api::SolveStatus::Shed, "SolverService is shut down");
   }
   return future;
 }
 
 std::optional<std::future<api::SolveReport>> SolverService::try_submit(std::string spec_text,
-                                                                       la::Matrix a) {
-  Job job{std::move(spec_text), std::move(a), {}, {}};
+                                                                       la::Matrix a,
+                                                                       SubmitOptions opts) {
+  Job job{std::move(spec_text), std::move(a), {}, {}, {}, false};
+  if (opts.deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.deadline_ms);
+  }
   std::future<api::SolveReport> future = job.result.get_future();
   {
     std::lock_guard lock(state_mu_);
     ++submitted_;
   }
+  if (!all_finite(job.matrix)) {
+    fail_job(job, api::SolveStatus::InvalidInput, "input matrix has non-finite entries");
+    return future;
+  }
   if (!queue_.try_push(job)) {
     {
       std::lock_guard lock(state_mu_);
       --submitted_;  // shed before admission: not part of the drain set
+      ++shed_;
     }
     idle_cv_.notify_all();  // the drain predicate just got easier to meet
     return std::nullopt;
@@ -144,6 +205,15 @@ void SolverService::shutdown() {
   workers_.clear();
 }
 
+void SolverService::shutdown_now() {
+  // Order matters: killed_ first (workers popping after this point fail
+  // their group instead of solving), then the token (in-flight solves stop
+  // at their next sweep boundary), then the drain/join machinery.
+  killed_.store(true, std::memory_order_relaxed);
+  run_token_.cancel(common::CancelReason::Cancelled);
+  shutdown();
+}
+
 void SolverService::record_done(double latency_s) {
   {
     std::lock_guard lock(state_mu_);
@@ -162,17 +232,34 @@ void SolverService::record_done(double latency_s) {
   idle_cv_.notify_all();
 }
 
-void SolverService::record_failed() {
+void SolverService::record_failed(api::SolveStatus status) {
   {
     std::lock_guard lock(state_mu_);
     ++failed_;
+    switch (status) {
+      case api::SolveStatus::DeadlineExceeded: ++deadline_; break;
+      case api::SolveStatus::Cancelled: ++cancelled_; break;
+      case api::SolveStatus::TransportCorrupt: ++corrupt_; break;
+      case api::SolveStatus::InvalidInput: ++invalid_; break;
+      case api::SolveStatus::Shed: ++shed_; break;
+      case api::SolveStatus::Ok:
+      case api::SolveStatus::Internal: break;
+    }
   }
   idle_cv_.notify_all();
 }
 
+void SolverService::fail_job(Job& job, api::SolveStatus status, const std::string& what) {
+  job.result.set_exception(std::make_exception_ptr(api::SolveError(status, what)));
+  record_failed(status);
+}
+
 void SolverService::worker_loop(std::size_t index) {
   std::vector<Job> group;
-  while (queue_.pop_group(group, config_.max_coalesce) > 0) {
+  std::vector<Job> expired;
+  for (;;) {
+    const std::size_t taken = queue_.pop_group(group, config_.max_coalesce, &expired);
+    if (taken == 0 && expired.empty()) break;  // closed and drained
     const auto group_start = std::chrono::steady_clock::now();
     struct BusyRecorder {
       std::atomic<std::uint64_t>& ns;
@@ -185,6 +272,18 @@ void SolverService::worker_loop(std::size_t index) {
                      std::memory_order_relaxed);
       }
     } busy{*worker_busy_ns_[index], group_start};
+    // Jobs whose deadline lapsed while queued are shed, never solved:
+    // under overload the queue sheds instead of compounding the backlog
+    // with answers nobody is waiting for anymore.
+    for (Job& job : expired)
+      fail_job(job, api::SolveStatus::DeadlineExceeded, "deadline expired while queued");
+    if (group.empty()) continue;
+    if (killed_.load(std::memory_order_relaxed)) {
+      // shutdown_now: admitted-but-unstarted jobs fail fast.
+      for (Job& job : group)
+        fail_job(job, api::SolveStatus::Cancelled, "SolverService::shutdown_now");
+      continue;
+    }
     std::shared_ptr<const api::SolvePlan> plan;
     try {
       plan = cache_.get(group.front().spec);  // one resolution per group
@@ -192,7 +291,7 @@ void SolverService::worker_loop(std::size_t index) {
       const std::exception_ptr error = std::current_exception();
       for (Job& job : group) {
         job.result.set_exception(error);
-        record_failed();
+        record_failed(api::SolveStatus::InvalidInput);
       }
       continue;
     }
@@ -200,20 +299,83 @@ void SolverService::worker_loop(std::size_t index) {
       std::lock_guard lock(state_mu_);
       ++batches_;
     }
-    // The coalesced run executes as a sequential batch on this worker --
-    // the pool provides the parallelism; per-matrix numerics are exactly
-    // plan.solve, so results are bit-identical to direct calls.
-    for (Job& job : group) {
+    solve_group(group, *plan, chaos_index_.fetch_add(group.size(), std::memory_order_relaxed));
+  }
+}
+
+void SolverService::solve_group(std::vector<Job>& group, const api::SolvePlan& plan,
+                                std::uint64_t first_chaos_index) {
+  // The coalesced run executes as a sequential batch on this worker --
+  // the pool provides the parallelism; per-matrix numerics are exactly
+  // plan.solve, so results are bit-identical to direct calls.
+  const ChaosConfig& chaos = config_.chaos;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Job& job = group[i];
+    const std::uint64_t chaos_idx = first_chaos_index + i;
+    // The token stays INERT unless something can actually fire it: an armed
+    // token widens every convergence vote by a flag slot, and plain service
+    // jobs must stay bit-identical to direct plan.solve calls (comm
+    // counters included). Armed jobs chain under run_token_, so
+    // shutdown_now() also aborts them mid-solve.
+    common::CancelToken token;
+    if (job.has_deadline) token = run_token_.with_deadline(job.deadline);
+    if (chaos.seed != 0) {
+      if (chaos_uniform(chaos.seed, kStallSalt, chaos_idx) < chaos.stall_rate) {
+        {
+          std::lock_guard lock(state_mu_);
+          ++chaos_stalls_;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(chaos.stall_ms));
+      }
+      if (chaos_uniform(chaos.seed, kStormSalt, chaos_idx) < chaos.storm_rate) {
+        {
+          std::lock_guard lock(state_mu_);
+          ++chaos_storms_;
+        }
+        token = (token.armed() ? token : run_token_)
+                    .with_timeout(std::chrono::milliseconds(chaos.storm_deadline_ms));
+      }
+    }
+    // Retry loop: only RETRYABLE statuses (transport corruption) re-run;
+    // each attempt re-keys the fault schedule so an injected corruption is
+    // not deterministically re-hit.
+    for (std::uint64_t attempt = 0;; ++attempt) {
       try {
-        api::SolveReport report = plan->solve(job.matrix);
+        api::SolveReport report =
+            plan.solve(job.matrix, {.cancel = token, .fault_attempt = attempt});
         const double latency_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - job.enqueued_at)
                 .count();
         job.result.set_value(std::move(report));
         record_done(latency_s);
-      } catch (...) {
+        break;
+      } catch (const api::SolveError& e) {
+        if (e.retryable() && attempt < config_.max_retries) {
+          {
+            std::lock_guard lock(state_mu_);
+            ++retries_;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(config_.retry_backoff_ms << attempt));
+          continue;
+        }
         job.result.set_exception(std::current_exception());
-        record_failed();
+        record_failed(e.status());
+        break;
+      } catch (const std::invalid_argument&) {
+        // Spec/shape validation errors pass through verbatim (the submit
+        // contract); counted as invalid input.
+        job.result.set_exception(std::current_exception());
+        record_failed(api::SolveStatus::InvalidInput);
+        break;
+      } catch (const std::exception& e) {
+        // The no-untyped-escapes boundary: anything else is a bug in the
+        // layers below, surfaced as INTERNAL rather than a raw type the
+        // caller cannot classify.
+        job.result.set_exception(
+            std::make_exception_ptr(api::SolveError(api::SolveStatus::Internal, e.what())));
+        record_failed(api::SolveStatus::Internal);
+        break;
       }
     }
   }
@@ -228,6 +390,14 @@ Metrics SolverService::metrics() const {
     m.jobs_done = done_;
     m.jobs_failed = failed_;
     m.batches = batches_;
+    m.jobs_deadline = deadline_;
+    m.jobs_cancelled = cancelled_;
+    m.jobs_corrupt = corrupt_;
+    m.jobs_invalid = invalid_;
+    m.jobs_shed = shed_;
+    m.retries = retries_;
+    m.chaos_stalls = chaos_stalls_;
+    m.chaos_storms = chaos_storms_;
     m.latency_count = latency_stats_.count();
     m.latency_mean_s = latency_stats_.count() > 0 ? latency_stats_.mean() : 0.0;
     m.latency_max_s = latency_stats_.count() > 0 ? latency_stats_.max() : 0.0;

@@ -44,11 +44,25 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/stats.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/plan_cache.hpp"
 
 namespace jmh::svc {
+
+/// Deterministic service-level chaos (seed == 0 disables). Chaos is pure
+/// service-plane interference -- stalled dispatchers and deadline storms --
+/// decided per job by a seeded stateless hash, so a chaos run replays
+/// exactly. Transport-plane faults (corruption, vote failures) live in the
+/// spec's faults= key instead.
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  double stall_rate = 0.05;        ///< P(dispatcher sleeps before a solve)
+  std::uint64_t stall_ms = 20;     ///< stall length
+  double storm_rate = 0.05;        ///< P(job gets a surprise tight deadline)
+  std::uint64_t storm_deadline_ms = 1;  ///< the storm's imposed deadline
+};
 
 struct ServiceConfig {
   std::size_t workers = 0;         ///< worker threads; 0 = hardware pick
@@ -62,6 +76,12 @@ struct ServiceConfig {
   /// idle -- the first configurator wins, mid-traffic requests are ignored
   /// (exec::ThreadPool::ensure_workers semantics).
   std::size_t pool_threads = 0;
+  /// Retries for RETRYABLE failures (transport corruption) before the job's
+  /// future fails. Each retry re-runs the full solve with the fault
+  /// schedule's attempt counter bumped, after an exponential backoff.
+  std::size_t max_retries = 2;
+  std::uint64_t retry_backoff_ms = 1;  ///< first backoff; doubles per retry
+  ChaosConfig chaos{};
 };
 
 /// A point-in-time counters snapshot. Latency covers queue wait + solve,
@@ -74,6 +94,17 @@ struct Metrics {
   std::uint64_t jobs_done = 0;     ///< fulfilled with a report
   std::uint64_t jobs_failed = 0;   ///< fulfilled with an exception
   std::uint64_t batches = 0;       ///< coalesced groups of >= 2 jobs executed
+  /// Failure taxonomy (each failed job increments exactly one of these;
+  /// jobs_shed additionally counts try_submit rejections, which never enter
+  /// the failed set).
+  std::uint64_t jobs_deadline = 0;   ///< DEADLINE_EXCEEDED (queue or solve)
+  std::uint64_t jobs_cancelled = 0;  ///< CANCELLED (shutdown_now mid-flight)
+  std::uint64_t jobs_corrupt = 0;    ///< TRANSPORT_CORRUPT after retries
+  std::uint64_t jobs_invalid = 0;    ///< INVALID_INPUT / malformed specs
+  std::uint64_t jobs_shed = 0;       ///< queue-full sheds + post-shutdown submits
+  std::uint64_t retries = 0;         ///< solve re-runs after retryable faults
+  std::uint64_t chaos_stalls = 0;    ///< injected dispatcher stalls
+  std::uint64_t chaos_storms = 0;    ///< injected surprise deadlines
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::size_t queue_depth = 0;
@@ -102,6 +133,16 @@ struct Metrics {
   std::string summary() const;
 };
 
+/// Per-submission options (the spec string carries the scenario; these are
+/// per-call serving knobs).
+struct SubmitOptions {
+  /// End-to-end deadline in ms from submission, covering queue wait AND the
+  /// solve (0 = none). Expired-in-queue jobs are shed without solving; a
+  /// deadline that fires mid-solve cancels it at the next sweep boundary.
+  /// Either way the future throws api::SolveError{DeadlineExceeded}.
+  std::uint64_t deadline_ms = 0;
+};
+
 class SolverService {
  public:
   explicit SolverService(ServiceConfig config = {});
@@ -113,21 +154,38 @@ class SolverService {
   SolverService& operator=(const SolverService&) = delete;
 
   /// Enqueues one solve, blocking while the queue is full (backpressure).
-  /// After shutdown the returned future holds a std::runtime_error.
+  /// After shutdown the returned future holds api::SolveError{Shed} (a
+  /// std::runtime_error). A non-finite @p a fails immediately with
+  /// api::SolveError{InvalidInput} -- it never enters the queue.
   /// Spec validation happens on the worker: a malformed @p spec_text
   /// surfaces as std::invalid_argument through the future.
-  std::future<api::SolveReport> submit(std::string spec_text, la::Matrix a);
+  std::future<api::SolveReport> submit(std::string spec_text, la::Matrix a,
+                                       SubmitOptions opts = {});
 
   /// Non-blocking submit: std::nullopt when the queue is full or the
-  /// service is shut down (load shedding).
-  std::optional<std::future<api::SolveReport>> try_submit(std::string spec_text, la::Matrix a);
+  /// service is shut down (load shedding). Non-finite inputs still return
+  /// a future (already failed with InvalidInput): the input was examined,
+  /// not shed.
+  std::optional<std::future<api::SolveReport>> try_submit(std::string spec_text, la::Matrix a,
+                                                          SubmitOptions opts = {});
 
   /// Blocks until every job submitted so far has been fulfilled. The
   /// service keeps accepting new work (call shutdown() to stop it).
   void drain();
 
   /// Closes admission, drains the queue, joins workers. Idempotent.
+  /// Every ADMITTED job is still solved (graceful).
   void shutdown();
+
+  /// Emergency stop: closes admission, cancels the service-wide token, and
+  /// fails every still-queued job with api::SolveError{Cancelled} WITHOUT
+  /// solving it. In-flight solves with an ARMED token (a deadline or a
+  /// chaos storm) abort at their next sweep boundary with CANCELLED;
+  /// deadline-less in-flight solves finish their current run (an inert
+  /// token costs nothing and keeps plain jobs bit-identical to direct
+  /// solves, so there is nothing to fire for them). Idempotent with
+  /// shutdown(); whichever runs first decides the queued jobs' fate.
+  void shutdown_now();
 
   Metrics metrics() const;
   const PlanCache& cache() const noexcept { return cache_; }
@@ -138,7 +196,12 @@ class SolverService {
  private:
   void worker_loop(std::size_t index);
   void record_done(double latency_s);
-  void record_failed();
+  void record_failed(api::SolveStatus status);
+  /// Builds the failed future + counters for one job (promise first, counts
+  /// second, so drain() returning implies every future is ready).
+  void fail_job(Job& job, api::SolveStatus status, const std::string& what);
+  void solve_group(std::vector<Job>& group, const api::SolvePlan& plan,
+                   std::uint64_t first_chaos_index);
 
   ServiceConfig config_;
   PlanCache cache_;
@@ -146,6 +209,10 @@ class SolverService {
   std::vector<std::thread> workers_;
   /// Per-dispatcher busy nanoseconds (unique_ptr: atomics are immovable).
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> worker_busy_ns_;
+  /// Root of every per-job cancel token; shutdown_now() fires it.
+  common::CancelToken run_token_ = common::CancelToken::source();
+  std::atomic<bool> killed_{false};       ///< shutdown_now: fail, don't solve
+  std::atomic<std::uint64_t> chaos_index_{0};  ///< per-job chaos draw counter
 
   mutable std::mutex state_mu_;
   std::condition_variable idle_cv_;  ///< signaled when done + failed catches up
@@ -153,6 +220,14 @@ class SolverService {
   std::uint64_t done_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t deadline_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t invalid_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t chaos_stalls_ = 0;
+  std::uint64_t chaos_storms_ = 0;
   RunningStats latency_stats_;          ///< exact count/mean/max, O(1) memory
   std::vector<double> latency_window_;  ///< ring of recent latencies (quantiles)
   std::size_t latency_next_ = 0;        ///< ring write position once full

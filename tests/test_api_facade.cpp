@@ -271,6 +271,14 @@ TEST(SolverSpec, FuzzedValidSpecsRoundTripExactly) {
         rng.below(2))
       spec.topk = static_cast<int>(1 + rng.below(spec.m));
     if (rng.below(2)) spec.threads = 1 + rng.below(8);
+    if (rng.below(2)) spec.deadline_ms = 1 + rng.below(60000);
+    if (rng.below(3) == 0) {
+      spec.faults.seed = 1 + rng.below(1u << 30);
+      spec.faults.corrupt_rate = rng.uniform(0.0, 1.0);
+      spec.faults.delay_rate = rng.uniform(0.0, 1.0);
+      spec.faults.delay_us = rng.below(1000);
+      spec.faults.vote_fail_rate = rng.uniform(0.0, 1.0);
+    }
 
     const std::string text = spec.to_string();
     SolverSpec back;
@@ -293,6 +301,11 @@ TEST(SolverSpec, MalformedStringsNameTheOffendingKey) {
       {"d=4294967297", "'d'"},          {"max_sweeps=4294967297", "'max_sweeps'"},
       {"ports=4294967297", "'ports'"},  {"pipeline=+2", "'pipeline'"},
       {"task=lu", "task"},              {"m=16,m=16", "'m'"},
+      {"deadline_ms=-5", "'deadline_ms'"},
+      {"faults=1:2:0:0:0", "'faults'"},       // corrupt rate out of [0,1]
+      {"faults=0:0:0:0:0", "'faults'"},       // seed 0 is reserved for off
+      {"faults=1:0:0:0", "'faults'"},         // too few fields
+      {"faults=1:0:0:0:0:0", "'faults'"},     // too many fields
   };
   for (const auto& c : cases) {
     try {
@@ -541,7 +554,8 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
       "rows",          "pipeline_q",    "topk",          "converged",
       "sweeps",        "rotations",     "spectrum_min",  "spectrum_max",
       "comm_messages", "comm_elements", "comm_barriers", "has_model",
-      "modeled_time",  "vote_time",     "modeled_sweeps", "mean_link_utilization"};
+      "modeled_time",  "vote_time",     "modeled_sweeps", "mean_link_utilization",
+      "status"};
   EXPECT_EQ(keys, expected);
 
   // One line, no whitespace, and the scenario echo is right.
@@ -552,6 +566,7 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
   EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
   EXPECT_NE(json.find("\"m\":16"), std::string::npos);
   EXPECT_NE(json.find("\"has_model\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"OK\""), std::string::npos);
 
   // Every backend emits the same field set (zeros outside its sections).
   const SolveReport inline_r = Solver::solve(SolverSpec::parse("m=16,d=2"), a);

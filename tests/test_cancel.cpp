@@ -1,0 +1,153 @@
+// common::CancelToken and cooperative cancellation through the solve stack:
+// token semantics (latching, parent chains, deadlines), pre-cancelled and
+// mid-solve cancellation on every backend, and the bit-parity guarantee
+// that an armed-but-never-fired token changes nothing about the numbers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "api/solver.hpp"
+#include "common/cancel.hpp"
+#include "la/sym_gen.hpp"
+
+namespace jmh::api {
+namespace {
+
+using common::CancelReason;
+using common::CancelToken;
+
+la::Matrix test_matrix(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return la::random_uniform_symmetric(n, rng);
+}
+
+TEST(CancelToken, DefaultTokenIsInertForever) {
+  const CancelToken token;
+  EXPECT_FALSE(token.armed());
+  EXPECT_EQ(token.fired(), CancelReason::None);
+  EXPECT_EQ(token.poll(), CancelReason::None);
+  token.cancel(CancelReason::Cancelled);  // no-op on an inert token
+  EXPECT_EQ(token.poll(), CancelReason::None);
+}
+
+TEST(CancelToken, FirstReasonWinsAndLatches) {
+  const CancelToken token = CancelToken::source();
+  EXPECT_TRUE(token.armed());
+  EXPECT_EQ(token.fired(), CancelReason::None);
+  token.cancel(CancelReason::Cancelled);
+  EXPECT_EQ(token.fired(), CancelReason::Cancelled);
+  EXPECT_EQ(token.poll(), CancelReason::Cancelled);
+  token.cancel(CancelReason::DeadlineExceeded);  // too late: latched
+  EXPECT_EQ(token.poll(), CancelReason::Cancelled);
+}
+
+TEST(CancelToken, DeadlineFiresOnPoll) {
+  const CancelToken token =
+      CancelToken::source().with_timeout(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // fired() is the flag-only fast path: it cannot observe the deadline
+  // until a poll() latches it.
+  EXPECT_EQ(token.poll(), CancelReason::DeadlineExceeded);
+  EXPECT_EQ(token.fired(), CancelReason::DeadlineExceeded);
+}
+
+TEST(CancelToken, ParentCancellationReachesChildren) {
+  const CancelToken root = CancelToken::source();
+  const CancelToken child = root.with_timeout(std::chrono::hours(1));
+  EXPECT_EQ(child.poll(), CancelReason::None);
+  root.cancel(CancelReason::Cancelled);
+  EXPECT_EQ(child.poll(), CancelReason::Cancelled);
+  // The child latched the parent's reason into its own state: the fast
+  // path sees it without another walk.
+  EXPECT_EQ(child.fired(), CancelReason::Cancelled);
+}
+
+TEST(Cancellation, PreCancelledTokenAbortsBeforeSweepOneOnEveryBackend) {
+  const la::Matrix a = test_matrix(16, 31);
+  const CancelToken token = CancelToken::source();
+  token.cancel(CancelReason::Cancelled);
+  for (const char* backend : {"inline", "mpi", "sim"}) {
+    const SolvePlan plan = Solver::plan(
+        SolverSpec::parse("backend=" + std::string(backend) + ",ordering=d4,m=16,d=2"));
+    try {
+      plan.solve(a, {.cancel = token});
+      FAIL() << backend << ": a pre-cancelled solve must not produce a report";
+    } catch (const SolveError& e) {
+      EXPECT_EQ(e.status(), SolveStatus::Cancelled) << backend;
+    }
+  }
+}
+
+TEST(Cancellation, DeadlineExceededOnEveryBackend) {
+  const la::Matrix a = test_matrix(16, 32);
+  // Injected 5ms-per-step delays against a 1ms deadline guarantee the
+  // first sweep-boundary check fires, machine speed aside.
+  for (const char* scenario :
+       {"backend=inline,ordering=d4,m=16,d=2,deadline_ms=1,faults=2:0:1:5000:0",
+        "backend=mpi,ordering=d4,m=16,d=2,deadline_ms=1,faults=2:0:1:5000:0",
+        "backend=mpi,ordering=d4,m=16,d=2,pipeline=2,deadline_ms=1,faults=2:0:1:5000:0",
+        "backend=sim,ordering=d4,m=16,d=2,deadline_ms=1,faults=2:0:1:5000:0"}) {
+    try {
+      Solver::solve(SolverSpec::parse(scenario), a);
+      FAIL() << scenario << ": the deadline must fire before convergence";
+    } catch (const SolveError& e) {
+      EXPECT_EQ(e.status(), SolveStatus::DeadlineExceeded) << scenario;
+    }
+  }
+}
+
+TEST(Cancellation, MidSolveCancelFromAnotherThread) {
+  const la::Matrix a = test_matrix(16, 33);
+  // Delay faults stretch each step to 2ms so the canceller lands mid-sweep;
+  // the solve must stop at the next sweep boundary with CANCELLED.
+  const SolvePlan plan =
+      Solver::plan(SolverSpec::parse("m=16,d=2,faults=4:0:1:2000:0"));
+  const CancelToken token = CancelToken::source();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.cancel(CancelReason::Cancelled);
+  });
+  try {
+    plan.solve(a, {.cancel = token});
+    FAIL() << "the cancel must land before convergence";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.status(), SolveStatus::Cancelled);
+  }
+  canceller.join();
+}
+
+// An armed token that NEVER fires must not change the answer: the flag
+// slot widens the votes (comm counters may differ) but the numerics, sweep
+// count and rotation sequence are untouched.
+TEST(Cancellation, ArmedButIdleTokenKeepsNumericsBitIdentical) {
+  const la::Matrix a = test_matrix(16, 34);
+  for (const char* backend : {"inline", "mpi", "sim"}) {
+    const SolvePlan plan = Solver::plan(
+        SolverSpec::parse("backend=" + std::string(backend) + ",ordering=d4,m=16,d=2"));
+    const SolveReport bare = plan.solve(a);
+    const SolveReport armed = plan.solve(a, {.cancel = CancelToken::source()});
+    ASSERT_TRUE(bare.converged) << backend;
+    EXPECT_EQ(armed.eigenvalues, bare.eigenvalues) << backend;
+    EXPECT_EQ(la::Matrix::max_abs_diff(armed.eigenvectors, bare.eigenvectors), 0.0);
+    EXPECT_EQ(armed.sweeps, bare.sweeps) << backend;
+    EXPECT_EQ(armed.rotations, bare.rotations) << backend;
+    EXPECT_EQ(armed.status, SolveStatus::Ok) << backend;
+  }
+}
+
+// A spec-level deadline generous enough to never fire behaves like the
+// armed-idle token: the solve completes OK with identical numerics.
+TEST(Cancellation, GenerousSpecDeadlineCompletesOk) {
+  const la::Matrix a = test_matrix(16, 35);
+  const SolveReport bare = Solver::solve(SolverSpec::parse("m=16,d=2"), a);
+  const SolveReport r = Solver::solve(SolverSpec::parse("m=16,d=2,deadline_ms=3600000"), a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::Ok);
+  EXPECT_EQ(r.eigenvalues, bare.eigenvalues);
+  EXPECT_EQ(r.sweeps, bare.sweeps);
+}
+
+}  // namespace
+}  // namespace jmh::api

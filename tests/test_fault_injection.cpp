@@ -1,0 +1,176 @@
+// solve::FaultInjectingTransport and the api error taxonomy: a disabled or
+// zero-rate fault plan is bit-invisible on every backend; every injected
+// fault class terminates the solve with the matching api::SolveStatus, never
+// silent garbage; and the whole harness replays deterministically from its
+// seed -- including a chaos soak asserting the "zero wrong-but-OK" property
+// (an OK report under faults is bit-identical to the fault-free one).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "la/sym_gen.hpp"
+#include "solve/fault_injection.hpp"
+
+namespace jmh::api {
+namespace {
+
+la::Matrix test_matrix(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return la::random_uniform_symmetric(n, rng);
+}
+
+void expect_bit_identical(const SolveReport& got, const SolveReport& want) {
+  EXPECT_EQ(got.eigenvalues, want.eigenvalues);
+  EXPECT_EQ(la::Matrix::max_abs_diff(got.eigenvectors, want.eigenvectors), 0.0);
+  EXPECT_EQ(got.sweeps, want.sweeps);
+  EXPECT_EQ(got.rotations, want.rotations);
+  EXPECT_EQ(got.converged, want.converged);
+  EXPECT_EQ(got.comm.messages, want.comm.messages);
+  EXPECT_EQ(got.comm.elements, want.comm.elements);
+  EXPECT_EQ(got.modeled_time, want.modeled_time);
+  EXPECT_EQ(got.vote_time, want.vote_time);
+  EXPECT_EQ(got.status, want.status);
+}
+
+// The acceptance criterion for the decorator itself: an armed-but-idle
+// fault plan (seed set, every rate zero) must be invisible -- bit-identical
+// reports, comm counters and model times included, on every backend.
+TEST(FaultInjection, ZeroRatePlanIsBitInvisibleOnEveryBackend) {
+  const la::Matrix a = test_matrix(16, 77);
+  const std::vector<std::string> scenarios = {
+      "backend=inline,ordering=d4,m=16,d=2",
+      "backend=mpi,ordering=d4,m=16,d=2",
+      "backend=mpi,ordering=d4,m=16,d=2,pipeline=2",
+      "backend=sim,ordering=pbr,m=16,d=2,pipeline=auto",
+  };
+  for (const std::string& scenario : scenarios) {
+    const SolveReport bare = Solver::solve(SolverSpec::parse(scenario + ",faults=off"), a);
+    const SolveReport faulted =
+        Solver::solve(SolverSpec::parse(scenario + ",faults=42:0:0:0:0"), a);
+    ASSERT_TRUE(bare.converged) << scenario;
+    expect_bit_identical(faulted, bare);
+  }
+}
+
+TEST(FaultInjection, CorruptionSurfacesAsTransportCorruptOnEveryBackend) {
+  const la::Matrix a = test_matrix(16, 5);
+  for (const char* backend : {"inline", "mpi", "sim"}) {
+    const SolverSpec spec = SolverSpec::parse(
+        "backend=" + std::string(backend) + ",ordering=d4,m=16,d=2,faults=9:1:0:0:0");
+    try {
+      Solver::solve(spec, a);
+      FAIL() << backend << ": corrupted blocks must not produce a report";
+    } catch (const SolveError& e) {
+      EXPECT_EQ(e.status(), SolveStatus::TransportCorrupt) << backend;
+      EXPECT_NE(std::string(e.what()).find("TRANSPORT_CORRUPT"), std::string::npos);
+    }
+  }
+}
+
+TEST(FaultInjection, VoteFaultSurfacesAsTransportCorrupt) {
+  const la::Matrix a = test_matrix(16, 6);
+  const SolverSpec spec = SolverSpec::parse("m=16,d=2,faults=11:0:0:0:1");
+  try {
+    Solver::solve(spec, a);
+    FAIL() << "a failed allreduce vote must not produce a report";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.status(), SolveStatus::TransportCorrupt);
+  }
+}
+
+// Injected per-step delays stretch the sweep past a tight spec deadline:
+// the solve must come back DEADLINE_EXCEEDED (cancelled at a sweep
+// boundary), not hang and not return partial results.
+TEST(FaultInjection, DelaysPlusDeadlineYieldDeadlineExceeded) {
+  const la::Matrix a = test_matrix(16, 7);
+  // Every step sleeps 5ms against a 1ms deadline: the first boundary check
+  // after sweep 1 fires long past the deadline, whatever the machine speed.
+  const SolverSpec spec =
+      SolverSpec::parse("m=16,d=2,deadline_ms=1,faults=3:0:1:5000:0");
+  try {
+    Solver::solve(spec, a);
+    FAIL() << "the deadline must fire before convergence";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.status(), SolveStatus::DeadlineExceeded);
+  }
+}
+
+// The schedule is a pure function of (seed, attempt): the same spec replays
+// to the same outcome, and bumping the attempt re-keys the draws.
+TEST(FaultInjection, ScheduleReplaysDeterministically) {
+  const solve::FaultPlan plan{.seed = 123, .corrupt_rate = 0.3, .delay_rate = 0.2,
+                              .delay_us = 1, .vote_fail_rate = 0.1, .attempt = 0};
+  solve::FaultSchedule s1(plan);
+  solve::FaultSchedule s2(plan);
+  solve::FaultPlan retry = plan;
+  retry.attempt = 1;
+  solve::FaultSchedule s3(retry);
+  bool any_differs = false;
+  for (std::uint64_t step = 0; step < 256; ++step) {
+    EXPECT_EQ(s1.corrupt_at(step), s2.corrupt_at(step));
+    EXPECT_EQ(s1.delay_at(step), s2.delay_at(step));
+    EXPECT_EQ(s1.vote_fails(step), s2.vote_fails(step));
+    EXPECT_EQ(s1.corrupt_bit(step), s2.corrupt_bit(step));
+    any_differs = any_differs || s1.corrupt_at(step) != s3.corrupt_at(step);
+  }
+  // A retry must not deterministically re-hit the same corruption.
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultInjection, SolveOutcomeReplaysDeterministically) {
+  const la::Matrix a = test_matrix(16, 8);
+  const SolverSpec spec = SolverSpec::parse("m=16,d=2,faults=555:0.05:0:0:0.02");
+  auto outcome = [&]() -> std::string {
+    try {
+      const SolveReport r = Solver::solve(spec, a);
+      return "ok:" + std::to_string(r.sweeps) + ":" + std::to_string(r.rotations);
+    } catch (const SolveError& e) {
+      return std::string("err:") + to_string(e.status());
+    }
+  };
+  const std::string first = outcome();
+  EXPECT_EQ(outcome(), first);
+  EXPECT_EQ(outcome(), first);
+}
+
+// The chaos soak and the core safety property: across hundreds of seeded
+// fault scenarios, EVERY solve either fails with a typed status or returns
+// a report bit-identical to the fault-free run. Zero wrong-but-OK: faults
+// may kill a solve, they may never silently change its answer.
+TEST(FaultInjection, ChaosSoakNeverReturnsWrongButOk) {
+  const la::Matrix a = test_matrix(16, 99);
+  const std::string scenario = "backend=inline,ordering=d4,m=16,d=2";
+  const SolveReport reference = Solver::solve(SolverSpec::parse(scenario), a);
+  ASSERT_TRUE(reference.converged);
+
+  int ok = 0, corrupt = 0;
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    SolverSpec spec = SolverSpec::parse(scenario);
+    spec.faults.seed = seed;
+    spec.faults.corrupt_rate = 0.01;
+    spec.faults.vote_fail_rate = 0.002;
+    try {
+      const SolveReport r = Solver::solve(spec, a);
+      ++ok;
+      // Survived the schedule: the answer must be EXACTLY the fault-free
+      // one (checksums and the vote path never perturb the numerics).
+      EXPECT_EQ(r.eigenvalues, reference.eigenvalues) << "seed " << seed;
+      EXPECT_EQ(r.sweeps, reference.sweeps) << "seed " << seed;
+      EXPECT_EQ(r.rotations, reference.rotations) << "seed " << seed;
+      EXPECT_EQ(r.status, SolveStatus::Ok) << "seed " << seed;
+    } catch (const SolveError& e) {
+      ++corrupt;
+      EXPECT_EQ(e.status(), SolveStatus::TransportCorrupt) << "seed " << seed;
+    }
+  }
+  // The rates are tuned so both outcomes occur: the soak exercises the
+  // clean path AND the abort path, not one of them 500 times.
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(corrupt, 0);
+}
+
+}  // namespace
+}  // namespace jmh::api

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "la/sym_gen.hpp"
 
 namespace jmh::solve {
@@ -44,6 +47,48 @@ TEST(ColumnBlock, SerializeRoundTrip) {
 TEST(ColumnBlock, DeserializeRejectsGarbage) {
   EXPECT_THROW(ColumnBlock::deserialize({1.0}), std::invalid_argument);
   EXPECT_THROW(ColumnBlock::deserialize({1.0, 2.0, 3.0, 4.0}), std::invalid_argument);
+}
+
+// The wire-integrity contract: a single flipped bit ANYWHERE in a
+// serialized block -- header, column ids, data, or the checksum word
+// itself -- fails the checksum and throws TransportCorrupt (never a silent
+// wrong block, never plain invalid_argument, which is reserved for
+// structurally impossible payloads like the truncations above).
+TEST(ColumnBlock, AnySingleBitFlipFailsTheWireChecksum) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  const net::Payload clean = extract_block(a, layout, 5).serialize();
+  net::Payload damaged = clean;
+  for (std::size_t word = 0; word < clean.size(); ++word) {
+    // One flip per word, walking the bit position so sign, exponent and
+    // mantissa bits all get exercised across the payload.
+    const int bit = static_cast<int>((word * 7 + 1) % 64);
+    damaged[word] = std::bit_cast<double>(
+        std::bit_cast<std::uint64_t>(clean[word]) ^ (1ull << bit));
+    EXPECT_THROW(ColumnBlock::deserialize(damaged), TransportCorrupt)
+        << "word " << word << " bit " << bit;
+    damaged[word] = clean[word];  // restore before the next flip
+  }
+  // The restored payload still round-trips: the flips above were the only
+  // reason anything was rejected.
+  EXPECT_NO_THROW(ColumnBlock::deserialize(damaged));
+}
+
+// Corruption must not half-apply: assign_from validates before mutating,
+// so a live block fed a damaged payload keeps its previous contents.
+TEST(ColumnBlock, AssignFromLeavesBlockIntactOnCorruption) {
+  const la::Matrix a = test_matrix(16);
+  const BlockLayout layout(16, 2);
+  ColumnBlock blk = extract_block(a, layout, 1);
+  const ColumnBlock before = blk;
+  net::Payload damaged = extract_block(a, layout, 6).serialize();
+  damaged[damaged.size() / 2] = std::bit_cast<double>(
+      std::bit_cast<std::uint64_t>(damaged[damaged.size() / 2]) ^ 1ull);
+  EXPECT_THROW(blk.assign_from(damaged), TransportCorrupt);
+  EXPECT_EQ(blk.id, before.id);
+  EXPECT_EQ(blk.cols, before.cols);
+  EXPECT_EQ(blk.b, before.b);
+  EXPECT_EQ(blk.v, before.v);
 }
 
 TEST(JacobiNode, InitialBlocks) {
