@@ -10,6 +10,7 @@
 #include "la/kernels.hpp"
 #include "la/rotation.hpp"
 #include "la/sym_gen.hpp"
+#include "obs/trace.hpp"
 #include "ord/bounds.hpp"
 #include "ord/br.hpp"
 #include "ord/degree4.hpp"
@@ -271,6 +272,43 @@ void BM_SweepCancelCheck(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SweepCancelCheck)->Arg(0)->Arg(1);
+
+// --- obs: tracing overhead ---------------------------------------------------
+// The observability contract, priced. Arg 0: a DISARMED span site -- one
+// relaxed load plus a branch, the cost every sweep pays for carrying the
+// instrumentation (the "few ns" ceiling BENCH_obs.json gates). Arg 1: an
+// ARMED span -- two clock reads plus a locked ring store.
+void BM_TraceSpan(benchmark::State& state) {
+  {
+    const jmh::obs::ArmScope arm(state.range(0) == 1);
+    for (auto _ : state) {
+      const jmh::obs::SpanScope span("bench.span", jmh::obs::Category::kExec,
+                                     static_cast<std::uint64_t>(state.range(0)));
+      benchmark::DoNotOptimize(&span);
+    }
+  }
+  jmh::obs::reset_tracing();  // drop the bench's ring events (arm already ended)
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1);
+
+// BM_PlanReuseSolve's traced twin: the identical reused-plan solve with
+// trace=1, so fresh/baseline ratios AND the traced/untraced pair in one run
+// price the armed-mode overhead (sweep/comm/assembly spans + PhaseTimings
+// accumulation). PERF.md quotes the pair.
+void BM_SolveTraced(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform_symmetric(m, rng);
+  const auto spec = jmh::api::SolverSpec::parse(
+      "backend=inline,ordering=minalpha,m=" + std::to_string(m) +
+      ",d=2,pipeline=auto,trace=1");
+  const jmh::api::SolvePlan plan = jmh::api::Solver::plan(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.solve(a));
+  jmh::obs::reset_tracing();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolveTraced)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // --- svc: service throughput vs worker count ---------------------------------
 // The serving-layer headline: a same-spec inline workload (the cache-hot,

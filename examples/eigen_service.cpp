@@ -5,6 +5,7 @@
 //   $ ./eigen_service [--workload FILE] [--workers N] [--queue N] [--cache N]
 //                     [--coalesce N] [--repeat K] [--shed] [--json]
 //                     [--deadline-ms N] [--chaos SEED]
+//                     [--trace-out FILE] [--metrics-out FILE]
 //
 //     --workload FILE  replayable workload: one job per line,
 //                        <seed> <spec-string>
@@ -22,6 +23,14 @@
 //                      expired jobs fail with DEADLINE_EXCEEDED
 //     --chaos SEED     deterministic service chaos (dispatcher stalls +
 //                      deadline storms) keyed by SEED; replays exactly
+//     --trace-out FILE arm the obs:: trace recorder for the whole replay and
+//                      write a Chrome trace_event JSON (chrome://tracing /
+//                      Perfetto loadable) after the drain: per-job
+//                      queue-wait, solve, sweep, and comm spans
+//     --metrics-out FILE
+//                      write the process-wide obs::Registry (service
+//                      counters, exec pool gauges, latency histogram) as
+//                      JSON after the drain
 //
 // Exit status: 0 iff every job was served and converged. With --deadline-ms
 // or --chaos active, DEADLINE_EXCEEDED / CANCELLED / SHED failures are
@@ -39,6 +48,8 @@
 #include "api/report.hpp"
 #include "common/rng.hpp"
 #include "la/sym_gen.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -107,6 +118,8 @@ int main(int argc, char** argv) {
   bool shed = false;
   bool json = false;
   std::uint64_t deadline_ms = 0;
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     auto next_arg = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -131,11 +144,14 @@ int main(int argc, char** argv) {
       deadline_ms = static_cast<std::uint64_t>(std::atoll(next_arg("--deadline-ms")));
     else if (!std::strcmp(argv[i], "--chaos"))
       cfg.chaos.seed = static_cast<std::uint64_t>(std::atoll(next_arg("--chaos")));
+    else if (!std::strcmp(argv[i], "--trace-out")) trace_out = next_arg("--trace-out");
+    else if (!std::strcmp(argv[i], "--metrics-out")) metrics_out = next_arg("--metrics-out");
     else {
       std::fprintf(stderr,
                    "usage: %s [--workload FILE] [--workers N] [--queue N] [--cache N]\n"
                    "          [--coalesce N] [--repeat K] [--shed] [--json]\n"
-                   "          [--deadline-ms N] [--chaos SEED]\n",
+                   "          [--deadline-ms N] [--chaos SEED]\n"
+                   "          [--trace-out FILE] [--metrics-out FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -157,6 +173,10 @@ int main(int argc, char** argv) {
   std::vector<std::future<api::SolveReport>> futures;
   futures.reserve(items.size());
   std::size_t shed_jobs = 0;
+
+  // Process-wide arming: every span over the whole replay (queue waits,
+  // coalescing, sweeps, comm) lands in one trace, whatever the specs say.
+  if (!trace_out.empty()) obs::arm_tracing();
 
   const auto t0 = Clock::now();
   for (const WorkItem& item : items) {
@@ -183,6 +203,7 @@ int main(int argc, char** argv) {
   }
   service.drain();
   const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!trace_out.empty()) obs::disarm_tracing();  // stop capturing at the drain
 
   // With --deadline-ms or --chaos active, deadline/cancel/shed failures are
   // the deliberately provoked degraded mode -- the harness reports them but
@@ -225,6 +246,28 @@ int main(int argc, char** argv) {
   if (degraded) std::printf("degraded : %zu jobs hit deadline/cancel/shed (expected mode)\n", degraded);
   if (failed || unconverged)
     std::printf("errors   : %zu failed, %zu unconverged\n", failed, unconverged);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "eigen_service: cannot write trace file '%s'\n", trace_out.c_str());
+      return 2;
+    }
+    obs::write_chrome_trace(out);
+    std::printf("trace    : %s (%llu events, %llu dropped)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(obs::trace_recorded_events()),
+                static_cast<unsigned long long>(obs::trace_dropped_events()));
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "eigen_service: cannot write metrics file '%s'\n",
+                   metrics_out.c_str());
+      return 2;
+    }
+    out << obs::Registry::global().render_json() << '\n';
+    std::printf("metrics  : %s\n", metrics_out.c_str());
+  }
 
   return failed == 0 && unconverged == 0 ? 0 : 1;
 }

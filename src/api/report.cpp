@@ -85,6 +85,21 @@ std::string SolveReport::summary() const {
                   modeled_time, modeled_sweeps, vote_time, 100.0 * mean_link_utilization());
     out += line;
   }
+
+  // Phase attribution, present whenever anything was attributed (plan_ns is
+  // filled on every facade solve; sweep/comm/assembly need trace=1; on
+  // multi-rank backends sweep/comm are summed over endpoints -- CPU, not
+  // wall, time).
+  const obs::PhaseTimings& t = timings;
+  if (t.plan_ns + t.queue_ns + t.sweep_ns + t.comm_ns + t.assembly_ns + t.retries > 0) {
+    const auto ms = [](std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; };
+    std::snprintf(line, sizeof line,
+                  "timing   : plan %.3fms queue %.3fms sweep %.3fms "
+                  "(comm %.3fms) assembly %.3fms, %llu retries\n",
+                  ms(t.plan_ns), ms(t.queue_ns), ms(t.sweep_ns), ms(t.comm_ns),
+                  ms(t.assembly_ns), static_cast<unsigned long long>(t.retries));
+    out += line;
+  }
   return out;
 }
 
@@ -123,7 +138,8 @@ std::string report_to_json(const SolveReport& report) {
   // k long, but V still has m rows (and U `rows` rows for svd).
   const std::uint64_t m_cols =
       report.eigenvectors.rows() > 0 ? report.eigenvectors.rows() : spectrum.size();
-  field("task", quoted(api::to_string(report.task)), /*first=*/true);
+  field("spec_version", std::to_string(kSpecVersion), /*first=*/true);
+  field("task", quoted(api::to_string(report.task)));
   field("backend", quoted(api::to_string(report.backend)));
   field("ordering", quoted(ord::spec_token(report.ordering)));
   field("m", uint(m_cols));
@@ -150,6 +166,12 @@ std::string report_to_json(const SolveReport& report) {
   field("vote_time", num(report.vote_time));
   field("modeled_sweeps", std::to_string(report.modeled_sweeps));
   field("mean_link_utilization", num(report.mean_link_utilization()));
+  field("plan_ns", uint(report.timings.plan_ns));
+  field("queue_ns", uint(report.timings.queue_ns));
+  field("sweep_ns", uint(report.timings.sweep_ns));
+  field("comm_ns", uint(report.timings.comm_ns));
+  field("assembly_ns", uint(report.timings.assembly_ns));
+  field("retries", uint(report.timings.retries));
   field("status", quoted(api::to_string(report.status)));
   out += '}';
   return out;

@@ -14,6 +14,7 @@
 #include "api/spec.hpp"
 #include "la/matrix.hpp"
 #include "net/universe.hpp"
+#include "obs/phase_timing.hpp"
 
 namespace jmh::api {
 
@@ -85,6 +86,12 @@ struct SolveReport {
   // -- traffic (MpiLite backend; zeros otherwise) ----------------------------
   net::CommStats comm;
 
+  // -- phase timing ----------------------------------------------------------
+  /// Where the wall time went (obs/phase_timing.hpp). plan_ns always;
+  /// queue_ns/retries for service jobs; sweep_ns/comm_ns/assembly_ns only
+  /// when the spec had trace=1 (unarmed solves pay no attribution clocks).
+  obs::PhaseTimings timings;
+
   // -- modeled time (Sim backend) --------------------------------------------
   bool has_model = false;     ///< true iff the fields below are meaningful
   double modeled_time = 0.0;  ///< total modeled communication time
@@ -106,10 +113,13 @@ struct SolveReport {
 /// --json mode, the service driver's per-job output). The field set and
 /// order are STABLE -- pinned by tests/test_api_facade.cpp -- and every key
 /// is always present (traffic/model fields are zero outside their backend):
-///   task, backend, ordering, m, rows, pipeline_q, topk, converged, sweeps,
-///   rotations, spectrum_min, spectrum_max, comm_messages, comm_elements,
-///   comm_barriers, has_model, modeled_time, vote_time, modeled_sweeps,
-///   mean_link_utilization, status
+///   spec_version, task, backend, ordering, m, rows, pipeline_q, topk,
+///   converged, sweeps, rotations, spectrum_min, spectrum_max,
+///   comm_messages, comm_elements, comm_barriers, has_model, modeled_time,
+///   vote_time, modeled_sweeps, mean_link_utilization, plan_ns, queue_ns,
+///   sweep_ns, comm_ns, assembly_ns, retries, status
+/// spec_version comes FIRST (api::kSpecVersion: consumers dispatch on it
+/// before reading anything else).
 /// For task=svd, m/rows are the input shape and spectrum_min/spectrum_max
 /// the extreme singular values (sigma_min, sigma_max).
 /// Doubles print as %.17g (exact round trip); no whitespace, no newline.

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "exec/thread_pool.hpp"
 #include "la/shift.hpp"
+#include "obs/trace.hpp"
 #include "pipe/optimizer.hpp"
 #include "solve/fault_injection.hpp"
 #include "solve/inline_transport.hpp"
@@ -51,6 +52,12 @@ SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
     : spec_(spec), ordering_(std::move(ordering)), layout_(spec.m, spec.d) {
   JMH_REQUIRE(ordering_.dimension() == spec_.d, "ordering dimension must match spec.d");
   JMH_REQUIRE(ordering_.kind() == spec_.ordering, "ordering kind must match spec.ordering");
+  // A traced spec records plan compilation as a span; plan_ns_ itself is
+  // measured unconditionally (two clock reads amortized over every solve).
+  const obs::ArmScope arm(spec_.trace);
+  const obs::SpanScope plan_span("plan", obs::Category::kPlan,
+                                 static_cast<std::uint64_t>(spec_.m));
+  const std::uint64_t plan_t0 = obs::trace_now_ns();
   // threads= is an execution knob, not part of the numerical scenario:
   // apply it best-effort (an active pool keeps its width) and move on.
   if (spec_.threads > 0 && exec::ThreadPool::enabled())
@@ -83,6 +90,7 @@ SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
       break;
     }
   }
+  plan_ns_ = obs::trace_now_ns() - plan_t0;
 }
 
 SolveReport SolvePlan::solve_prepared(const la::Matrix& a,
@@ -98,6 +106,9 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a,
   const bool svd = spec_.task == Task::Svd;
   const auto assemble = [&](std::vector<solve::ColumnBlock> blocks,
                             const solve::EngineResult& er) {
+    const obs::SpanScope span("assemble", obs::Category::kAssembly,
+                              static_cast<std::uint64_t>(a.cols()),
+                              opts.timing != nullptr ? &opts.timing->assembly_ns : nullptr);
     if (svd)
       fill_svd_solution(report, solve::assemble_svd_result(std::move(blocks), a.rows(),
                                                            a.cols(), er.sweeps, er.converged,
@@ -182,15 +193,33 @@ SolveReport SolvePlan::solve(const la::Matrix& a, const SolveOverrides& override
     opts.cancel = opts.cancel.with_timeout(std::chrono::milliseconds(spec_.deadline_ms));
   opts.faults.attempt = overrides.fault_attempt;
 
+  // trace=1 arms the process recorder for this call and attaches the phase
+  // sink; trace=0 leaves opts.timing null so the hot path pays no clock
+  // reads (the bit-identical contract of the spec grammar).
+  const obs::ArmScope arm(spec_.trace);
+  obs::SolveTimingSink sink;
+  if (spec_.trace) opts.timing = &sink;
+  const auto finalize = [&](SolveReport& report) {
+    report.timings.plan_ns = plan_ns_;
+    report.timings.sweep_ns = sink.sweep_ns.load(std::memory_order_relaxed);
+    report.timings.comm_ns = sink.comm_ns.load(std::memory_order_relaxed);
+    report.timings.assembly_ns = sink.assembly_ns.load(std::memory_order_relaxed);
+  };
+
   // Map the transport layer's typed failures onto the api taxonomy here, at
   // the one place every backend funnels through; anything still escaping as
   // an untyped exception past this point is a bug (svc wraps it Internal).
   try {
-    if (spec_.task == Task::Svd || !spec_.gershgorin_shift) return solve_prepared(a, opts);
+    if (spec_.task == Task::Svd || !spec_.gershgorin_shift) {
+      SolveReport report = solve_prepared(a, opts);
+      finalize(report);
+      return report;
+    }
     // Solve A + sigma*I (positive semidefinite by Gershgorin), shift back.
     const double sigma = la::gershgorin_radius(a);
     SolveReport report = solve_prepared(la::add_diagonal_shift(a, sigma), opts);
     for (double& ev : report.eigenvalues) ev -= sigma;
+    finalize(report);
     return report;
   } catch (const solve::TransportCorrupt& e) {
     throw SolveError(SolveStatus::TransportCorrupt, e.what());

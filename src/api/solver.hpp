@@ -89,6 +89,10 @@ class SolvePlan {
   solve::BlockLayout layout_;
   std::uint64_t q_ = 0;
   double planned_cost_ = 0.0;
+  /// Wall time of plan compilation, echoed into every report's
+  /// timings.plan_ns (the plan is the amortized cost a caller should see
+  /// attributed, however many solves it serves).
+  std::uint64_t plan_ns_ = 0;
 };
 
 class Solver {

@@ -162,6 +162,7 @@ std::string SolverSpec::to_string() const {
   out += ",topk=" + std::to_string(topk);
   out += ",threads=" + std::to_string(threads);
   out += ",deadline_ms=" + std::to_string(deadline_ms);
+  out += ",trace=" + std::string(trace ? "1" : "0");
   out += ",faults=";
   if (!faults.enabled()) {
     out += "off";
@@ -184,7 +185,7 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   enum KeyBit : std::uint32_t {
     kBackend, kOrdering, kM, kD, kPipeline, kTs, kTw, kPorts, kOverlap,
     kThreshold, kMaxSweeps, kStop, kOffTol, kShift, kTask, kRows, kTopk,
-    kThreads, kDeadlineMs, kFaults,
+    kThreads, kDeadlineMs, kTrace, kFaults,
   };
   std::uint32_t seen_keys = 0;
   const auto mark_seen = [&](std::string_view key, KeyBit bit) {
@@ -300,6 +301,9 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       // Bounded well under steady_clock's representable range so
       // now() + deadline never overflows the time_point arithmetic.
       spec.deadline_ms = parse_uint_bounded(key, value, 1000000000ull);
+    } else if (key == "trace") {
+      mark_seen(key, kTrace);
+      spec.trace = parse_bool(key, value);
     } else if (key == "faults") {
       mark_seen(key, kFaults);
       if (value == "off") {

@@ -44,6 +44,11 @@
 //                              solve() entry; the engine stops at the next
 //                              sweep boundary past it and the solve fails
 //                              with DEADLINE_EXCEEDED. 0 = none (default 0)
+//   trace=0|1                  arm the obs:: trace recorder for solves of
+//                              this plan (spans recorded per sweep /
+//                              exchange, PhaseTimings on the report).
+//                              trace=0 solves stay bit-identical and pay
+//                              one relaxed load per span site (default 0)
 //   faults=off|<seed>:<corrupt>:<delay>:<delay_us>:<vote>
 //                              deterministic fault injection
 //                              (solve::FaultPlan): a nonzero schedule seed,
@@ -62,6 +67,13 @@
 #include "solve/transport.hpp"
 
 namespace jmh::api {
+
+/// Version of the spec grammar / canonical string, echoed as the FIRST
+/// field of report_to_json so downstream consumers can dispatch before
+/// reading anything else. Bump when the grammar changes meaning:
+///   1 -- through the fault-tolerant serving PR (deadline_ms, faults)
+///   2 -- adds the trace= key (obs:: span recording + PhaseTimings)
+inline constexpr int kSpecVersion = 2;
 
 /// Execution substrate of a solve (see the Transport table in
 /// ARCHITECTURE.md; each backend maps onto one Transport implementation).
@@ -123,6 +135,11 @@ struct SolverSpec {
   /// entry; 0 = no deadline. SolvePlan::solve derives a deadline token from
   /// it (composed under any caller-supplied SolveOverrides::cancel).
   std::uint64_t deadline_ms = 0;
+  /// Arm the obs:: trace recorder for this plan's solves: spans per sweep /
+  /// exchange / assembly plus PhaseTimings sweep/comm attribution on the
+  /// report. Purely observational -- results are bit-identical either way;
+  /// untraced solves pay one relaxed load per span site.
+  bool trace = false;
   /// Deterministic fault injection (seed 0 = off). `faults.attempt` is NOT
   /// part of the spec grammar -- it is the service's per-retry redraw knob
   /// (SolveOverrides::fault_attempt) and stays 0 in any parsed spec.

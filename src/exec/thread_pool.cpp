@@ -8,6 +8,8 @@
 
 #include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 #ifdef __linux__
 #include <pthread.h>
@@ -201,6 +203,11 @@ void ThreadPool::run_gang(std::size_t n, const std::function<void(std::size_t)>&
   const std::size_t reserve = std::min(n - 1, width);
   const bool oversized = n - 1 > width;
   {
+    // The admission wait is where gangs queue behind each other; its span
+    // (arg = gang width) is how "solve was slow" separates into "waited for
+    // workers" vs "computed slowly".
+    const obs::SpanScope admit_span("exec.gang_admit", obs::Category::kExec,
+                                    static_cast<std::uint64_t>(n));
     std::unique_lock lock(gang_mu_);
     const std::uint64_t ticket = gang_next_ticket_++;
     gang_cv_.wait(lock, [&] {
@@ -385,12 +392,19 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
     }
   }
   for (std::size_t k = 1; k < queues_.size(); ++k) {
-    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    const std::size_t victim = (self + k) % queues_.size();
+    WorkerQueue& q = *queues_[victim];
     std::lock_guard lock(q.mu);
     if (!q.deque.empty()) {
       out = std::move(q.deque.front());
       q.deque.pop_front();
       note_popped();
+      // Instant event (zero duration), arg = victim: steal storms show up
+      // as dense tick rows in the trace. Armed-only, so the steady-state
+      // dispatch path pays one relaxed load.
+      if (obs::trace_armed())
+        obs::trace_record("exec.steal", obs::Category::kExec, obs::trace_now_ns(), 0,
+                          static_cast<std::uint64_t>(victim));
       return true;
     }
   }
@@ -416,6 +430,11 @@ void ThreadPool::run_task(Task& task, std::size_t worker_index) {
           .count();
   busy_ns_[worker_index]->fetch_add(static_cast<std::uint64_t>(ns),
                                     std::memory_order_relaxed);
+  // Reuses the busy-time clock reads above: an armed trace costs only the
+  // record itself here, a disarmed one only this load.
+  if (obs::trace_armed())
+    obs::trace_record("exec.task", obs::Category::kExec, obs::trace_time_ns(start),
+                      static_cast<std::uint64_t>(ns), worker_index);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -446,6 +465,10 @@ void ThreadPool::worker_loop(std::size_t index) {
 // ---- global instance --------------------------------------------------------
 
 ThreadPool& ThreadPool::global() {
+  // Trace infrastructure first: workers record spans until they join, so
+  // the ring registry must be constructed BEFORE the pool to be destructed
+  // after it (static destruction runs in reverse construction order).
+  obs::init_tracing();
   static ThreadPool pool([] {
     PoolConfig config;
     if (const char* n = std::getenv("JMH_EXEC_THREADS"))
@@ -454,6 +477,26 @@ ThreadPool& ThreadPool::global() {
       config.pin_threads = std::string(pin) == "1";
     return config;
   }());
+  // Gauges registered after the pool: their handles unregister (reverse
+  // order again) while both the registry and the pool are still alive, so
+  // a late render never calls into a dead pool.
+  struct PoolGauges {
+    obs::GaugeHandle workers;
+    obs::GaugeHandle high_water;
+    obs::GaugeHandle busy;
+  };
+  static const PoolGauges gauges{
+      obs::Registry::global().register_gauge(
+          "exec.pool.workers", [] { return static_cast<double>(pool.workers()); }),
+      obs::Registry::global().register_gauge(
+          "exec.pool.queue_high_water",
+          [] { return static_cast<double>(pool.queue_high_water()); }),
+      obs::Registry::global().register_gauge("exec.pool.busy_seconds_total", [] {
+        double total = 0.0;
+        for (double s : pool.worker_busy_seconds()) total += s;
+        return total;
+      })};
+  (void)gauges;
   return pool;
 }
 

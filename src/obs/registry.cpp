@@ -1,0 +1,152 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace jmh::obs {
+
+namespace {
+
+/// Shortest-exact double rendering, matching the repo's JSON convention.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::quantile_upper(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample among `total` ordered samples.
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen > target) {
+      if (b == 0) return 0;
+      if (b >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+GaugeHandle& GaugeHandle::operator=(GaugeHandle&& other) noexcept {
+  if (this != &other) {
+    if (reg_ != nullptr) reg_->unregister_gauge(id_);
+    reg_ = std::exchange(other.reg_, nullptr);
+    id_ = other.id_;
+  }
+  return *this;
+}
+
+GaugeHandle::~GaugeHandle() {
+  if (reg_ != nullptr) reg_->unregister_gauge(id_);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() {
+  // The trace recorder's own health metrics; registered directly (never
+  // unregistered -- they live exactly as long as the registry).
+  gauges_.push_back({next_gauge_id_++, "obs.trace.recorded_events",
+                     [] { return static_cast<double>(trace_recorded_events()); }});
+  gauges_.push_back({next_gauge_id_++, "obs.trace.dropped_events",
+                     [] { return static_cast<double>(trace_dropped_events()); }});
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+GaugeHandle Registry::register_gauge(std::string name, std::function<double()> fn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_gauge_id_++;
+  gauges_.push_back({id, std::move(name), std::move(fn)});
+  return {this, id};
+}
+
+void Registry::unregister_gauge(std::uint64_t id) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(gauges_, [id](const Gauge& g) { return g.id == id; });
+}
+
+std::string Registry::render_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) out << name << ' ' << counter->value() << '\n';
+  std::vector<const Gauge*> gauges;
+  gauges.reserve(gauges_.size());
+  for (const Gauge& g : gauges_) gauges.push_back(&g);
+  std::stable_sort(gauges.begin(), gauges.end(),
+                   [](const Gauge* a, const Gauge* b) { return a->name < b->name; });
+  for (const Gauge* g : gauges) out << g->name << ' ' << format_double(g->fn()) << '\n';
+  for (const auto& [name, h] : histograms_) {
+    out << name << ".count " << h->count() << '\n';
+    out << name << ".sum " << h->sum() << '\n';
+    out << name << ".p50 " << h->quantile_upper(0.50) << '\n';
+    out << name << ".p90 " << h->quantile_upper(0.90) << '\n';
+    out << name << ".p99 " << h->quantile_upper(0.99) << '\n';
+  }
+  return std::move(out).str();
+}
+
+std::string Registry::render_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << '"' << name << "\":" << counter->value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  std::vector<const Gauge*> gauges;
+  gauges.reserve(gauges_.size());
+  for (const Gauge& g : gauges_) gauges.push_back(&g);
+  std::stable_sort(gauges.begin(), gauges.end(),
+                   [](const Gauge* a, const Gauge* b) { return a->name < b->name; });
+  first = true;
+  for (const Gauge* g : gauges) {
+    out << (first ? "" : ",") << '"' << g->name << "\":" << format_double(g->fn());
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << h->sum() << ",\"p50\":" << h->quantile_upper(0.50)
+        << ",\"p90\":" << h->quantile_upper(0.90) << ",\"p99\":" << h->quantile_upper(0.99)
+        << "}";
+    first = false;
+  }
+  out << "}}";
+  return std::move(out).str();
+}
+
+}  // namespace jmh::obs

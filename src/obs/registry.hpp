@@ -1,0 +1,145 @@
+// obs::Registry: the process-wide named metrics registry -- counters,
+// callback gauges, and lock-free log-linear histograms -- with one text and
+// one JSON exposition.
+//
+//   obs::Counter& done = obs::Registry::global().counter("svc.jobs_done");
+//   done.add();                                  // one relaxed fetch_add
+//   obs::Registry::global().histogram("svc.latency_ns").observe(ns);
+//   auto handle = obs::Registry::global().register_gauge(
+//       "exec.pool.workers", [&pool] { return double(pool.workers()); });
+//   std::string json = obs::Registry::global().render_json();
+//
+// Counters and histograms are created on first use and live for the
+// registry's lifetime (references stay stable); several owners naming the
+// same counter share it, so registry values are process-wide totals.
+// Per-instance snapshots (svc::Metrics) keep their own counters and mirror
+// onto the registry for exposition. Gauges are sampled at render time via
+// caller-owned callbacks, unregistered by the returned RAII handle.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jmh::obs {
+
+/// Monotonic counter. add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Lock-free fixed-bucket log-linear histogram of nonnegative samples
+/// (nanoseconds by convention). Bucket b counts samples of bit width b --
+/// the range [2^(b-1), 2^b) -- with bucket 0 holding exact zeros, so the
+/// whole u64 domain fits in 65 buckets. observe() is three relaxed
+/// fetch_adds; quantile_upper() answers "which power of two" -- a
+/// factor-of-two resolution is enough to spot a regression's order of
+/// magnitude, and exact windowed quantiles stay in svc::Metrics.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t sample) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of the bucket holding the q-quantile sample
+  /// (0 when empty). Concurrent observes may land between bucket reads;
+  /// the answer is exact over some recent prefix of the stream.
+  std::uint64_t quantile_upper(double q) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class Registry;
+
+/// RAII gauge registration: unregisters on destruction. Movable,
+/// default-constructed handles are empty. After the destructor returns the
+/// callback is guaranteed not to be running (render holds the registration
+/// lock while sampling), so it is safe to destroy the state it reads.
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  GaugeHandle(GaugeHandle&& other) noexcept
+      : reg_(std::exchange(other.reg_, nullptr)), id_(other.id_) {}
+  GaugeHandle& operator=(GaugeHandle&& other) noexcept;
+  ~GaugeHandle();
+  GaugeHandle(const GaugeHandle&) = delete;
+  GaugeHandle& operator=(const GaugeHandle&) = delete;
+
+ private:
+  friend class Registry;
+  GaugeHandle(Registry* reg, std::uint64_t id) noexcept : reg_(reg), id_(id) {}
+  Registry* reg_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (also reachable as a plain instance for
+  /// tests that want isolation).
+  static Registry& global();
+
+  Registry();
+  ~Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Named counter / histogram, created on first use. References are
+  /// stable for the registry's lifetime -- cache them, do not re-look-up
+  /// on hot paths.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Registers a sampled-at-render callback gauge. The callback must stay
+  /// valid until the returned handle is destroyed, and must not call back
+  /// into this registry (render holds the registration lock).
+  [[nodiscard]] GaugeHandle register_gauge(std::string name, std::function<double()> fn);
+
+  /// Plain-text exposition: one "name value" line per metric, sorted by
+  /// name; histograms expand into name.count/.sum/.p50/.p90/.p99 lines.
+  std::string render_text() const;
+  /// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string render_json() const;
+
+ private:
+  friend class GaugeHandle;
+  void unregister_gauge(std::uint64_t id) noexcept;
+
+  struct Gauge {
+    std::uint64_t id = 0;
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<Gauge> gauges_;
+  std::uint64_t next_gauge_id_ = 1;
+};
+
+}  // namespace jmh::obs

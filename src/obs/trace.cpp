@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/alloc_guard.hpp"
+
+namespace jmh::obs {
+
+namespace {
+
+/// Anchored during static initialization, before any event can be recorded,
+/// so every timestamp (including externally captured enqueue times) lands
+/// at or after 0.
+const std::chrono::steady_clock::time_point g_trace_epoch =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const char* category_name(Category cat) noexcept {
+  switch (cat) {
+    case Category::kPlan: return "plan";
+    case Category::kSweep: return "sweep";
+    case Category::kComm: return "comm";
+    case Category::kAssembly: return "assembly";
+    case Category::kExec: return "exec";
+    case Category::kSvc: return "svc";
+    case Category::kQueue: return "queue";
+  }
+  return "?";
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return trace_time_ns(std::chrono::steady_clock::now());
+}
+
+std::uint64_t trace_time_ns(std::chrono::steady_clock::time_point tp) noexcept {
+  const auto since = std::chrono::duration_cast<std::chrono::nanoseconds>(tp - g_trace_epoch);
+  return since.count() > 0 ? static_cast<std::uint64_t>(since.count()) : 0;
+}
+
+#if JMH_TRACE_ENABLED
+
+namespace {
+
+/// Events per thread ring: 8192 * 48B = ~384KB per recording thread. Big
+/// enough for several traced mpi solves; wrap drops oldest, never blocks.
+constexpr std::size_t kRingCapacity = 8192;
+
+struct Ring {
+  /// Per-ring lock: recording contends only with a concurrent drain (and
+  /// only on this thread's ring), never with other recorders. Uncontended
+  /// lock + vector store is low double-digit ns -- fine for per-sweep /
+  /// per-exchange span grain, and TSan-clean without a lock-free protocol.
+  std::mutex mu;
+  std::vector<TraceEvent> events;  ///< reserved to kRingCapacity up front
+  std::uint64_t recorded = 0;      ///< total ever; dropped = recorded - size
+  int tid = 0;
+};
+
+std::atomic<int> g_armed{0};
+/// Set once the ring registry has been torn down (static destruction):
+/// a straggler record after that point becomes a no-op instead of a
+/// use-after-free. init_tracing() exists so long-lived recorders order
+/// themselves after the registry instead of relying on this backstop.
+std::atomic<bool> g_registry_dead{false};
+
+struct RingRegistry {
+  ~RingRegistry() { g_registry_dead.store(true, std::memory_order_release); }
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  ///< parked forever, drained at will
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry reg;
+  return reg;
+}
+
+thread_local Ring* tl_ring = nullptr;
+
+Ring* register_ring() {
+  // Ring storage is setup cost, not hot-path work: exempt it so the first
+  // record inside an AllocGuard-audited sweep does not trip the audit.
+  const common::AllocExempt exempt;
+  RingRegistry& reg = ring_registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  auto ring = std::make_unique<Ring>();
+  ring->events.reserve(kRingCapacity);
+  ring->tid = static_cast<int>(reg.rings.size()) + 1;
+  reg.rings.push_back(std::move(ring));
+  return reg.rings.back().get();
+}
+
+}  // namespace
+
+bool trace_armed() noexcept { return g_armed.load(std::memory_order_relaxed) > 0; }
+
+void arm_tracing() noexcept { g_armed.fetch_add(1, std::memory_order_relaxed); }
+
+void disarm_tracing() noexcept { g_armed.fetch_sub(1, std::memory_order_relaxed); }
+
+void trace_record(const char* name, Category cat, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, std::uint64_t arg) noexcept {
+  if (g_registry_dead.load(std::memory_order_acquire)) return;
+  Ring* ring = tl_ring;
+  if (ring == nullptr) {
+    ring = register_ring();
+    tl_ring = ring;
+  }
+  TraceEvent ev;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg = arg;
+  ev.name = name;
+  ev.cat = cat;
+  ev.tid = ring->tid;
+  const std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() < kRingCapacity) {
+    ring->events.push_back(ev);  // within reserved capacity: no allocation
+  } else {
+    ring->events[static_cast<std::size_t>(ring->recorded % kRingCapacity)] = ev;
+  }
+  ++ring->recorded;
+}
+
+std::vector<TraceEvent> snapshot_trace_events() {
+  std::vector<TraceEvent> out;
+  RingRegistry& reg = ring_registry();
+  const std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::lock_guard<std::mutex> lock(ring->mu);
+    const std::size_t n = ring->events.size();
+    // Once wrapped, the oldest resident event sits at recorded % capacity.
+    const std::size_t oldest =
+        n < kRingCapacity ? 0 : static_cast<std::size_t>(ring->recorded % kRingCapacity);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(ring->events[(oldest + i) % n]);
+  }
+  return out;
+}
+
+std::uint64_t trace_recorded_events() noexcept {
+  std::uint64_t total = 0;
+  RingRegistry& reg = ring_registry();
+  const std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->recorded;
+  }
+  return total;
+}
+
+std::uint64_t trace_dropped_events() noexcept {
+  std::uint64_t total = 0;
+  RingRegistry& reg = ring_registry();
+  const std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->recorded > ring->events.size()) total += ring->recorded - ring->events.size();
+  }
+  return total;
+}
+
+std::size_t trace_ring_capacity() noexcept { return kRingCapacity; }
+
+void init_tracing() noexcept { ring_registry(); }
+
+void reset_tracing() noexcept {
+  RingRegistry& reg = ring_registry();
+  const std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::lock_guard<std::mutex> lock(ring->mu);
+    ring->events.clear();
+    ring->recorded = 0;
+  }
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+#endif  // JMH_TRACE_ENABLED
+
+void write_chrome_trace(std::ostream& out) {
+  out << "{\"traceEvents\":[";
+  const std::vector<TraceEvent> events = snapshot_trace_events();
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    // ts/dur are microseconds by Chrome convention; three decimals keep
+    // the underlying nanosecond resolution.
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"arg\":%llu}}",
+                  first ? "" : ",", ev.name, category_name(ev.cat), ev.tid,
+                  1e-3 * static_cast<double>(ev.start_ns), 1e-3 * static_cast<double>(ev.dur_ns),
+                  static_cast<unsigned long long>(ev.arg));
+    out << buf;
+    first = false;
+  }
+  out << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":\""
+      << trace_dropped_events() << "\"}}\n";
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return std::move(out).str();
+}
+
+}  // namespace jmh::obs

@@ -5,6 +5,7 @@
 #include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
 #include "net/collectives.hpp"
+#include "obs/trace.hpp"
 
 namespace jmh::solve {
 
@@ -85,10 +86,19 @@ SweepStats MpiLiteTransport::run_phase_pipelined(const PhaseContext& ctx) {
     pkt.serialize_into(send_scratch_);
     hc_.send(link_of(0), send_scratch_, tag_of(0));
   }
+  // Comm attribution covers the blocking receives -- the time this endpoint
+  // actually waits on the wire; sends are buffered mailbox deposits and
+  // pairings are compute. Null accumulator = spans are disarmed-cheap.
+  std::atomic<std::uint64_t>* const comm_acc =
+      ctx.timing != nullptr ? &ctx.timing->comm_ns : nullptr;
   // Steps 1..K-1: receive, pair, forward.
   for (std::size_t t = 1; t < k; ++t) {
     for (std::uint64_t pi = 0; pi < q_; ++pi) {
-      packet_scratch_.assign_from(hc_.recv(link_of(t - 1), tag_of(t - 1)));
+      {
+        const obs::SpanScope recv_span("exchange.recv", obs::Category::kComm,
+                                       static_cast<std::uint64_t>(tag_of(t - 1)), comm_acc);
+        packet_scratch_.assign_from(hc_.recv(link_of(t - 1), tag_of(t - 1)));
+      }
       stats += node_.pair_fixed_with(packet_scratch_, ctx.threshold, ctx.activity);
       packet_scratch_.serialize_into(send_scratch_);
       hc_.send(link_of(t), send_scratch_, tag_of(t));
@@ -96,8 +106,11 @@ SweepStats MpiLiteTransport::run_phase_pipelined(const PhaseContext& ctx) {
   }
   // Collect the block arriving through the phase's final transition.
   incoming_scratch_.resize(q_);
-  for (std::uint64_t pi = 0; pi < q_; ++pi)
+  for (std::uint64_t pi = 0; pi < q_; ++pi) {
+    const obs::SpanScope recv_span("exchange.recv", obs::Category::kComm,
+                                   static_cast<std::uint64_t>(tag_of(k - 1)), comm_acc);
     incoming_scratch_[pi].assign_from(hc_.recv(link_of(k - 1), tag_of(k - 1)));
+  }
   ColumnBlock::merge_into(incoming_scratch_, merge_scratch_);
   std::swap(node_.mobile(), merge_scratch_);  // old mobile becomes next merge scratch
   return stats;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 #include "solve/fault_injection.hpp"
 #include "solve/legacy_bridge.hpp"
 #include "solve/mpi_transport.hpp"
@@ -198,6 +199,8 @@ MpiRunOutcome run_mpi_protocol(const la::Matrix& a, const ord::JacobiOrdering& o
 DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                  const SolveOptions& opts, std::uint64_t q) {
   MpiRunOutcome run = run_mpi_protocol(a, ordering, opts, q);
+  const obs::SpanScope span("assemble", obs::Category::kAssembly, a.rows(),
+                            opts.timing != nullptr ? &opts.timing->assembly_ns : nullptr);
   DistributedResult result =
       assemble_result(std::move(run.blocks), a.rows(), run.engine.sweeps,
                       run.engine.converged, run.engine.rotations, run.engine.leading);
@@ -208,6 +211,8 @@ DistributedResult solve_mpi_like(const la::Matrix& a, const ord::JacobiOrdering&
 SvdSolveResult solve_mpi_svd_like(const la::Matrix& a, const ord::JacobiOrdering& ordering,
                                   const SolveOptions& opts, std::uint64_t q) {
   MpiRunOutcome run = run_mpi_protocol(a, ordering, opts, q);
+  const obs::SpanScope span("assemble", obs::Category::kAssembly, a.cols(),
+                            opts.timing != nullptr ? &opts.timing->assembly_ns : nullptr);
   SvdSolveResult result =
       assemble_svd_result(std::move(run.blocks), a.rows(), a.cols(), run.engine.sweeps,
                           run.engine.converged, run.engine.rotations, run.engine.leading);

@@ -8,6 +8,7 @@
 
 #include "common/alloc_guard.hpp"
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace jmh::solve {
 
@@ -58,18 +59,27 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
     return opts.cancel.poll() != common::CancelReason::None ? 1.0 : 0.0;
   };
 
+  // Phase attribution: null sink = no clock reads anywhere on this path
+  // (the trace=0 bit-identical contract includes paying nothing).
+  obs::SolveTimingSink* const sink = opts.timing;
+  std::atomic<std::uint64_t>* const comm_acc = sink != nullptr ? &sink->comm_ns : nullptr;
+
   EngineResult out;
   double frob2 = 0.0;
   transport.visit_nodes([&](JacobiNode& node) { frob2 += node.frobenius_squared(); });
   if (cancellable) {
     std::array<double, 2> init = {frob2, cancel_flag()};
-    transport.allreduce_sum(std::span<double>(init));
+    {
+      const obs::SpanScope comm_span("allreduce.init", obs::Category::kComm, 0, comm_acc);
+      transport.allreduce_sum(std::span<double>(init));
+    }
     frob2 = init[0];
     if (init[1] != 0.0) {  // cancelled before the first sweep
       out.status = cancel_status(opts.cancel);
       return out;
     }
   } else {
+    const obs::SpanScope comm_span("allreduce.init", obs::Category::kComm, 0, comm_acc);
     transport.allreduce_sum(std::span<double>(&frob2, 1));
   }
 
@@ -98,6 +108,12 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
 
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
     const common::AllocGuard sweep_guard;
+    // Inside the guard deliberately: span recording must itself be
+    // allocation-free in steady state (the ring preallocates under
+    // AllocExempt on a thread's first record).
+    const obs::SpanScope sweep_span("sweep", obs::Category::kSweep,
+                                    static_cast<std::uint64_t>(sweep),
+                                    sink != nullptr ? &sink->sweep_ns : nullptr);
     const auto audit_sweep = [&] {
       if (audit_allocs && sweep >= 1)
         JMH_ALLOC_ASSERT_ZERO(sweep_guard,
@@ -112,7 +128,7 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
     ordering.sweep_transitions_into(sweep, transitions);
     for (const ord::PhaseInfo& phase : ordering.phases())
       stats += transport.run_phase(
-          {phase, transitions, sweep, steps_per_sweep, opts.threshold, act});
+          {phase, transitions, sweep, steps_per_sweep, opts.threshold, act, sink});
 
     if (topk > 0) {
       std::fill(vote.begin(), vote.end(), 0.0);
@@ -124,7 +140,11 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
       vote[2 * m] = static_cast<double>(stats.rotations);
       vote[2 * m + 1] = stats.off2;
       if (cancellable) vote[2 * m + 2] = cancel_flag();
-      transport.allreduce_sum(std::span<double>(vote));
+      {
+        const obs::SpanScope comm_span("allreduce.vote", obs::Category::kComm,
+                                       static_cast<std::uint64_t>(sweep), comm_acc);
+        transport.allreduce_sum(std::span<double>(vote));
+      }
       total_rotations += vote[2 * m];
 
       // Rank columns by global norm descending, index ascending -- the same
@@ -163,7 +183,11 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
     // third slot exists only for cancellable runs (span width 2 otherwise).
     std::array<double, 3> global = {static_cast<double>(stats.rotations), stats.off2,
                                     cancellable ? cancel_flag() : 0.0};
-    transport.allreduce_sum(std::span<double>(global).first(cancellable ? 3 : 2));
+    {
+      const obs::SpanScope comm_span("allreduce.vote", obs::Category::kComm,
+                                     static_cast<std::uint64_t>(sweep), comm_acc);
+      transport.allreduce_sum(std::span<double>(global).first(cancellable ? 3 : 2));
+    }
     total_rotations += global[0];
     if (opts.stop_rule == StopRule::NoRotations) {
       if (global[0] == 0.0) {

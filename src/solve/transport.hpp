@@ -31,6 +31,7 @@
 #include "common/cancel.hpp"
 #include "common/function_ref.hpp"
 #include "la/onesided_jacobi.hpp"
+#include "obs/phase_timing.hpp"
 #include "ord/ordering.hpp"
 #include "solve/jacobi_node.hpp"
 
@@ -130,6 +131,13 @@ struct SolveOptions {
   /// Deterministic fault injection; inert unless faults.enabled(). Backends
   /// honor it by wrapping their transport in a FaultInjectingTransport.
   FaultPlan faults;
+
+  /// Phase-timing accumulator, or null (the default: no attribution, no
+  /// clock reads on the sweep path). api::SolvePlan::solve attaches a
+  /// stack-local sink for trace=1 solves; the engine and transports add
+  /// their sweep/comm/assembly durations into it from every endpoint.
+  /// Observation only -- never consulted for control flow.
+  obs::SolveTimingSink* timing = nullptr;
 };
 
 /// Global index of the transition at (sweep, step). Message transports
@@ -155,6 +163,9 @@ struct PhaseContext {
   /// them -- the flags are summed in the convergence vote, so attribution
   /// only has to be exact, not local.
   std::uint8_t* activity = nullptr;
+  /// SolveOptions::timing, passed through so transports can attribute
+  /// exchange time to comm_ns (null = untimed).
+  obs::SolveTimingSink* timing = nullptr;
 };
 
 class Transport {

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace jmh::svc {
 
@@ -115,7 +116,19 @@ std::string Metrics::summary() const {
 SolverService::SolverService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_capacity),
-      queue_(config.queue_capacity) {
+      queue_(config.queue_capacity),
+      obs_submitted_(obs::Registry::global().counter("svc.jobs_submitted")),
+      obs_done_(obs::Registry::global().counter("svc.jobs_done")),
+      obs_failed_(obs::Registry::global().counter("svc.jobs_failed")),
+      obs_deadline_(obs::Registry::global().counter("svc.jobs_deadline")),
+      obs_cancelled_(obs::Registry::global().counter("svc.jobs_cancelled")),
+      obs_corrupt_(obs::Registry::global().counter("svc.jobs_corrupt")),
+      obs_invalid_(obs::Registry::global().counter("svc.jobs_invalid")),
+      obs_shed_(obs::Registry::global().counter("svc.jobs_shed")),
+      obs_retries_(obs::Registry::global().counter("svc.retries")),
+      obs_chaos_stalls_(obs::Registry::global().counter("svc.chaos_stalls")),
+      obs_chaos_storms_(obs::Registry::global().counter("svc.chaos_storms")),
+      obs_latency_ns_(obs::Registry::global().histogram("svc.latency_ns")) {
   config_.workers = pick_workers(config.workers);
   config_.max_coalesce = std::max<std::size_t>(1, config_.max_coalesce);
   if (config_.pool_threads > 0 && exec::ThreadPool::enabled())
@@ -139,10 +152,10 @@ std::future<api::SolveReport> SolverService::submit(std::string spec_text, la::M
         std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.deadline_ms);
   }
   std::future<api::SolveReport> future = job.result.get_future();
-  {
-    std::lock_guard lock(state_mu_);
-    ++submitted_;
-  }
+  // No lock: a submitted_ increment only makes the drain predicate HARDER,
+  // so it cannot be the update a sleeping drain() missed.
+  submitted_.fetch_add(1);
+  obs_submitted_.add(1);
   // Garbage in is rejected at the door, not after a full solve churned on
   // it: NaN/Inf anywhere in the input can never produce a meaningful
   // spectrum (every quantity funnels through sums that NaN poisons).
@@ -169,23 +182,23 @@ std::optional<std::future<api::SolveReport>> SolverService::try_submit(std::stri
         std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.deadline_ms);
   }
   std::future<api::SolveReport> future = job.result.get_future();
-  {
-    std::lock_guard lock(state_mu_);
-    ++submitted_;
-  }
+  submitted_.fetch_add(1);
   if (!all_finite(job.matrix)) {
+    obs_submitted_.add(1);
     fail_job(job, api::SolveStatus::InvalidInput, "input matrix has non-finite entries");
     return future;
   }
   if (!queue_.try_push(job)) {
-    {
-      std::lock_guard lock(state_mu_);
-      --submitted_;  // shed before admission: not part of the drain set
-      ++shed_;
-    }
+    shed_.fetch_add(1);
+    obs_shed_.add(1);
+    submitted_.fetch_sub(1);  // shed before admission: not part of the drain set
+    // The decrement can SATISFY drain()'s predicate, so pair it with the
+    // empty-lock handshake (see state_mu_ doc) before notifying.
+    { std::lock_guard lock(state_mu_); }
     idle_cv_.notify_all();  // the drain predicate just got easier to meet
     return std::nullopt;
   }
+  obs_submitted_.add(1);  // mirror counts only jobs that entered the drain set
   return future;
 }
 
@@ -215,9 +228,11 @@ void SolverService::shutdown_now() {
 }
 
 void SolverService::record_done(double latency_s) {
+  done_.fetch_add(1);
+  obs_done_.add(1);
+  obs_latency_ns_.observe(static_cast<std::uint64_t>(latency_s * 1e9));
   {
     std::lock_guard lock(state_mu_);
-    ++done_;
     latency_stats_.add(latency_s);
     // Quantiles come from a bounded ring of recent completions, so a
     // long-running service neither grows without bound nor sorts its whole
@@ -233,19 +248,38 @@ void SolverService::record_done(double latency_s) {
 }
 
 void SolverService::record_failed(api::SolveStatus status) {
-  {
-    std::lock_guard lock(state_mu_);
-    ++failed_;
-    switch (status) {
-      case api::SolveStatus::DeadlineExceeded: ++deadline_; break;
-      case api::SolveStatus::Cancelled: ++cancelled_; break;
-      case api::SolveStatus::TransportCorrupt: ++corrupt_; break;
-      case api::SolveStatus::InvalidInput: ++invalid_; break;
-      case api::SolveStatus::Shed: ++shed_; break;
-      case api::SolveStatus::Ok:
-      case api::SolveStatus::Internal: break;
-    }
+  // failed_ BEFORE the taxonomy bucket -- metrics() reads the buckets
+  // first, so sum(buckets) <= failed_ holds in every snapshot.
+  failed_.fetch_add(1);
+  obs_failed_.add(1);
+  switch (status) {
+    case api::SolveStatus::DeadlineExceeded:
+      deadline_.fetch_add(1);
+      obs_deadline_.add(1);
+      break;
+    case api::SolveStatus::Cancelled:
+      cancelled_.fetch_add(1);
+      obs_cancelled_.add(1);
+      break;
+    case api::SolveStatus::TransportCorrupt:
+      corrupt_.fetch_add(1);
+      obs_corrupt_.add(1);
+      break;
+    case api::SolveStatus::InvalidInput:
+      invalid_.fetch_add(1);
+      obs_invalid_.add(1);
+      break;
+    case api::SolveStatus::Shed:
+      shed_.fetch_add(1);
+      obs_shed_.add(1);
+      break;
+    case api::SolveStatus::Ok:
+    case api::SolveStatus::Internal: break;
   }
+  // Empty-lock handshake: drain() checks its predicate under state_mu_, so
+  // acquiring-and-releasing it here orders this increment before the notify
+  // reaches any sleeper (no lost wakeup).
+  { std::lock_guard lock(state_mu_); }
   idle_cv_.notify_all();
 }
 
@@ -295,10 +329,7 @@ void SolverService::worker_loop(std::size_t index) {
       }
       continue;
     }
-    if (group.size() > 1) {
-      std::lock_guard lock(state_mu_);
-      ++batches_;
-    }
+    if (group.size() > 1) batches_.fetch_add(1);
     solve_group(group, *plan, chaos_index_.fetch_add(group.size(), std::memory_order_relaxed));
   }
 }
@@ -308,10 +339,28 @@ void SolverService::solve_group(std::vector<Job>& group, const api::SolvePlan& p
   // The coalesced run executes as a sequential batch on this worker --
   // the pool provides the parallelism; per-matrix numerics are exactly
   // plan.solve, so results are bit-identical to direct calls.
+  //
+  // trace=1 specs arm the recorder for the whole group so the serving-plane
+  // spans below (queue wait, coalescing, the solve envelope, retries) land
+  // next to the solve's own sweep/comm spans; trace=0 leaves everything at
+  // one relaxed load per gate.
+  const obs::ArmScope arm(plan.spec().trace);
+  if (obs::trace_armed() && group.size() > 1)
+    obs::trace_record("svc.coalesce", obs::Category::kSvc, obs::trace_now_ns(), 0,
+                      group.size());
   const ChaosConfig& chaos = config_.chaos;
   for (std::size_t i = 0; i < group.size(); ++i) {
     Job& job = group[i];
     const std::uint64_t chaos_idx = first_chaos_index + i;
+    // Queue wait ends here, as solving starts; the span's start is the
+    // admission timestamp, so traces show the job's full queue residency.
+    const auto solve_start = std::chrono::steady_clock::now();
+    const std::uint64_t queue_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(solve_start - job.enqueued_at)
+            .count());
+    if (obs::trace_armed())
+      obs::trace_record("svc.queue_wait", obs::Category::kQueue,
+                        obs::trace_time_ns(job.enqueued_at), queue_ns, chaos_idx);
     // The token stays INERT unless something can actually fire it: an armed
     // token widens every convergence vote by a flag slot, and plain service
     // jobs must stay bit-identical to direct plan.solve calls (comm
@@ -321,17 +370,13 @@ void SolverService::solve_group(std::vector<Job>& group, const api::SolvePlan& p
     if (job.has_deadline) token = run_token_.with_deadline(job.deadline);
     if (chaos.seed != 0) {
       if (chaos_uniform(chaos.seed, kStallSalt, chaos_idx) < chaos.stall_rate) {
-        {
-          std::lock_guard lock(state_mu_);
-          ++chaos_stalls_;
-        }
+        chaos_stalls_.fetch_add(1);
+        obs_chaos_stalls_.add(1);
         std::this_thread::sleep_for(std::chrono::milliseconds(chaos.stall_ms));
       }
       if (chaos_uniform(chaos.seed, kStormSalt, chaos_idx) < chaos.storm_rate) {
-        {
-          std::lock_guard lock(state_mu_);
-          ++chaos_storms_;
-        }
+        chaos_storms_.fetch_add(1);
+        obs_chaos_storms_.add(1);
         token = (token.armed() ? token : run_token_)
                     .with_timeout(std::chrono::milliseconds(chaos.storm_deadline_ms));
       }
@@ -341,8 +386,15 @@ void SolverService::solve_group(std::vector<Job>& group, const api::SolvePlan& p
     // not deterministically re-hit.
     for (std::uint64_t attempt = 0;; ++attempt) {
       try {
-        api::SolveReport report =
-            plan.solve(job.matrix, {.cancel = token, .fault_attempt = attempt});
+        api::SolveReport report = [&] {
+          // The serving-plane envelope around one attempt (arg = attempt):
+          // the gap between svc.solve and the sweep spans inside it is
+          // plan-cache + dispatch overhead, visible at a glance in a trace.
+          const obs::SpanScope solve_span("svc.solve", obs::Category::kSvc, attempt);
+          return plan.solve(job.matrix, {.cancel = token, .fault_attempt = attempt});
+        }();
+        report.timings.queue_ns = queue_ns;
+        report.timings.retries = attempt;
         const double latency_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - job.enqueued_at)
                 .count();
@@ -351,10 +403,11 @@ void SolverService::solve_group(std::vector<Job>& group, const api::SolvePlan& p
         break;
       } catch (const api::SolveError& e) {
         if (e.retryable() && attempt < config_.max_retries) {
-          {
-            std::lock_guard lock(state_mu_);
-            ++retries_;
-          }
+          retries_.fetch_add(1);
+          obs_retries_.add(1);
+          if (obs::trace_armed())
+            obs::trace_record("svc.retry", obs::Category::kSvc, obs::trace_now_ns(), 0,
+                              attempt + 1);
           std::this_thread::sleep_for(
               std::chrono::milliseconds(config_.retry_backoff_ms << attempt));
           continue;
@@ -383,21 +436,25 @@ void SolverService::solve_group(std::vector<Job>& group, const api::SolvePlan& p
 
 Metrics SolverService::metrics() const {
   Metrics m;
+  // Read order carries the snapshot invariants (see the Metrics doc):
+  // taxonomy buckets first (each bumped AFTER failed_, so buckets here can
+  // only undercount failed_), then failed_, then done_, then submitted_
+  // last (bumped BEFORE any completion, so it can only overcount them).
+  m.jobs_deadline = deadline_;
+  m.jobs_cancelled = cancelled_;
+  m.jobs_corrupt = corrupt_;
+  m.jobs_invalid = invalid_;
+  m.jobs_shed = shed_;
+  m.retries = retries_;
+  m.chaos_stalls = chaos_stalls_;
+  m.chaos_storms = chaos_storms_;
+  m.batches = batches_;
+  m.jobs_failed = failed_;
+  m.jobs_done = done_;
+  m.jobs_submitted = submitted_;
   std::vector<double> window;
   {
     std::lock_guard lock(state_mu_);
-    m.jobs_submitted = submitted_;
-    m.jobs_done = done_;
-    m.jobs_failed = failed_;
-    m.batches = batches_;
-    m.jobs_deadline = deadline_;
-    m.jobs_cancelled = cancelled_;
-    m.jobs_corrupt = corrupt_;
-    m.jobs_invalid = invalid_;
-    m.jobs_shed = shed_;
-    m.retries = retries_;
-    m.chaos_stalls = chaos_stalls_;
-    m.chaos_storms = chaos_storms_;
     m.latency_count = latency_stats_.count();
     m.latency_mean_s = latency_stats_.count() > 0 ? latency_stats_.mean() : 0.0;
     m.latency_max_s = latency_stats_.count() > 0 ? latency_stats_.max() : 0.0;

@@ -46,6 +46,7 @@
 
 #include "common/cancel.hpp"
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/plan_cache.hpp"
 
@@ -89,6 +90,17 @@ struct ServiceConfig {
 /// quantiles are computed over a bounded window of recent completions
 /// (the last SolverService::kLatencyWindow jobs), so a long-running
 /// service neither grows without bound nor stalls on snapshot.
+///
+/// Snapshot consistency: the counters are lock-free atomics, so a snapshot
+/// taken mid-traffic is not a single instant -- but the WRITE order (failed
+/// before its taxonomy bucket; submitted before any completion) and the
+/// READ order (taxonomy, then failed, then done, then submitted) are fixed
+/// so that every snapshot satisfies
+///   jobs_deadline + jobs_cancelled + jobs_corrupt + jobs_invalid <= jobs_failed
+///   jobs_done + jobs_failed <= jobs_submitted
+/// (jobs_shed also counts try_submit rejections, which never enter the
+/// failed set, so it stays outside the first inequality). Machine-checked
+/// under TSan by tests/test_svc_metrics_snapshot.cpp.
 struct Metrics {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_done = 0;     ///< fulfilled with a report
@@ -214,24 +226,48 @@ class SolverService {
   std::atomic<bool> killed_{false};       ///< shutdown_now: fail, don't solve
   std::atomic<std::uint64_t> chaos_index_{0};  ///< per-job chaos draw counter
 
+  /// Guards the latency structures, stopped_, and the idle_cv_ handshake
+  /// (counter writers take-and-release it empty before notifying, so
+  /// drain()'s predicate check and its sleep cannot race an increment).
   mutable std::mutex state_mu_;
   std::condition_variable idle_cv_;  ///< signaled when done + failed catches up
-  std::uint64_t submitted_ = 0;
-  std::uint64_t done_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t deadline_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t corrupt_ = 0;
-  std::uint64_t invalid_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t chaos_stalls_ = 0;
-  std::uint64_t chaos_storms_ = 0;
+  // Lifecycle counters: lock-free (default seq_cst) so metrics() never
+  // contends with dispatch. Consistency is by ORDER, not by lock -- writers
+  // bump failed_ BEFORE the taxonomy bucket and submitted_ before any
+  // completion; metrics() reads taxonomy -> failed_ -> done_ -> submitted_
+  // (see the Metrics doc for the invariants this yields).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> deadline_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> chaos_stalls_{0};
+  std::atomic<std::uint64_t> chaos_storms_{0};
   RunningStats latency_stats_;          ///< exact count/mean/max, O(1) memory
   std::vector<double> latency_window_;  ///< ring of recent latencies (quantiles)
   std::size_t latency_next_ = 0;        ///< ring write position once full
   bool stopped_ = false;
+
+  /// Process-wide obs::Registry mirrors, aggregated over every service
+  /// instance in the process (the per-instance truth stays in the atomics
+  /// above). References are safe: registry entries are never destroyed.
+  obs::Counter& obs_submitted_;
+  obs::Counter& obs_done_;
+  obs::Counter& obs_failed_;
+  obs::Counter& obs_deadline_;
+  obs::Counter& obs_cancelled_;
+  obs::Counter& obs_corrupt_;
+  obs::Counter& obs_invalid_;
+  obs::Counter& obs_shed_;
+  obs::Counter& obs_retries_;
+  obs::Counter& obs_chaos_stalls_;
+  obs::Counter& obs_chaos_storms_;
+  obs::Histogram& obs_latency_ns_;
 };
 
 /// Solves @p as[i] with @p plan using up to @p workers concurrent

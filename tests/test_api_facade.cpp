@@ -272,6 +272,7 @@ TEST(SolverSpec, FuzzedValidSpecsRoundTripExactly) {
       spec.topk = static_cast<int>(1 + rng.below(spec.m));
     if (rng.below(2)) spec.threads = 1 + rng.below(8);
     if (rng.below(2)) spec.deadline_ms = 1 + rng.below(60000);
+    spec.trace = rng.below(2) != 0;
     if (rng.below(3) == 0) {
       spec.faults.seed = 1 + rng.below(1u << 30);
       spec.faults.corrupt_rate = rng.uniform(0.0, 1.0);
@@ -555,7 +556,17 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
       "sweeps",        "rotations",     "spectrum_min",  "spectrum_max",
       "comm_messages", "comm_elements", "comm_barriers", "has_model",
       "modeled_time",  "vote_time",     "modeled_sweeps", "mean_link_utilization",
-      "status"};
+      "plan_ns",       "queue_ns",      "sweep_ns",      "comm_ns",
+      "assembly_ns",   "retries",       "status"};
+  {
+    // spec_version leads every report (consumers dispatch on it before
+    // reading anything else) and must echo the current grammar version.
+    ASSERT_FALSE(keys.empty());
+    EXPECT_EQ(keys.front(), "spec_version");
+    EXPECT_EQ(json.rfind("{\"spec_version\":" + std::to_string(kSpecVersion) + ",", 0), 0u)
+        << json.substr(0, 40);
+    keys.erase(keys.begin());
+  }
   EXPECT_EQ(keys, expected);
 
   // One line, no whitespace, and the scenario echo is right.
@@ -590,6 +601,9 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
       svd_keys.push_back(svd_json.substr(pos + 1, end - pos - 1));
     pos = end + 1;
   }
+  ASSERT_FALSE(svd_keys.empty());
+  EXPECT_EQ(svd_keys.front(), "spec_version");
+  svd_keys.erase(svd_keys.begin());
   EXPECT_EQ(svd_keys, expected);
   EXPECT_NE(svd_json.find("\"task\":\"svd\""), std::string::npos);
   EXPECT_NE(svd_json.find("\"m\":16"), std::string::npos);

@@ -1,0 +1,129 @@
+// obs::Registry: counter/histogram identity and arithmetic, the log-linear
+// quantile bounds, RAII gauge lifetime, both expositions, and counter
+// exactness under concurrent hammering.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace jmh::obs {
+namespace {
+
+TEST(Registry, NamedCountersAreSharedAndStable) {
+  Registry reg;
+  Counter& a = reg.counter("jobs");
+  Counter& b = reg.counter("jobs");
+  EXPECT_EQ(&a, &b) << "same name must resolve to one counter";
+  EXPECT_EQ(a.value(), 0u);
+  a.add();
+  a.add(41);
+  EXPECT_EQ(b.value(), 42u);
+  EXPECT_NE(&a, &reg.counter("other_jobs"));
+}
+
+TEST(Registry, HistogramBucketsByBitWidth) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_upper(0.5), 0u) << "empty histogram quantile is 0";
+
+  h.observe(0);    // bucket 0: exact zeros
+  h.observe(1);    // bucket 1: [1, 2)
+  h.observe(5);    // bucket 3: [4, 8)
+  h.observe(100);  // bucket 7: [64, 128)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+
+  // quantile_upper answers the inclusive power-of-two upper bound of the
+  // bucket the q-th sample falls in (samples ordered by bucket).
+  EXPECT_EQ(h.quantile_upper(0.0), 0u);    // rank 0: the exact zero
+  EXPECT_EQ(h.quantile_upper(0.5), 1u);    // rank 1: bucket [1,2) -> 1
+  EXPECT_EQ(h.quantile_upper(0.9), 7u);    // rank 2 of 0..3: bucket [4,8) -> 7
+  EXPECT_EQ(h.quantile_upper(1.0), 127u);  // rank 3: bucket [64,128) -> 127
+}
+
+TEST(Registry, GaugeHandleUnregistersOnDestruction) {
+  Registry reg;
+  double depth = 3.5;
+  {
+    const GaugeHandle handle = reg.register_gauge("queue_depth", [&depth] { return depth; });
+    const std::string text = reg.render_text();
+    EXPECT_NE(text.find("queue_depth 3.5"), std::string::npos) << text;
+  }
+  EXPECT_EQ(reg.render_text().find("queue_depth"), std::string::npos)
+      << "destroyed handle must remove the gauge";
+}
+
+TEST(Registry, RenderTextIsSortedOneMetricPerLine) {
+  Registry reg;
+  reg.counter("b_second").add(2);
+  reg.counter("a_first").add(1);
+  reg.histogram("lat").observe(10);
+  const std::string text = reg.render_text();
+  const std::size_t a = text.find("a_first 1");
+  const std::size_t b = text.find("b_second 2");
+  ASSERT_NE(a, std::string::npos) << text;
+  ASSERT_NE(b, std::string::npos) << text;
+  EXPECT_LT(a, b) << "metrics must render sorted by name";
+  EXPECT_NE(text.find("lat.count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat.sum 10"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat.p50 "), std::string::npos) << text;
+}
+
+TEST(Registry, RenderJsonHasAllThreeSections) {
+  Registry reg;
+  reg.counter("done").add(7);
+  reg.histogram("lat").observe(100);
+  double busy = 0.25;
+  const GaugeHandle handle = reg.register_gauge("busy", [&busy] { return busy; });
+  const std::string json = reg.render_json();
+  EXPECT_EQ(json.rfind("{\"counters\":{", 0), 0u) << json;
+  EXPECT_NE(json.find("\"done\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"busy\":0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+// The add() contract is a relaxed fetch_add: concurrent increments must
+// never be lost. Also hammers create-on-first-use from several threads.
+TEST(Registry, ConcurrentCountingIsExact) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("hammer");  // racing first-use lookups
+      Histogram& h = reg.histogram("hammer_lat");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(i);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hammer").value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.histogram("hammer_lat").count(), kThreads * kPerThread);
+}
+
+TEST(Registry, GlobalIsOneInstance) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+  // The process-wide registry is shared state: poke a test-scoped name and
+  // verify identity, leave everything else alone.
+  Counter& c = Registry::global().counter("test.obs_registry.probe");
+  c.add();
+  EXPECT_GE(Registry::global().counter("test.obs_registry.probe").value(), 1u);
+}
+
+}  // namespace
+}  // namespace jmh::obs

@@ -58,7 +58,12 @@ TEST_P(SimCostParityTest, UnpipelinedSweepMatchesCostModel) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, SimCostParityTest, ::testing::Values(2, 3),
                          [](const ::testing::TestParamInfo<int>& pinfo) {
-                           return "d" + std::to_string(pinfo.param);
+                           // Built by append, not operator+(const char*,
+                           // string&&): the latter trips a gcc 12 -Wrestrict
+                           // false positive once inlined.
+                           std::string name = "d";
+                           name += std::to_string(pinfo.param);
+                           return name;
                          });
 
 TEST(SimTransport, PipelinedChargingMatchesPhaseCostModel) {

@@ -47,7 +47,7 @@ DEFAULT_FILTER = (
     r"BM_BlockSerializeInto|BM_BlockSerializeRoundtrip|BM_SequentialCyclicSolve|"
     r"BM_PlanConstruction|BM_PlanReuseSolve|BM_PerSolveReconstruction|"
     r"BM_SpecRoundTrip|BM_ServiceThroughput|BM_ServiceOversub|BM_SvdSolve|"
-    r"BM_TopkSolve|BM_SweepCancelCheck)(/|$)"
+    r"BM_TopkSolve|BM_SweepCancelCheck|BM_TraceSpan|BM_SolveTraced)(/|$)"
 )
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -84,7 +84,7 @@ def merge_baselines(paths):
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("files", nargs="+",
+    ap.add_argument("files", nargs="*",
                     help="'BASELINE FRESH' (original form) or just 'FRESH' with --baseline")
     ap.add_argument("--baseline", action="append", default=[],
                     help="committed baseline JSON; repeat to gate several files at once")
@@ -95,7 +95,33 @@ def main():
     ap.add_argument("--allow-missing", action="store_true",
                     help="tolerate gated baseline cases absent from the fresh run "
                          "(for deliberately filtered bench invocations)")
+    ap.add_argument("--list", action="store_true",
+                    help="list the baseline cases (with gate markers) instead of "
+                         "comparing; the matching bench_micro --benchmark_filter "
+                         "regex for gated-only reruns is printed last")
     args = ap.parse_args()
+
+    if args.list:
+        # Inventory mode: what would one comparison run gate? Takes the same
+        # baseline arguments as a comparison (--baseline and/or positional).
+        paths = args.baseline + args.files
+        if not paths:
+            ap.error("--list needs at least one baseline JSON")
+        base = merge_baselines(paths)
+        gate = re.compile(args.filter)
+        if not base:
+            print("bench_compare: baseline(s) contain no cases", file=sys.stderr)
+            return 2
+        width = max(len(n) for n in base)
+        print(f"{'case':<{width}}  {'baseline':>12}  gated")
+        for name in sorted(base):
+            print(f"{name:<{width}}  {base[name]:>10.0f}ns  {'*' if gate.search(name) else ''}")
+        gated_names = sorted({n.split("/")[0] for n in base if gate.search(n)})
+        print(f"\n{sum(1 for n in base if gate.search(n))} of {len(base)} cases gated")
+        if gated_names:
+            print("rerun gated cases with: --benchmark_filter='^("
+                  + "|".join(gated_names) + ")(/|$)'")
+        return 0
 
     if args.baseline:
         if len(args.files) != 1:
