@@ -414,6 +414,41 @@ void BM_SvdSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SvdSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 
+// --- the task-adapter workloads ----------------------------------------------
+// task=pca and wide task=svd through reused plans on the inline backend:
+// pca adds the prepare (column centering) and assemble (variance ratios)
+// adapter stages on top of the svd core; wide svd measures the transpose
+// trick (core solves the n x n/2 transpose, assemble swaps U/V). Gated
+// against BENCH_tasks.json.
+
+void BM_PcaSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = n + n / 2;
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform(rows, n, rng);
+  const auto spec = jmh::api::SolverSpec::parse(
+      "task=pca,backend=inline,ordering=d4,m=" + std::to_string(n) +
+      ",rows=" + std::to_string(rows) + ",d=2,stop=offdiag_abs");
+  const jmh::api::SolvePlan plan = jmh::api::Solver::plan(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.solve(a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcaSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_WideSvdSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = n / 2;
+  jmh::Xoshiro256 rng(7);
+  const jmh::la::Matrix a = jmh::la::random_uniform(rows, n, rng);
+  const auto spec = jmh::api::SolverSpec::parse(
+      "task=svd,backend=inline,ordering=d4,m=" + std::to_string(n) +
+      ",rows=" + std::to_string(rows) + ",d=2");
+  const jmh::api::SolvePlan plan = jmh::api::Solver::plan(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(plan.solve(a));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WideSvdSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
 void BM_SequentialCyclicSolve(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   jmh::Xoshiro256 rng(7);

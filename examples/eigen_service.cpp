@@ -189,9 +189,11 @@ int main(int argc, char** argv) {
     } catch (const std::exception&) {
     }
     Xoshiro256 rng(item.seed);
-    la::Matrix a = parsed.task == api::Task::Svd
-                       ? la::random_uniform(parsed.input_rows(), parsed.m, rng)
-                       : la::random_uniform_symmetric(parsed.m, rng);
+    // svd/pca take a general rows x m data matrix (wide when rows < m);
+    // evd/gevd take a symmetric m x m (gevd's B-side comes from bseed).
+    const bool rect = parsed.task == api::Task::Svd || parsed.task == api::Task::Pca;
+    la::Matrix a = rect ? la::random_uniform(parsed.input_rows(), parsed.m, rng)
+                        : la::random_uniform_symmetric(parsed.m, rng);
     const svc::SubmitOptions sopts{.deadline_ms = deadline_ms};
     if (shed) {
       auto f = service.try_submit(item.spec, std::move(a), sopts);

@@ -5,13 +5,17 @@
 //   $ ./eigensolver_cli [--spec "key=value,..."] [--seed N] [--check] [--json]
 //
 //     --spec   scenario, e.g. "backend=sim,ordering=minalpha,m=64,d=3,
-//              pipeline=auto" or "task=svd,m=32,rows=48,d=2" (default
+//              pipeline=auto", "task=svd,m=32,rows=48,d=2",
+//              "task=pca,m=16,rows=8,d=1,stop=offdiag_abs" or
+//              "task=gevd,bseed=7,m=32,d=2" (default
 //              "backend=mpi,ordering=d4,m=32,d=3"; see api/spec.hpp for the
 //              full grammar)
 //     --seed   RNG seed for the random test matrix: symmetric m x m for
-//              task=evd, general rows x m for task=svd (default 42)
-//     --check  cross-check eigenpairs (or singular triplets) against the
-//              sequential reference
+//              task=evd|gevd, general rows x m for task=svd|pca (default
+//              42; task=gevd's SPD B-side comes from the spec's bseed key,
+//              not from --seed)
+//     --check  cross-check the solution against the sequential reference
+//              (all four tasks: evd/gevd eigenvalues, svd/pca spectra)
 //     --json   print the one-line api::report_to_json rendering instead of
 //              the human report (stable field set; for scripts and the
 //              service workload driver's tooling)
@@ -29,7 +33,9 @@
 #include <vector>
 
 #include "api/solver.hpp"
+#include "api/task_adapter.hpp"
 #include "la/eigen_check.hpp"
+#include "la/pca.hpp"
 #include "la/svd.hpp"
 #include "la/sym_gen.hpp"
 
@@ -66,10 +72,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const bool svd = spec.task == api::Task::Svd;
+  // task=svd and task=pca share the SVD-shaped solution (sigma + U + V) and
+  // take a general rows x m data matrix; evd and gevd take a symmetric m x m.
+  const bool svd = spec.task == api::Task::Svd || spec.task == api::Task::Pca;
   Xoshiro256 rng(seed);
   const la::Matrix a = svd ? la::random_uniform(spec.input_rows(), spec.m, rng)
                            : la::random_uniform_symmetric(spec.m, rng);
+  // task=gevd's B-side is named by the spec itself (bseed), so the CLI, the
+  // solver, and the reference all reconstruct the identical SPD matrix.
+  const la::Matrix b = spec.task == api::Task::Gevd ? api::gevd_b_matrix(spec) : la::Matrix();
 
   if (!json) std::printf("spec    : %s\n", spec.to_string().c_str());
 
@@ -104,12 +115,61 @@ int main(int argc, char** argv) {
     std::printf("walltime : %.3fs\n", t_solve);
   }
 
-  // task=svd stores V in the eigenvectors slot (see api/report.hpp).
-  const double residual = svd ? la::svd_residual(a, r.singular_values, r.u, r.eigenvectors)
-                              : la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors);
-  const double orth = la::orthogonality_defect(r.eigenvectors);
+  // task=svd/pca store V in the eigenvectors slot (see api/report.hpp);
+  // task=pca factors the column-CENTERED data; task=gevd pairs satisfy
+  // A x = lambda B x with B-orthonormal (not orthonormal) vectors.
+  const double residual = [&] {
+    if (spec.task == api::Task::Pca) {
+      la::Matrix centered = a;
+      la::center_columns(centered);
+      return la::svd_residual(centered, r.singular_values, r.u, r.eigenvectors);
+    }
+    if (spec.task == api::Task::Svd)
+      return la::svd_residual(a, r.singular_values, r.u, r.eigenvectors);
+    if (spec.task == api::Task::Gevd) {
+      // max_k ||A x_k - lambda_k B x_k||_2 / ||A||_F
+      const double scale = std::max(la::frobenius(a), 1e-300);
+      double worst = 0.0;
+      for (std::size_t k = 0; k < r.eigenvalues.size(); ++k) {
+        const auto xk = r.eigenvectors.col(k);
+        double norm2 = 0.0;
+        for (std::size_t row = 0; row < spec.m; ++row) {
+          double ax = 0.0, bx = 0.0;
+          for (std::size_t col = 0; col < spec.m; ++col) {
+            ax += a(row, col) * xk[col];
+            bx += b(row, col) * xk[col];
+          }
+          const double diff = ax - r.eigenvalues[k] * bx;
+          norm2 += diff * diff;
+        }
+        worst = std::max(worst, std::sqrt(norm2) / scale);
+      }
+      return worst;
+    }
+    return la::eigenpair_residual(a, r.eigenvalues, r.eigenvectors);
+  }();
+  // task=gevd vectors are B-orthonormal, so the defect is measured in the
+  // B inner product: max |x_i^T B x_j - delta_ij|.
+  const double orth = [&] {
+    if (spec.task != api::Task::Gevd) return la::orthogonality_defect(r.eigenvectors);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < r.eigenvectors.cols(); ++i) {
+      for (std::size_t j = i; j < r.eigenvectors.cols(); ++j) {
+        double gram = 0.0;
+        for (std::size_t row = 0; row < spec.m; ++row) {
+          double bx = 0.0;
+          for (std::size_t col = 0; col < spec.m; ++col)
+            bx += b(row, col) * r.eigenvectors(col, j);
+          gram += r.eigenvectors(row, i) * bx;
+        }
+        worst = std::max(worst, std::abs(gram - (i == j ? 1.0 : 0.0)));
+      }
+    }
+    return worst;
+  }();
   if (!json)
-    std::printf("residual : %.2e   orthogonality defect: %.2e\n", residual, orth);
+    std::printf("residual : %.2e   %s defect: %.2e\n", residual,
+                spec.task == api::Task::Gevd ? "B-orthonormality" : "orthogonality", orth);
 
   bool ok = r.converged && residual < 1e-8;
   if (check) {
@@ -124,11 +184,22 @@ int main(int argc, char** argv) {
       return v;
     };
     if (svd) {
-      const la::SvdResult ref = la::onesided_jacobi_svd_cyclic(a);
+      // _any handles wide (rows < m) inputs by the same transpose trick
+      // the facade applies; pca factors the column-centered data.
+      la::Matrix data = a;
+      if (spec.task == api::Task::Pca) la::center_columns(data);
+      const la::SvdResult ref = la::onesided_jacobi_svd_any(data);
       ref_sweeps = ref.sweeps;
       std::vector<double> ref_vals = ref.singular_values;  // descending
       if (r.topk > 0) ref_vals.resize(r.singular_values.size());
       gap = la::spectrum_distance(ascending(r.singular_values), ascending(ref_vals));
+    } else if (spec.task == api::Task::Gevd) {
+      // The same Cholesky pre-whitening the adapter applies: C = L^-1 A L^-T,
+      // then the plain symmetric reference on C.
+      const la::Matrix chol_l = la::cholesky_factor(b);
+      const la::JacobiResult ref = la::onesided_jacobi_cyclic(la::whiten_symmetric(a, chol_l));
+      ref_sweeps = ref.sweeps;
+      gap = la::spectrum_distance(ascending(r.eigenvalues), ascending(ref.eigenvalues));
     } else {
       const la::JacobiResult ref = la::onesided_jacobi_cyclic(a);
       ref_sweeps = ref.sweeps;

@@ -29,19 +29,27 @@ std::string SolveReport::summary() const {
   char line[256];
   std::string out;
 
-  const bool svd = task == Task::Svd;
+  // task=svd and task=pca share the SVD-shaped solution (sigma + U + V).
+  const bool svd = task == Task::Svd || task == Task::Pca;
   const std::string pipe_str = pipelining_q == 0 ? "off" : std::to_string(pipelining_q);
   const std::string topk_str = topk > 0 ? " topk=" + std::to_string(topk) : "";
   // Problem geometry comes from the vector matrices, not the solution
-  // vector: a topk report carries only k values but V still has m rows.
+  // vector: a topk report carries only k values but V still has m rows
+  // (and wide svd/pca reports carry fewer sigmas than V rows).
   const std::size_t m_cols = eigenvectors.rows() > 0
                                  ? eigenvectors.rows()
                                  : (svd ? singular_values.size() : eigenvalues.size());
   if (svd)
     std::snprintf(line, sizeof line,
-                  "scenario : task=svd backend=%s ordering=%s m=%zu rows=%zu pipeline=%s%s\n",
+                  "scenario : task=%s backend=%s ordering=%s m=%zu rows=%zu pipeline=%s%s\n",
+                  api::to_string(task).c_str(), api::to_string(backend).c_str(),
+                  ord::spec_token(ordering).c_str(), m_cols, u.rows(), pipe_str.c_str(),
+                  topk_str.c_str());
+  else if (task == Task::Gevd)
+    std::snprintf(line, sizeof line,
+                  "scenario : task=gevd backend=%s ordering=%s m=%zu pipeline=%s%s\n",
                   api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
-                  m_cols, u.rows(), pipe_str.c_str(), topk_str.c_str());
+                  m_cols, pipe_str.c_str(), topk_str.c_str());
   else
     std::snprintf(line, sizeof line, "scenario : backend=%s ordering=%s m=%zu pipeline=%s%s\n",
                   api::to_string(backend).c_str(), ord::spec_token(ordering).c_str(),
@@ -61,6 +69,12 @@ std::string SolveReport::summary() const {
     std::snprintf(line, sizeof line, "singulars: [%.6g, %.6g]\n", singular_values.back(),
                   singular_values.front());
     out += line;
+    if (!explained_variance.empty()) {
+      std::snprintf(line, sizeof line,
+                    "variance : leading component explains %.1f%% of total\n",
+                    100.0 * explained_variance.front());
+      out += line;
+    }
   } else if (!eigenvalues.empty()) {
     // Full evd reports are ascending; topk reports are |lambda|-descending.
     // minmax covers both orderings.
@@ -129,10 +143,10 @@ std::string report_to_json(const SolveReport& report) {
     return q;
   };
 
-  // The solution vector of the report's task (evd: ascending, or
-  // |lambda|-descending when truncated; svd: descending) -- min/max are
+  // The solution vector of the report's task (evd/gevd: ascending, or
+  // |lambda|-descending when truncated; svd/pca: descending) -- min/max are
   // computed, not taken from the ends, so every ordering renders right.
-  const bool svd = report.task == Task::Svd;
+  const bool svd = report.task == Task::Svd || report.task == Task::Pca;
   const std::vector<double>& spectrum = svd ? report.singular_values : report.eigenvalues;
   // Geometry from the vector matrices: a topk report's solution vector is
   // k long, but V still has m rows (and U `rows` rows for svd).
@@ -158,6 +172,10 @@ std::string report_to_json(const SolveReport& report) {
                          }();
   field("spectrum_min", num(spec_lo));
   field("spectrum_max", num(spec_hi));
+  // The leading explained-variance ratio (task=pca; 0 elsewhere) -- the one
+  // PCA headline number, so machine consumers need no separate array field.
+  field("explained_leading",
+        num(report.explained_variance.empty() ? 0.0 : report.explained_variance.front()));
   field("comm_messages", uint(report.comm.messages));
   field("comm_elements", uint(report.comm.elements));
   field("comm_barriers", uint(report.comm.barriers));

@@ -65,15 +65,19 @@ struct SolveReport {
   int topk = 0;
 
   // -- solution (every backend) ----------------------------------------------
-  // task=evd fills eigenvalues + eigenvectors; task=svd fills
-  // singular_values + u and stores the right singular vectors V in
-  // `eigenvectors` (both tasks accumulate the same rotation matrix -- for
-  // the eigenproblem its columns are the eigenvectors, for the SVD they are
-  // V). The unused vectors stay empty.
-  std::vector<double> eigenvalues;  ///< ascending (task=evd)
-  la::Matrix eigenvectors;          ///< evd: eigenvector k | svd: right vector v_k
-  std::vector<double> singular_values;  ///< descending (task=svd)
-  la::Matrix u;                         ///< left singular vectors (task=svd)
+  // task=evd|gevd fills eigenvalues + eigenvectors (gevd vectors are
+  // B-orthonormal); task=svd|pca fills singular_values + u and stores the
+  // right singular vectors V in `eigenvectors` (both core paths accumulate
+  // the same rotation matrix -- for the eigenproblem its columns are the
+  // eigenvectors, for the SVD they are V; for task=pca the V columns are
+  // the principal axes). The unused vectors stay empty.
+  std::vector<double> eigenvalues;  ///< ascending (task=evd|gevd)
+  la::Matrix eigenvectors;          ///< evd/gevd: eigenvector k | svd/pca: right vector v_k
+  std::vector<double> singular_values;  ///< descending (task=svd|pca)
+  la::Matrix u;                         ///< left singular vectors (task=svd|pca)
+  /// task=pca only: sigma_k^2 / sum_j sigma_j^2 per component, descending
+  /// with singular_values; empty for every other task.
+  std::vector<double> explained_variance;
   int sweeps = 0;                   ///< sweeps that performed >= 1 rotation
   bool converged = false;
   std::size_t rotations = 0;
@@ -115,13 +119,17 @@ struct SolveReport {
 /// is always present (traffic/model fields are zero outside their backend):
 ///   spec_version, task, backend, ordering, m, rows, pipeline_q, topk,
 ///   converged, sweeps, rotations, spectrum_min, spectrum_max,
-///   comm_messages, comm_elements, comm_barriers, has_model, modeled_time,
-///   vote_time, modeled_sweeps, mean_link_utilization, plan_ns, queue_ns,
-///   sweep_ns, comm_ns, assembly_ns, retries, status
+///   explained_leading, comm_messages, comm_elements, comm_barriers,
+///   has_model, modeled_time, vote_time, modeled_sweeps,
+///   mean_link_utilization, plan_ns, queue_ns, sweep_ns, comm_ns,
+///   assembly_ns, retries, status
 /// spec_version comes FIRST (api::kSpecVersion: consumers dispatch on it
 /// before reading anything else).
-/// For task=svd, m/rows are the input shape and spectrum_min/spectrum_max
-/// the extreme singular values (sigma_min, sigma_max).
+/// For task=svd|pca, m/rows are the input shape (wide inputs included:
+/// the vector matrices carry the caller's orientation after assembly) and
+/// spectrum_min/spectrum_max the extreme singular values.
+/// explained_leading is the leading component's explained-variance ratio
+/// for task=pca, 0 for every other task.
 /// Doubles print as %.17g (exact round trip); no whitespace, no newline.
 std::string report_to_json(const SolveReport& report);
 

@@ -4,9 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "api/task_adapter.hpp"
 #include "common/assert.hpp"
 #include "exec/thread_pool.hpp"
-#include "la/shift.hpp"
 #include "obs/trace.hpp"
 #include "pipe/optimizer.hpp"
 #include "solve/fault_injection.hpp"
@@ -49,7 +49,12 @@ void fill_svd_solution(SolveReport& report, solve::SvdSolveResult&& sr) {
 }  // namespace
 
 SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
-    : spec_(spec), ordering_(std::move(ordering)), layout_(spec.m, spec.d) {
+    : spec_(spec),
+      adapter_(&adapter_for(spec.task)),
+      ordering_(std::move(ordering)),
+      // The blocks partition what the CORE solves: min(rows, m) columns (a
+      // wide svd/pca input runs as its transpose).
+      layout_(adapter_->core_geometry(spec).cols, spec.d) {
   JMH_REQUIRE(ordering_.dimension() == spec_.d, "ordering dimension must match spec.d");
   JMH_REQUIRE(ordering_.kind() == spec_.ordering, "ordering kind must match spec.ordering");
   // A traced spec records plan compilation as a span; plan_ns_ itself is
@@ -77,12 +82,14 @@ SolvePlan::SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering)
       for (ord::BlockId b = 1; b < layout_.num_blocks(); ++b)
         q_max = std::min<std::uint64_t>(q_max, layout_.block_size(b));
       q_max = std::max<std::uint64_t>(1, q_max);
-      // Rows-aware payload: a tall task=svd transition moves rows + m
-      // elements per column, so the optimal q shifts with the aspect ratio.
+      // Rows-aware payload: a rectangular transition moves rows + m elements
+      // per column, so the optimal q shifts with the aspect ratio. Modeled
+      // on the CORE shape (a wide input transposes before the sweeps).
+      const CoreGeometry geo = adapter_->core_geometry(spec_);
       pipe::ProblemParams prob;
       prob.d = spec_.d;
-      prob.m = static_cast<double>(spec_.m);
-      prob.rows = static_cast<double>(spec_.rows);  // 0 = square, as in the spec
+      prob.m = static_cast<double>(geo.cols);
+      prob.rows = geo.rows == geo.cols ? 0.0 : static_cast<double>(geo.rows);
       const pipe::OptimalQ best =
           pipe::find_optimal_sweep_q(ordering_, prob, spec_.machine, q_max);
       q_ = best.q;
@@ -102,8 +109,9 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a,
   report.topk = spec_.topk;
 
   // The sweep protocol is task-agnostic (it orthogonalizes columns either
-  // way); only the assembly of the final blocks differs.
-  const bool svd = spec_.task == Task::Svd;
+  // way); only the extraction from the final blocks differs, and which of
+  // the two extractions a task consumes is the adapter's CoreKind.
+  const bool svd = adapter_->core_kind() == CoreKind::Svd;
   const auto assemble = [&](std::vector<solve::ColumnBlock> blocks,
                             const solve::EngineResult& er) {
     const obs::SpanScope span("assemble", obs::Category::kAssembly,
@@ -175,17 +183,10 @@ SolveReport SolvePlan::solve_prepared(const la::Matrix& a,
 SolveReport SolvePlan::solve(const la::Matrix& a) const { return solve(a, {}); }
 
 SolveReport SolvePlan::solve(const la::Matrix& a, const SolveOverrides& overrides) const {
-  if (spec_.task == Task::Svd) {
-    JMH_REQUIRE(a.cols() == spec_.m, "column count must match the plan's spec.m");
-    JMH_REQUIRE(a.rows() == spec_.input_rows(),
-                "row count must match the plan's spec rows (rows=, or m when unset)");
-  } else {
-    JMH_REQUIRE(a.is_square(), "eigenproblem needs a square matrix");
-    JMH_REQUIRE(a.rows() == spec_.m, "matrix order must match the plan's spec.m");
-  }
+  adapter_->check_input(spec_, a);
 
   solve::SolveOptions opts = spec_.solve_options();
-  opts.gershgorin_shift = false;  // unwrapped below
+  opts.gershgorin_shift = false;  // the evd adapter's prepare unwraps it
   opts.cancel = overrides.cancel;
   // The deadline is relative to THIS call, chained under any caller token:
   // whichever fires first decides the status.
@@ -210,15 +211,14 @@ SolveReport SolvePlan::solve(const la::Matrix& a, const SolveOverrides& override
   // the one place every backend funnels through; anything still escaping as
   // an untyped exception past this point is a bug (svc wraps it Internal).
   try {
-    if (spec_.task == Task::Svd || !spec_.gershgorin_shift) {
-      SolveReport report = solve_prepared(a, opts);
-      finalize(report);
-      return report;
-    }
-    // Solve A + sigma*I (positive semidefinite by Gershgorin), shift back.
-    const double sigma = la::gershgorin_radius(a);
-    SolveReport report = solve_prepared(la::add_diagonal_shift(a, sigma), opts);
-    for (double& ev : report.eigenvalues) ev -= sigma;
+    // The adapter sandwich: prepare -> core -> assemble. An identity
+    // prepare returns an empty matrix and the core consumes the caller's
+    // input by reference -- no copy, and evd/tall-svd solves run the exact
+    // pre-adapter path.
+    const PreparedProblem prep = adapter_->prepare(spec_, a);
+    const la::Matrix& core_a = prep.a.rows() == 0 ? a : prep.a;
+    SolveReport report = solve_prepared(core_a, opts);
+    adapter_->assemble(spec_, prep, report);
     finalize(report);
     return report;
   } catch (const solve::TransportCorrupt& e) {
@@ -243,18 +243,19 @@ SolvePlan Solver::plan(const SolverSpec& spec) {
 
 SolvePlan Solver::plan(const SolverSpec& spec, ord::JacobiOrdering ordering) {
   JMH_REQUIRE(spec.d >= 1, "hypercube dimension must be >= 1");
-  JMH_REQUIRE(spec.m >= (std::size_t{2} << spec.d),
-              "need at least one column per block (m >= 2^(d+1))");
-  if (spec.task == Task::Svd) {
-    JMH_REQUIRE(!spec.gershgorin_shift, "shift=1 needs task=evd");
-    JMH_REQUIRE(spec.input_rows() >= spec.m,
-                "one-sided Jacobi SVD needs a tall or square input (rows >= m)");
-  } else
-    JMH_REQUIRE(spec.rows == 0 || spec.rows == spec.m,
-                "rows != m needs task=svd (the eigenproblem input is square)");
+  // Task-specific legality (shapes, bseed, per-task knob bans) lives with
+  // the adapter; the gates below are task-agnostic and phrased against the
+  // CORE geometry (wide inputs solve their transpose, so the short side is
+  // what the blocks partition and topk truncates).
+  const TaskAdapter& adapter = adapter_for(spec.task);
+  adapter.validate(spec);
+  const CoreGeometry geo = adapter.core_geometry(spec);
+  JMH_REQUIRE(geo.cols >= (std::size_t{2} << spec.d),
+              "need at least one column per block (min(rows, m) >= 2^(d+1))");
   JMH_REQUIRE(spec.topk >= 0, "topk must be non-negative");
   if (spec.topk > 0) {
-    JMH_REQUIRE(static_cast<std::size_t>(spec.topk) <= spec.m, "topk exceeds m");
+    JMH_REQUIRE(static_cast<std::size_t>(spec.topk) <= geo.cols,
+                "topk exceeds the core column count (min(rows, m))");
     JMH_REQUIRE(spec.stop_rule == solve::StopRule::NoRotations,
                 "topk needs stop=norot (per-column activity has no off(A) analogue)");
     JMH_REQUIRE(!spec.gershgorin_shift,

@@ -24,6 +24,7 @@
 
 #include "api/report.hpp"
 #include "api/spec.hpp"
+#include "api/task_adapter.hpp"
 #include "common/cancel.hpp"
 #include "solve/block_layout.hpp"
 
@@ -47,6 +48,8 @@ class SolvePlan {
  public:
   const SolverSpec& spec() const noexcept { return spec_; }
   const ord::JacobiOrdering& ordering() const noexcept { return ordering_; }
+  /// Partitions the CORE columns (TaskAdapter::core_geometry(spec).cols =
+  /// min(rows, m) -- a wide input is solved as its transpose).
   const solve::BlockLayout& layout() const noexcept { return layout_; }
 
   /// Resolved exchange-phase packetization: 0 for Off, spec().q for Fixed,
@@ -57,9 +60,12 @@ class SolvePlan {
   /// time at pipelining_q() under spec().machine; 0 otherwise.
   double planned_sweep_comm_cost() const noexcept { return planned_cost_; }
 
-  /// Runs the solve on spec().backend through the Transport machinery.
-  /// task=evd: @p a must be square of order spec().m. task=svd: @p a must
-  /// be spec().input_rows() x spec().m. Thread-safe.
+  /// Runs the solve on spec().backend through the Transport machinery,
+  /// wrapped in the task's adapter (api/task_adapter.hpp): prepare builds
+  /// the core input, the backend-dispatched sweep core solves it, assemble
+  /// turns the core result into the caller-facing report. task=evd|gevd:
+  /// @p a must be square of order spec().m. task=svd|pca: @p a must be
+  /// spec().input_rows() x spec().m (tall, square or wide). Thread-safe.
   ///
   /// Failures are typed: deadline/cancellation/corruption surface as
   /// SolveError carrying the matching SolveStatus (never a partial report);
@@ -81,10 +87,15 @@ class SolvePlan {
   friend class Solver;
   SolvePlan(SolverSpec spec, ord::JacobiOrdering ordering);
 
-  /// The backend dispatch; Gershgorin shift already unwrapped by solve().
+  /// The backend dispatch over the CORE matrix (the task adapter's
+  /// pre-transforms -- shift, transpose, centering, whitening -- already
+  /// applied by solve()).
   SolveReport solve_prepared(const la::Matrix& a, const solve::SolveOptions& opts) const;
 
   SolverSpec spec_;
+  /// The task's stateless adapter singleton (never null; owned by the
+  /// adapter_for registry, so copies of the plan stay cheap).
+  const TaskAdapter* adapter_;
   ord::JacobiOrdering ordering_;
   solve::BlockLayout layout_;
   std::uint64_t q_ = 0;

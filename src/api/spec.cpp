@@ -97,6 +97,8 @@ std::string to_string(Task task) {
   switch (task) {
     case Task::Evd: return "evd";
     case Task::Svd: return "svd";
+    case Task::Pca: return "pca";
+    case Task::Gevd: return "gevd";
   }
   return "?";
 }
@@ -105,6 +107,8 @@ bool parse_task(std::string_view text, Task& out) {
   const std::string norm = lower(text);
   if (norm == "evd" || norm == "eig" || norm == "eigen") out = Task::Evd;
   else if (norm == "svd") out = Task::Svd;
+  else if (norm == "pca") out = Task::Pca;
+  else if (norm == "gevd") out = Task::Gevd;
   else return false;
   return true;
 }
@@ -156,9 +160,15 @@ std::string SolverSpec::to_string() const {
   out += ",overlap=" + std::string(overlap_startup ? "1" : "0");
   out += ",threshold=" + format_double(threshold);
   out += ",max_sweeps=" + std::to_string(max_sweeps);
-  out += ",stop=" + std::string(stop_rule == solve::StopRule::OffDiagonal ? "offdiag" : "norot");
+  out += ",stop=";
+  switch (stop_rule) {
+    case solve::StopRule::NoRotations: out += "norot"; break;
+    case solve::StopRule::OffDiagonal: out += "offdiag"; break;
+    case solve::StopRule::OffDiagonalAbsolute: out += "offdiag_abs"; break;
+  }
   out += ",off_tol=" + format_double(off_tol);
   out += ",shift=" + std::string(gershgorin_shift ? "1" : "0");
+  out += ",bseed=" + std::to_string(bseed);
   out += ",topk=" + std::to_string(topk);
   out += ",threads=" + std::to_string(threads);
   out += ",deadline_ms=" + std::to_string(deadline_ms);
@@ -185,7 +195,7 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   enum KeyBit : std::uint32_t {
     kBackend, kOrdering, kM, kD, kPipeline, kTs, kTw, kPorts, kOverlap,
     kThreshold, kMaxSweeps, kStop, kOffTol, kShift, kTask, kRows, kTopk,
-    kThreads, kDeadlineMs, kTrace, kFaults,
+    kThreads, kDeadlineMs, kTrace, kFaults, kBseed,
   };
   std::uint32_t seen_keys = 0;
   const auto mark_seen = [&](std::string_view key, KeyBit bit) {
@@ -211,7 +221,7 @@ SolverSpec SolverSpec::parse(const std::string& text) {
 
     if (key == "task") {
       mark_seen(key, kTask);
-      if (!parse_task(value, spec.task)) fail("unknown task '" + value + "' (evd|svd)");
+      if (!parse_task(value, spec.task)) fail("unknown task '" + value + "' (evd|svd|pca|gevd)");
     } else if (key == "backend") {
       mark_seen(key, kBackend);
       if (!parse_backend(value, spec.backend))
@@ -280,7 +290,8 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       mark_seen(key, kStop);
       if (value == "norot") spec.stop_rule = solve::StopRule::NoRotations;
       else if (value == "offdiag") spec.stop_rule = solve::StopRule::OffDiagonal;
-      else fail("unknown stop rule '" + value + "' (norot|offdiag)");
+      else if (value == "offdiag_abs") spec.stop_rule = solve::StopRule::OffDiagonalAbsolute;
+      else fail("unknown stop rule '" + value + "' (norot|offdiag|offdiag_abs)");
     } else if (key == "off_tol") {
       mark_seen(key, kOffTol);
       spec.off_tol = parse_double(key, value);
@@ -288,6 +299,9 @@ SolverSpec SolverSpec::parse(const std::string& text) {
     } else if (key == "shift") {
       mark_seen(key, kShift);
       spec.gershgorin_shift = parse_bool(key, value);
+    } else if (key == "bseed") {
+      mark_seen(key, kBseed);
+      spec.bseed = parse_uint(key, value);
     } else if (key == "topk") {
       mark_seen(key, kTopk);
       spec.topk = static_cast<int>(
@@ -341,17 +355,25 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   // Cross-key constraints (checked on the final values, so key order in the
   // input does not matter). Solver::plan re-validates for specs built
   // programmatically.
-  if (spec.task == Task::Evd && spec.rows != 0 && spec.rows != spec.m)
+  if ((spec.task == Task::Evd || spec.task == Task::Gevd) && spec.rows != 0 &&
+      spec.rows != spec.m)
     fail("rows=" + std::to_string(spec.rows) +
-         " needs task=svd (the eigenproblem input is square m x m)");
-  if (spec.task == Task::Svd && spec.rows != 0 && spec.rows < spec.m)
-    fail("rows=" + std::to_string(spec.rows) + " < m=" + std::to_string(spec.m) +
-         ": one-sided Jacobi SVD needs a tall or square input (factor the transpose)");
-  if (spec.task == Task::Svd && spec.gershgorin_shift)
-    fail("shift=1 needs task=evd (a diagonal shift has no SVD meaning)");
+         " needs task=svd|pca (the eigenproblem input is square m x m)");
+  if (spec.task != Task::Evd && spec.gershgorin_shift)
+    fail("shift=1 needs task=evd (a diagonal shift has no SVD/PCA/GEVD meaning)");
+  if (spec.task == Task::Gevd && spec.bseed == 0)
+    fail("task=gevd needs bseed=<seed> >= 1 (names the deterministic SPD B-side)");
+  if (spec.task != Task::Gevd && spec.bseed != 0)
+    fail("key 'bseed' needs task=gevd (no other task has a B-side matrix)");
   if (spec.topk > 0) {
-    if (static_cast<std::size_t>(spec.topk) > spec.m)
-      fail("topk=" + std::to_string(spec.topk) + " exceeds m=" + std::to_string(spec.m));
+    if (spec.task != Task::Evd && spec.task != Task::Svd)
+      fail("topk needs task=evd|svd (pca/gevd assemble over the full spectrum)");
+    // The core partitions min(rows, m) columns (a wide input is solved as
+    // its transpose), so that is the truncation ceiling.
+    const std::size_t core_cols = spec.rows != 0 && spec.rows < spec.m ? spec.rows : spec.m;
+    if (static_cast<std::size_t>(spec.topk) > core_cols)
+      fail("topk=" + std::to_string(spec.topk) + " exceeds the core column count " +
+           std::to_string(core_cols) + " (min(rows, m))");
     if (spec.stop_rule != solve::StopRule::NoRotations)
       fail("topk needs stop=norot (per-column activity has no off(A) analogue)");
     if (spec.gershgorin_shift)

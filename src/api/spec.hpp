@@ -9,17 +9,22 @@
 // CLI, benches and CI can pass scenarios as strings.
 //
 // Key=value grammar (all keys optional; unlisted keys keep their defaults):
-//   task=evd|svd               workload: symmetric eigendecomposition of an
-//                              m x m input, or thin SVD of a rows x m input
-//                              (default evd)
+//   task=evd|svd|pca|gevd      workload: symmetric eigendecomposition of an
+//                              m x m input, thin SVD of a rows x m input,
+//                              PCA of a rows x m data matrix (center
+//                              columns + svd + explained-variance ratios),
+//                              or the generalized symmetric eigenproblem
+//                              A x = lambda B x via Cholesky pre-whitening
+//                              (B named by bseed=) (default evd)
 //   backend=inline|mpi|sim     execution substrate (default inline)
 //   ordering=br|pbr|d4|minalpha   exchange-sequence family (default d4)
 //   m=<n>                      matrix order; for task=svd the COLUMN count
 //                              (the blocks partition columns) (default 32)
 //   rows=<n>                   input row count; 0 = square (rows = m). Only
-//                              task=svd accepts a non-square value, and it
-//                              must be tall: rows >= m (for a wide A,
-//                              factor A^T and swap U/V) (default 0)
+//                              task=svd|pca accept a non-square value; tall
+//                              (rows > m) runs directly, wide (rows < m) is
+//                              solved as the transpose with U/V swapped in
+//                              assembly (default 0)
 //   d=<n>                      hypercube dimension (default 2)
 //   pipeline=off|auto|<q>      exchange-phase packetization (default off);
 //                              auto = pipe::find_optimal_sweep_q
@@ -27,9 +32,22 @@
 //   overlap=0|1                sim overlapped-startup hardware (default 0)
 //   threshold=<f>              rotation threshold
 //   max_sweeps=<n>             sweep cap (default 60)
-//   stop=norot|offdiag         StopRule (default norot)
-//   off_tol=<f>                off-diagonal tolerance (stop=offdiag)
-//   shift=0|1                  Gershgorin shift (default 0)
+//   stop=norot|offdiag|offdiag_abs   StopRule (default norot); offdiag_abs
+//                              is the ABSOLUTE off-diagonal bound
+//                              (sqrt(2*off2) <= off_tol, no ||A||_F
+//                              scaling) -- the rule rank-deficient and
+//                              centered inputs need, where stop=norot
+//                              keeps rotating null-space column pairs
+//                              until their norms underflow (~2x the
+//                              sweeps, a timeout under real budgets)
+//   off_tol=<f>                off-diagonal tolerance (stop=offdiag[_abs])
+//   shift=0|1                  Gershgorin shift (default 0, task=evd only)
+//   bseed=<n>                  task=gevd's B-side input: the SPD matrix
+//                              la::random_spd(m, rng(bseed)), generated
+//                              deterministically so every backend and the
+//                              sequential reference whiten identically.
+//                              Required (>= 1) for task=gevd, rejected
+//                              elsewhere; 0 = unset (default 0)
 //   topk=<k>                   truncated solve: stop once the leading k
 //                              columns (by ||b_k||^2) are rotation-free and
 //                              extract only those k eigenpairs / singular
@@ -73,7 +91,9 @@ namespace jmh::api {
 /// reading anything else. Bump when the grammar changes meaning:
 ///   1 -- through the fault-tolerant serving PR (deadline_ms, faults)
 ///   2 -- adds the trace= key (obs:: span recording + PhaseTimings)
-inline constexpr int kSpecVersion = 2;
+///   3 -- adds task=pca|gevd, stop=offdiag_abs, the bseed= key, and wide
+///        (rows < m) task=svd|pca inputs
+inline constexpr int kSpecVersion = 3;
 
 /// Execution substrate of a solve (see the Transport table in
 /// ARCHITECTURE.md; each backend maps onto one Transport implementation).
@@ -86,12 +106,16 @@ enum class Backend {
 std::string to_string(Backend backend);
 bool parse_backend(std::string_view text, Backend& out);
 
-/// The workload a spec names. Both run the same sweep machinery (one-sided
-/// Jacobi orthogonalizes columns either way); they differ in the input shape
-/// accepted and the result extracted.
+/// The workload a spec names. All run the same sweep machinery (one-sided
+/// Jacobi orthogonalizes columns either way); they differ in the pre/post
+/// transforms a TaskAdapter (api/task_adapter.hpp) wraps around the core:
+/// the input shape accepted, the matrix handed to the sweeps, and how the
+/// core result is assembled into the report.
 enum class Task {
-  Evd,  ///< symmetric eigendecomposition of a square m x m input
-  Svd,  ///< thin SVD of a (possibly rectangular) rows x m input
+  Evd,   ///< symmetric eigendecomposition of a square m x m input
+  Svd,   ///< thin SVD of a (possibly rectangular) rows x m input
+  Pca,   ///< PCA of a rows x m data matrix: center columns, SVD, ratios
+  Gevd,  ///< generalized A x = lambda B x, B SPD from bseed=, via Cholesky
 };
 
 std::string to_string(Task task);
@@ -109,7 +133,7 @@ struct SolverSpec {
   std::size_t m = 32;   ///< matrix order (task=svd: column count)
   /// Input rows; 0 = square (== m), and rows == m is normalized to 0 by
   /// parse/to_string so each scenario has one canonical name. Non-square
-  /// (tall, rows > m) needs task=svd.
+  /// (tall rows > m or wide rows < m) needs task=svd|pca.
   std::size_t rows = 0;
   int d = 2;                                              ///< hypercube dimension
   ord::OrderingKind ordering = ord::OrderingKind::Degree4;
@@ -123,6 +147,12 @@ struct SolverSpec {
   solve::StopRule stop_rule = solve::StopRule::NoRotations;
   double off_tol = 1e-8;
   bool gershgorin_shift = false;
+  /// task=gevd's deterministic B-side: the SPD matrix is
+  /// la::random_spd(m, Xoshiro256(bseed)), so every backend, the CLI
+  /// --check path, and the sequential reference reconstruct the identical
+  /// B from the spec string alone. Required (>= 1) for task=gevd and
+  /// rejected for every other task; 0 = unset.
+  std::uint64_t bseed = 0;
   /// Truncated-solve order: 0 = full solve; k > 0 stops the sweep loop once
   /// the leading k columns are rotation-free and extracts only those pairs
   /// (solve::SolveOptions::topk has the precise semantics).

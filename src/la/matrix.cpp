@@ -19,6 +19,15 @@ double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
   return worst;
 }
 
+Matrix transposed(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const auto col = a.col(c);
+    for (std::size_t r = 0; r < a.rows(); ++r) t(c, r) = col[r];
+  }
+  return t;
+}
+
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   JMH_REQUIRE(x.size() == a.cols(), "matvec size mismatch");
   std::vector<double> y(a.rows(), 0.0);

@@ -57,6 +57,11 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// A^T as a new matrix. Used by the wide-SVD pre-transform (one-sided
+/// Jacobi needs a tall working matrix; a wide A is factored as A^T with
+/// U and V swapped in assembly).
+Matrix transposed(const Matrix& a);
+
 /// y := A * x (dense mat-vec).
 std::vector<double> matvec(const Matrix& a, std::span<const double> x);
 

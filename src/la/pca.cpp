@@ -1,0 +1,29 @@
+#include "la/pca.hpp"
+
+namespace jmh::la {
+
+std::vector<double> center_columns(Matrix& a) {
+  std::vector<double> means(a.cols(), 0.0);
+  if (a.rows() == 0) return means;
+  const double inv = 1.0 / static_cast<double>(a.rows());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const auto col = a.col(c);
+    double sum = 0.0;
+    for (double x : col) sum += x;
+    const double mean = sum * inv;
+    means[c] = mean;
+    for (double& x : col) x -= mean;
+  }
+  return means;
+}
+
+std::vector<double> explained_variance_ratios(const std::vector<double>& sigma) {
+  std::vector<double> ratios(sigma.size(), 0.0);
+  double total = 0.0;
+  for (double s : sigma) total += s * s;
+  if (total <= 0.0) return ratios;
+  for (std::size_t k = 0; k < sigma.size(); ++k) ratios[k] = sigma[k] * sigma[k] / total;
+  return ratios;
+}
+
+}  // namespace jmh::la

@@ -1,0 +1,30 @@
+// PCA pre/post transforms for the task=pca workload.
+//
+// Principal component analysis of a rows x m data matrix (rows = samples,
+// columns = variables) is exactly the SVD of the column-centered matrix:
+// the right singular vectors are the principal axes, sigma_k^2 the
+// (unnormalized) variance along axis k. These helpers are the two
+// task-specific steps around the shared sweep machinery: remove the column
+// means before the solve, turn the singular values into explained-variance
+// ratios after. Centering a square input drops its rank to m - 1, which is
+// why task=pca pairs naturally with StopRule::OffDiagonalAbsolute
+// (solve/transport.hpp): NoRotations churns on the null direction until
+// its norm underflows, roughly doubling the sweep count.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace jmh::la {
+
+/// Subtracts each column's mean in place; returns the removed means (one
+/// per column), so the transform is invertible and reportable.
+std::vector<double> center_columns(Matrix& a);
+
+/// sigma_k^2 / sum_j sigma_j^2 for each k, order preserved (descending when
+/// @p sigma is). All zeros when the total variance is zero (a centered
+/// constant input has no principal directions -- better than NaNs).
+std::vector<double> explained_variance_ratios(const std::vector<double>& sigma);
+
+}  // namespace jmh::la

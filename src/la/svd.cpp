@@ -49,9 +49,10 @@ SvdResult onesided_jacobi_svd(const Matrix& a,
   JMH_REQUIRE(!opts.gershgorin_shift, "a diagonal shift has no SVD meaning");
   JMH_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "SVD needs a non-empty matrix");
   // Wide inputs put cols - rows columns in the null space; their mutual dot
-  // products never pass the RELATIVE rotation threshold (both norms decay
-  // together), so the sweep loop cannot reach a rotation-free sweep. Factor
-  // the transpose instead: A = U S V^T <=> A^T = V S U^T.
+  // products keep passing the RELATIVE rotation threshold (both norms decay
+  // together) until the norms underflow to exact zero, so a rotation-free
+  // sweep arrives only after wasted null-space churn. Factor the transpose
+  // instead: A = U S V^T <=> A^T = V S U^T (onesided_jacobi_svd_any does).
   JMH_REQUIRE(a.rows() >= a.cols(),
               "one-sided Jacobi SVD needs a tall or square input (for a wide A, factor A^T "
               "and swap U/V)");
@@ -96,6 +97,16 @@ SvdResult onesided_jacobi_svd(const Matrix& a,
 SvdResult onesided_jacobi_svd_cyclic(const Matrix& a, const JacobiOptions& opts) {
   const SweepPattern pattern = cyclic_pattern(a.cols());
   return onesided_jacobi_svd(a, [&pattern](int) { return pattern; }, opts);
+}
+
+SvdResult onesided_jacobi_svd_any(const Matrix& a, const JacobiOptions& opts) {
+  if (a.rows() >= a.cols()) return onesided_jacobi_svd_cyclic(a, opts);
+  // A = U S V^T <=> A^T = V S U^T: factor the (tall) transpose and swap the
+  // singular-vector roles. Same trick the api::Task::Svd adapter applies, so
+  // this stays the valid sequential reference for wide inputs.
+  SvdResult out = onesided_jacobi_svd_cyclic(transposed(a), opts);
+  std::swap(out.u, out.v);
+  return out;
 }
 
 }  // namespace jmh::la

@@ -53,4 +53,11 @@ SvdResult onesided_jacobi_svd(const Matrix& a,
 /// Convenience overload: row-cyclic pair ordering.
 SvdResult onesided_jacobi_svd_cyclic(const Matrix& a, const JacobiOptions& opts = {});
 
+/// Shape-agnostic sequential reference (row-cyclic): tall/square inputs run
+/// onesided_jacobi_svd_cyclic directly; a wide input is factored as its
+/// transpose with U and V swapped back (A = U S V^T <=> A^T = V S U^T) --
+/// the same pre/post transform the api task adapter applies, so this is the
+/// ground truth for wide task=svd runs too.
+SvdResult onesided_jacobi_svd_any(const Matrix& a, const JacobiOptions& opts = {});
+
 }  // namespace jmh::la

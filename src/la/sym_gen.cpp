@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/assert.hpp"
+
 namespace jmh::la {
 
 Matrix random_uniform_symmetric(std::size_t n, Xoshiro256& rng) {
@@ -86,6 +88,87 @@ Matrix symmetric_with_spectrum(const std::vector<double>& eigenvalues, Xoshiro25
     }
   }
   return a;
+}
+
+Matrix random_spd(std::size_t n, Xoshiro256& rng) {
+  std::vector<double> spectrum(n);
+  for (double& ev : spectrum) ev = rng.uniform(1.0, 2.0);
+  return symmetric_with_spectrum(spectrum, rng);
+}
+
+Matrix cholesky_factor(const Matrix& b) {
+  JMH_REQUIRE(b.is_square(), "Cholesky needs a square matrix");
+  const std::size_t n = b.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = b(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    JMH_REQUIRE(diag > 0.0, "Cholesky needs a positive-definite matrix");
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = b(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+namespace {
+
+/// Solves L w = y in place (forward substitution, L lower triangular).
+void forward_solve_inplace(const Matrix& l, std::span<double> y) {
+  const std::size_t n = l.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+}
+
+/// Solves L^T x = y in place (back substitution).
+void backward_solve_inplace(const Matrix& l, std::span<double> y) {
+  const std::size_t n = l.rows();
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * y[k];
+    y[i] = s / l(i, i);
+  }
+}
+
+}  // namespace
+
+Matrix whiten_symmetric(const Matrix& a, const Matrix& l) {
+  JMH_REQUIRE(a.is_square() && l.is_square() && a.rows() == l.rows(),
+              "whitening needs square A and L of equal order");
+  const std::size_t n = a.rows();
+  // W = L^{-1} A (forward solve per column), then C = W L^{-T} computed as
+  // (L^{-1} W^T)^T -- two triangular sweeps, no inverse ever formed.
+  Matrix w(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto src = a.col(c);
+    std::copy(src.begin(), src.end(), w.col(c).begin());
+    forward_solve_inplace(l, w.col(c));
+  }
+  Matrix wt = transposed(w);
+  for (std::size_t c = 0; c < n; ++c) forward_solve_inplace(l, wt.col(c));
+  Matrix c = transposed(wt);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < j; ++i) {
+      const double sym = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = sym;
+      c(j, i) = sym;
+    }
+  return c;
+}
+
+Matrix unwhiten_columns(const Matrix& l, const Matrix& y) {
+  JMH_REQUIRE(l.is_square() && y.rows() == l.rows(),
+              "back-substitution needs Y with L's row count");
+  Matrix x = y;
+  for (std::size_t c = 0; c < x.cols(); ++c) backward_solve_inplace(l, x.col(c));
+  return x;
 }
 
 }  // namespace jmh::la

@@ -35,4 +35,31 @@ std::vector<double> tridiag_toeplitz_eigenvalues(std::size_t n, double diag, dou
 /// with known spectrum and controllable conditioning.
 Matrix symmetric_with_spectrum(const std::vector<double>& eigenvalues, Xoshiro256& rng);
 
+/// Random symmetric positive-definite matrix: Q D Q^T with spectrum drawn
+/// uniformly from [1, 2] (condition number <= 2, so Cholesky and the
+/// whitening solves below stay well-behaved). The B-side input of the
+/// task=gevd workload: generated deterministically from the spec's bseed so
+/// every backend, the sequential reference, and a replayed service job all
+/// whiten against the identical basis.
+Matrix random_spd(std::size_t n, Xoshiro256& rng);
+
+// --- Cholesky pre-whitening (the task=gevd pipeline) -------------------------
+// The generalized symmetric eigenproblem A x = lambda B x (B SPD) reduces to
+// the standard problem C y = lambda y with C = L^{-1} A L^{-T}, B = L L^T,
+// and x = L^{-T} y: whiten before the sweep, back-substitute after.
+
+/// Lower-triangular Cholesky factor L with B = L L^T. Requires @p b square,
+/// symmetric and positive definite (throws on a non-positive pivot).
+Matrix cholesky_factor(const Matrix& b);
+
+/// C = L^{-1} A L^{-T} for symmetric @p a and lower-triangular @p l, the
+/// result explicitly symmetrized (0.5 * (C + C^T)) so rounding cannot hand
+/// the sweep engine an asymmetric working matrix.
+Matrix whiten_symmetric(const Matrix& a, const Matrix& l);
+
+/// Back-substitution of the whitening: X = L^{-T} Y column by column (each
+/// eigenvector y of C becomes the generalized eigenvector x = L^{-T} y,
+/// B-orthonormal by construction).
+Matrix unwhiten_columns(const Matrix& l, const Matrix& y);
+
 }  // namespace jmh::la

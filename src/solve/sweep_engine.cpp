@@ -199,8 +199,13 @@ EngineResult run_sweep_protocol(Transport& transport, const ord::JacobiOrdering&
       // off2 is accumulated from pre-rotation dot products, so it measures
       // the matrix state *entering* this sweep: when it is already below
       // tolerance the previous sweep had converged and this one is not
-      // counted.
-      if (std::sqrt(2.0 * global[1]) <= opts.off_tol * std::sqrt(frob2)) {
+      // counted. The absolute variant drops the ||A||_F scaling (frob2 is
+      // still allreduced at init, keeping vote widths and order identical
+      // across stop rules -- the bit-parity contract of the other modes).
+      const double bound = opts.stop_rule == StopRule::OffDiagonalAbsolute
+                               ? opts.off_tol
+                               : opts.off_tol * std::sqrt(frob2);
+      if (std::sqrt(2.0 * global[1]) <= bound) {
         out.converged = true;
         audit_sweep();
         break;

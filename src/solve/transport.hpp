@@ -93,13 +93,23 @@ enum class StopRule {
   /// report, see EXPERIMENTS.md Table 2 notes). The triggering sweep is
   /// counted.
   OffDiagonal,
+  /// Like OffDiagonal but against the ABSOLUTE bound
+  /// sqrt(2 * sum bij^2) <= off_tol (no ||A||_F scaling). The rule for
+  /// rank-deficient and centered inputs: null-space columns keep rotating
+  /// under the relative rotation threshold (their mutual dot products do
+  /// not shrink relative to their own vanishing norms) until the norms
+  /// underflow to exact zero, so NoRotations needs roughly double the
+  /// sweeps and times out under realistic budgets -- but their
+  /// contribution to off2 is absolutely tiny, so this rule converges
+  /// early. The triggering sweep is counted.
+  OffDiagonalAbsolute,
 };
 
 struct SolveOptions {
   double threshold = la::kDefaultThreshold;
   int max_sweeps = 60;
   StopRule stop_rule = StopRule::NoRotations;
-  double off_tol = 1e-8;  ///< used by StopRule::OffDiagonal
+  double off_tol = 1e-8;  ///< used by StopRule::OffDiagonal[Absolute]
 
   /// Solve A + sigma*I (sigma = Gershgorin radius) and shift the spectrum
   /// back. Makes the working matrix positive semidefinite, which removes

@@ -169,14 +169,59 @@ TEST(SolverSpec, TaskAndRowsRoundTripAndValidate) {
   EXPECT_EQ(SolverSpec::parse("task=svd,m=8").input_rows(), 8u);  // rows=0 -> m
 
   EXPECT_THROW(SolverSpec::parse("task=qr"), std::invalid_argument);
-  // rows != m is an SVD-only shape...
+  // rows != m is an svd/pca-only shape...
   EXPECT_THROW(SolverSpec::parse("m=16,rows=24"), std::invalid_argument);
-  // ...and must be tall (wide inputs cannot converge; factor the transpose).
-  EXPECT_THROW(SolverSpec::parse("task=svd,m=16,rows=8"), std::invalid_argument);
+  // ...but may be wide: rows < m is solved as the transpose with U/V
+  // swapped back in assembly, so the spec level accepts it.
+  EXPECT_NO_THROW(SolverSpec::parse("task=svd,m=16,rows=8"));
+  SolverSpec wide;
+  wide.task = Task::Svd;
+  wide.m = 16;
+  wide.rows = 8;
+  EXPECT_EQ(SolverSpec::parse(wide.to_string()), wide);
   // A diagonal shift has no SVD meaning.
   EXPECT_THROW(SolverSpec::parse("task=svd,shift=1"), std::invalid_argument);
   // Cross-key checks run on final values: key order must not matter.
   EXPECT_NO_THROW(SolverSpec::parse("rows=24,m=16,task=svd"));
+}
+
+TEST(SolverSpec, PcaGevdAndStopRulesParseAndValidate) {
+  EXPECT_EQ(SolverSpec::parse("task=pca").task, Task::Pca);
+  EXPECT_EQ(SolverSpec::parse("task=gevd,bseed=7").task, Task::Gevd);
+  EXPECT_EQ(SolverSpec::parse("task=gevd,bseed=7").bseed, 7u);
+  EXPECT_EQ(SolverSpec::parse("stop=offdiag_abs").stop_rule,
+            solve::StopRule::OffDiagonalAbsolute);
+
+  // Exact round trips through the canonical string, new keys included.
+  SolverSpec pca;
+  pca.task = Task::Pca;
+  pca.m = 16;
+  pca.rows = 40;
+  pca.stop_rule = solve::StopRule::OffDiagonalAbsolute;
+  EXPECT_EQ(SolverSpec::parse(pca.to_string()), pca);
+  SolverSpec gevd;
+  gevd.task = Task::Gevd;
+  gevd.m = 16;
+  gevd.bseed = 99;
+  EXPECT_EQ(SolverSpec::parse(gevd.to_string()), gevd);
+
+  // Named-key combos: gevd cannot run without its B-side seed, and bseed
+  // has no meaning anywhere else.
+  EXPECT_THROW(SolverSpec::parse("task=gevd"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("bseed=3"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("task=pca,bseed=3"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("task=svd,bseed=3"), std::invalid_argument);
+  // gevd is a square eigenproblem; pca inherits the svd shape rules.
+  EXPECT_THROW(SolverSpec::parse("task=gevd,bseed=3,rows=24,m=16"), std::invalid_argument);
+  EXPECT_NO_THROW(SolverSpec::parse("task=pca,m=16,rows=8"));
+  // shift and topk stay evd/svd-only knobs.
+  EXPECT_THROW(SolverSpec::parse("task=pca,shift=1"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("task=gevd,bseed=3,shift=1"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("task=pca,topk=2"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("task=gevd,bseed=3,topk=2"), std::invalid_argument);
+  // A wide solve truncates against the CORE column count (the short side).
+  EXPECT_THROW(SolverSpec::parse("task=svd,m=16,rows=8,topk=9"), std::invalid_argument);
+  EXPECT_NO_THROW(SolverSpec::parse("task=svd,m=16,rows=8,topk=8"));
 }
 
 // Regression: NaN/Inf pass naive sign checks (every comparison against NaN
@@ -243,13 +288,18 @@ TEST(SolverSpec, FuzzedValidSpecsRoundTripExactly) {
                                      ord::OrderingKind::Degree4, ord::OrderingKind::MinAlpha};
   for (int iter = 0; iter < 500; ++iter) {
     SolverSpec spec;
-    spec.task = rng.below(2) ? Task::Svd : Task::Evd;
+    const Task tasks[] = {Task::Evd, Task::Svd, Task::Pca, Task::Gevd};
+    spec.task = tasks[rng.below(4)];
     spec.backend = static_cast<Backend>(rng.below(3));
     spec.ordering = kinds[rng.below(4)];
     spec.d = static_cast<int>(1 + rng.below(5));
     spec.m = (std::size_t{2} << spec.d) + rng.below(100);
-    // Strictly taller than square: rows == m is the normalized-to-0 form.
-    if (spec.task == Task::Svd && rng.below(2)) spec.rows = spec.m + 1 + rng.below(64);
+    // svd/pca may be rectangular either way; rows == m is the
+    // normalized-to-0 form, so tall is strictly taller and wide strictly
+    // wider than square.
+    if ((spec.task == Task::Svd || spec.task == Task::Pca) && rng.below(2))
+      spec.rows = rng.below(2) ? spec.m + 1 + rng.below(64) : 1 + rng.below(spec.m - 1);
+    if (spec.task == Task::Gevd) spec.bseed = 1 + rng.below(1u << 20);
     switch (rng.below(3)) {
       case 0: spec.pipelining = PipeliningPolicy::Off; break;
       case 1: spec.pipelining = PipeliningPolicy::Auto; break;
@@ -264,12 +314,21 @@ TEST(SolverSpec, FuzzedValidSpecsRoundTripExactly) {
     spec.overlap_startup = rng.below(2) != 0;
     spec.threshold = std::pow(10.0, -static_cast<double>(1 + rng.below(15)));
     spec.max_sweeps = static_cast<int>(1 + rng.below(200));
-    spec.stop_rule = rng.below(2) ? solve::StopRule::OffDiagonal : solve::StopRule::NoRotations;
+    const solve::StopRule rules[] = {solve::StopRule::NoRotations,
+                                     solve::StopRule::OffDiagonal,
+                                     solve::StopRule::OffDiagonalAbsolute};
+    spec.stop_rule = rules[rng.below(3)];
     spec.off_tol = rng.uniform(1e-12, 1e-2);
     spec.gershgorin_shift = spec.task == Task::Evd && rng.below(2) != 0;
-    if (spec.stop_rule == solve::StopRule::NoRotations && !spec.gershgorin_shift &&
-        rng.below(2))
-      spec.topk = static_cast<int>(1 + rng.below(spec.m));
+    if ((spec.task == Task::Evd || spec.task == Task::Svd) &&
+        spec.stop_rule == solve::StopRule::NoRotations && !spec.gershgorin_shift &&
+        rng.below(2)) {
+      // Truncation is capped by the CORE column count: the short side for a
+      // wide input, m otherwise.
+      const std::size_t core_cols =
+          spec.rows != 0 && spec.rows < spec.m ? spec.rows : spec.m;
+      spec.topk = static_cast<int>(1 + rng.below(core_cols));
+    }
     if (rng.below(2)) spec.threads = 1 + rng.below(8);
     if (rng.below(2)) spec.deadline_ms = 1 + rng.below(60000);
     spec.trace = rng.below(2) != 0;
@@ -303,6 +362,8 @@ TEST(SolverSpec, MalformedStringsNameTheOffendingKey) {
       {"ports=4294967297", "'ports'"},  {"pipeline=+2", "'pipeline'"},
       {"task=lu", "task"},              {"m=16,m=16", "'m'"},
       {"deadline_ms=-5", "'deadline_ms'"},
+      {"stop=absolute", "stop"},        {"bseed=+5", "'bseed'"},
+      {"task=gevd,m=16", "bseed"},      {"bseed=5", "bseed"},
       {"faults=1:2:0:0:0", "'faults'"},       // corrupt rate out of [0,1]
       {"faults=0:0:0:0:0", "'faults'"},       // seed 0 is reserved for off
       {"faults=1:0:0:0", "'faults'"},         // too few fields
@@ -551,13 +612,14 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
     pos = end + 1;
   }
   const std::vector<std::string> expected = {
-      "task",          "backend",       "ordering",      "m",
-      "rows",          "pipeline_q",    "topk",          "converged",
-      "sweeps",        "rotations",     "spectrum_min",  "spectrum_max",
-      "comm_messages", "comm_elements", "comm_barriers", "has_model",
-      "modeled_time",  "vote_time",     "modeled_sweeps", "mean_link_utilization",
-      "plan_ns",       "queue_ns",      "sweep_ns",      "comm_ns",
-      "assembly_ns",   "retries",       "status"};
+      "task",          "backend",        "ordering",      "m",
+      "rows",          "pipeline_q",     "topk",          "converged",
+      "sweeps",        "rotations",      "spectrum_min",  "spectrum_max",
+      "explained_leading",
+      "comm_messages", "comm_elements",  "comm_barriers", "has_model",
+      "modeled_time",  "vote_time",      "modeled_sweeps", "mean_link_utilization",
+      "plan_ns",       "queue_ns",       "sweep_ns",      "comm_ns",
+      "assembly_ns",   "retries",        "status"};
   {
     // spec_version leads every report (consumers dispatch on it before
     // reading anything else) and must echo the current grammar version.
@@ -608,6 +670,40 @@ TEST(SolveReport, JsonFieldSetIsPinned) {
   EXPECT_NE(svd_json.find("\"task\":\"svd\""), std::string::npos);
   EXPECT_NE(svd_json.find("\"m\":16"), std::string::npos);
   EXPECT_NE(svd_json.find("\"rows\":24"), std::string::npos);
+  // Non-pca tasks render explained_leading as an exact 0.
+  EXPECT_NE(svd_json.find("\"explained_leading\":0,"), std::string::npos);
+
+  // A task=pca report keeps the same field set, echoes the data-matrix
+  // shape, and fills explained_leading with the top component's share.
+  const SolveReport pca_r = Solver::solve(
+      SolverSpec::parse("task=pca,m=16,rows=24,d=2,stop=offdiag_abs"), rect);
+  const std::string pca_json = report_to_json(pca_r);
+  EXPECT_NE(pca_json.find("\"task\":\"pca\""), std::string::npos);
+  EXPECT_NE(pca_json.find("\"m\":16"), std::string::npos);
+  EXPECT_NE(pca_json.find("\"rows\":24"), std::string::npos);
+  ASSERT_FALSE(pca_r.explained_variance.empty());
+  EXPECT_GT(pca_r.explained_variance.front(), 0.0);
+  EXPECT_EQ(pca_json.find("\"explained_leading\":0,"), std::string::npos);
+
+  // A wide task=svd report derives its geometry from the assembled vector
+  // matrices: m from V's rows, rows from U's -- the swap must land right.
+  Xoshiro256 wide_rng(13);
+  const la::Matrix wide_a = la::random_uniform(8, 16, wide_rng);
+  const SolveReport wide_r =
+      Solver::solve(SolverSpec::parse("task=svd,m=16,rows=8,d=1"), wide_a);
+  const std::string wide_json = report_to_json(wide_r);
+  EXPECT_NE(wide_json.find("\"m\":16"), std::string::npos);
+  EXPECT_NE(wide_json.find("\"rows\":8"), std::string::npos);
+
+  // A task=gevd report renders like an eigenproblem (spectrum from the
+  // generalized eigenvalues, square geometry).
+  const la::Matrix sym = test_matrix(16, 77);
+  const SolveReport gevd_r =
+      Solver::solve(SolverSpec::parse("task=gevd,bseed=5,m=16,d=2"), sym);
+  const std::string gevd_json = report_to_json(gevd_r);
+  EXPECT_NE(gevd_json.find("\"task\":\"gevd\""), std::string::npos);
+  EXPECT_NE(gevd_json.find("\"m\":16"), std::string::npos);
+  EXPECT_NE(gevd_json.find("\"rows\":16"), std::string::npos);
 }
 
 TEST(SolverPlan, CustomOrderingThroughTheFacade) {

@@ -121,8 +121,16 @@ TEST(SvdParity, PlanRejectsWrongShape) {
   const SolvePlan plan = Solver::plan(SolverSpec::parse("task=svd,m=16,rows=24,d=2"));
   EXPECT_THROW(plan.solve(rect_matrix(16, 16, 1)), std::invalid_argument);  // wrong rows
   EXPECT_THROW(plan.solve(rect_matrix(24, 12, 1)), std::invalid_argument);  // wrong cols
-  EXPECT_THROW(Solver::plan(SolverSpec::parse("task=svd,m=16,rows=8,d=2")),
-               std::invalid_argument);  // wide
+  // A wide spec PLANS fine (the transpose trick handles it; the blocks
+  // partition the short side) but still rejects a mismatched input shape.
+  const SolvePlan wide = Solver::plan(SolverSpec::parse("task=svd,m=16,rows=8,d=1"));
+  EXPECT_THROW(wide.solve(rect_matrix(16, 8, 1)), std::invalid_argument);  // transposed input
+  EXPECT_NO_THROW(wide.solve(rect_matrix(8, 16, 1)));
+  // The column-per-block gate applies to the CORE columns = the short side:
+  // rows=8 on a 2-cube (needs >= 8) passes, but a 3-cube (needs >= 16) not.
+  EXPECT_NO_THROW(Solver::plan(SolverSpec::parse("task=svd,m=32,rows=8,d=2")));
+  EXPECT_THROW(Solver::plan(SolverSpec::parse("task=svd,m=32,rows=8,d=3")),
+               std::invalid_argument);
 }
 
 // Mixed EVD/SVD traffic through the same service: the spec string is the

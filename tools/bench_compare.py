@@ -37,16 +37,17 @@ import sys
 # The hot cases this repo's perf work is gated on (PERF.md): the fused
 # kernels and solve paths (BENCH_kernels.json), the facade plan-reuse cases
 # (BENCH_plan_reuse.json), the service throughput cases
-# (BENCH_service.json), the SVD workload (BENCH_svd.json), the shared
-# execution substrate cases -- oversubscribed service throughput and
-# truncated topk solves (BENCH_exec.json) -- and the robustness overheads:
-# checksummed serialization and the per-sweep cancel poll
-# (BENCH_robustness.json).
+# (BENCH_service.json), the SVD workload (BENCH_svd.json), the task-adapter
+# workloads -- pca and wide svd (BENCH_tasks.json) -- the shared execution
+# substrate cases -- oversubscribed service throughput and truncated topk
+# solves (BENCH_exec.json) -- and the robustness overheads: checksummed
+# serialization and the per-sweep cancel poll (BENCH_robustness.json).
 DEFAULT_FILTER = (
     r"^(BM_RotationKernel|BM_GramKernel|BM_InlineSolve|BM_MpiSolve(Pipelined)?|"
     r"BM_BlockSerializeInto|BM_BlockSerializeRoundtrip|BM_SequentialCyclicSolve|"
     r"BM_PlanConstruction|BM_PlanReuseSolve|BM_PerSolveReconstruction|"
     r"BM_SpecRoundTrip|BM_ServiceThroughput|BM_ServiceOversub|BM_SvdSolve|"
+    r"BM_PcaSolve|BM_WideSvdSolve|"
     r"BM_TopkSolve|BM_SweepCancelCheck|BM_TraceSpan|BM_SolveTraced)(/|$)"
 )
 
